@@ -1,0 +1,5 @@
+"""Benchmark suite: one module per paper figure/theorem plus ablations.
+
+Run with ``pytest benchmarks/ --benchmark-only``; print paper-style
+series with ``python benchmarks/harness.py {fig1,fig2,fig3,...}``.
+"""

@@ -1,0 +1,44 @@
+"""ABL-B — HDFS block-size ablation for the MapReduce job.
+
+The paper inherits 128 MB blocks from HDFS. Block size trades combine
+vectorization (bigger = better amortization) against parallel slack and
+shuffle volume (more blocks = more combiner outputs). This bench sweeps
+block_items and records total job time plus the simulated 8-worker
+makespan, exposing the plateau the default sits on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import dataset, scaled
+from repro.mapreduce import parallel_sum
+
+N = scaled(400_000)
+BLOCK_SIZES = [1 << 10, 1 << 13, 1 << 16, 1 << 18]
+
+
+@pytest.mark.parametrize("block_items", BLOCK_SIZES)
+def test_block_size_serial(benchmark, block_items):
+    x = dataset("random", N, 500)
+    benchmark.group = "ablation-blocksize-serial"
+    value = benchmark(
+        parallel_sum, x, method="sparse", block_items=block_items,
+        executor="serial",
+    )
+    assert value == parallel_sum(x, method="sparse")
+
+
+@pytest.mark.parametrize("block_items", BLOCK_SIZES)
+def test_block_size_makespan_8_workers(benchmark, block_items):
+    x = dataset("random", N, 500)
+    benchmark.group = "ablation-blocksize-makespan"
+
+    def run():
+        return parallel_sum(
+            x, method="sparse", block_items=block_items, workers=8,
+            executor="simulated", report=True,
+        ).total_seconds
+
+    makespan = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert makespan > 0

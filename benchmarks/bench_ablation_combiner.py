@@ -1,0 +1,57 @@
+"""ABL-C — the combine-step ablation (paper §6.2).
+
+"The goal of the combine step is to reduce the size of the data that
+need to be shuffled between mappers and reducers." This bench
+quantifies it: the same exact job with and without the local combine,
+recording wall time and shuffle volume. Without combining, shuffle
+bytes equal the whole input and the reduce phase does all the work
+serially per reducer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import dataset, scaled
+from repro.mapreduce import (
+    BlockStore,
+    NoCombinerSumJob,
+    SparseSuperaccumulatorJob,
+    run_job,
+)
+
+N = scaled(200_000)
+
+
+def _blocks(x):
+    store = BlockStore(block_items=1 << 14)
+    store.put("d", x)
+    return [b.data for b in store.blocks("d")]
+
+
+@pytest.mark.parametrize("combiner", [True, False], ids=["combine", "no-combine"])
+def test_combiner_ablation(benchmark, combiner):
+    x = dataset("random", N, 500)
+    blocks = _blocks(x)
+    job = SparseSuperaccumulatorJob() if combiner else NoCombinerSumJob()
+    benchmark.group = "ablation-combiner"
+    res = benchmark(run_job, job, blocks, reducers=4)
+    if combiner:
+        assert res.shuffle_bytes < 8 * N // 50
+    else:
+        assert res.shuffle_bytes >= 8 * N
+
+
+def test_combiner_shuffle_ratio(benchmark):
+    benchmark.group = "ablation-combiner"
+    x = dataset("random", N, 500)
+    blocks = _blocks(x)
+
+    def measure():
+        with_c = run_job(SparseSuperaccumulatorJob(), blocks, reducers=4)
+        without = run_job(NoCombinerSumJob(), blocks, reducers=4)
+        assert with_c.value == without.value
+        return without.shuffle_bytes / max(with_c.shuffle_bytes, 1)
+
+    ratio = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert ratio > 100  # combine shrinks the shuffle by orders of magnitude

@@ -1,0 +1,73 @@
+"""ABL-R — digit-width ablation for the sparse superaccumulator.
+
+DESIGN.md §5.1: we default to w = 30 rather than the paper's
+R = 2**(t-1) = 2**51 because int64 vectorization needs w <= 31. This
+bench quantifies the trade-off: wider digits mean fewer components per
+double and fewer active indices (less merge work) but a smaller
+deferred-accumulation budget; narrow digits inflate component counts.
+The scalar paper radix (w = 51) is measured through the per-element
+path to document what the vectorization buys.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import dataset, scaled
+from repro.core import RadixConfig, SparseSuperaccumulator
+
+N = scaled(100_000)
+WIDTHS = [8, 16, 26, 30, 31]
+
+
+@pytest.mark.parametrize("w", WIDTHS)
+def test_radix_bulk_accumulate(benchmark, w):
+    x = dataset("random", N, 500)
+    radix = RadixConfig(w)
+    benchmark.group = "ablation-radix-bulk"
+    acc = benchmark(SparseSuperaccumulator.from_floats, x, radix)
+    assert acc.to_float() is not None
+
+
+@pytest.mark.parametrize("w", WIDTHS)
+def test_radix_active_count(benchmark, w):
+    """Component counts vs width (the sigma(n) the merges pay for)."""
+    x = dataset("random", scaled(20_000), 500)
+    radix = RadixConfig(w)
+    benchmark.group = "ablation-radix-sigma"
+    acc = benchmark.pedantic(
+        SparseSuperaccumulator.from_floats, args=(x, radix), rounds=1, iterations=1
+    )
+    # narrower digits => more active components for the same data
+    assert acc.active_count >= 500 // (2 * w)
+
+
+def test_radix_paper_scalar_path(benchmark):
+    """The paper's R = 2**51 through the scalar add_float path."""
+    x = dataset("random", scaled(2_000), 500)
+    radix = RadixConfig(51)
+    benchmark.group = "ablation-radix-scalar"
+
+    def run():
+        acc = SparseSuperaccumulator.zero(radix)
+        for v in x:
+            acc = acc.add_float(float(v))
+        return acc
+
+    acc = benchmark(run)
+    assert acc.to_float() is not None
+
+
+def test_radix_w30_scalar_path(benchmark):
+    """Same scalar path at the default width, for a like-for-like."""
+    x = dataset("random", scaled(2_000), 500)
+    radix = RadixConfig(30)
+    benchmark.group = "ablation-radix-scalar"
+
+    def run():
+        acc = SparseSuperaccumulator.zero(radix)
+        for v in x:
+            acc = acc.add_float(float(v))
+        return acc
+
+    benchmark(run)

@@ -1,0 +1,53 @@
+"""ABL-T — truncation parameter and stopping-condition ablation (§4).
+
+Measures (a) how the iteration count of the condition-sensitive
+algorithm responds to the starting truncation parameter, and (b) the
+relative cost of the two sufficient stopping conditions. The paper's
+choice (start at r = 2, square each round, AddTwo-form condition) is
+the reference point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import scaled
+from repro.data import generate
+from repro.pram import condition_sensitive_sum
+
+N = scaled(1024)
+
+
+def _hard_input():
+    return generate("sumzero", N, delta=1000, seed=17)
+
+
+@pytest.mark.parametrize("initial_r", [2, 4, 16])
+def test_truncation_initial_r(benchmark, initial_r):
+    x = _hard_input()
+    benchmark.group = "ablation-truncation-r0"
+    res = benchmark(condition_sensitive_sum, x, initial_r=initial_r)
+    # larger starting r reaches the stopping condition in fewer rounds
+    assert len(res.iterations) <= 6
+
+
+@pytest.mark.parametrize("condition", ["addtwo", "exponent"])
+def test_truncation_stopping_condition(benchmark, condition):
+    x = _hard_input()
+    benchmark.group = "ablation-truncation-cond"
+    res = benchmark(condition_sensitive_sum, x, condition=condition)
+    assert res.value == 0.0
+
+
+def test_truncation_iterations_shrink_with_r0(benchmark):
+    benchmark.group = "ablation-truncation-r0"
+    x = _hard_input()
+
+    def measure():
+        return [
+            len(condition_sensitive_sum(x, initial_r=r0).iterations)
+            for r0 in (2, 16)
+        ]
+
+    iters_small, iters_big = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert iters_big <= iters_small

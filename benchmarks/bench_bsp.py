@@ -1,0 +1,45 @@
+"""BSP substrate benches: exact allreduce scaling in rank count.
+
+The allreduce moves P log P fixed-size accumulators instead of data, so
+cost should be dominated by the per-rank combine of local blocks —
+near-constant in P for fixed total data — with supersteps = log P.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import dataset, scaled
+from repro.bsp import exact_allreduce_sum
+
+N = scaled(200_000)
+
+
+@pytest.mark.parametrize("p", [2, 8, 32])
+def test_allreduce_rank_scaling(benchmark, p):
+    x = dataset("random", N, 300)
+    blocks = np.array_split(x, p)
+    benchmark.group = "bsp-allreduce"
+    res = benchmark(exact_allreduce_sum, blocks)
+    assert res.supersteps <= math.ceil(math.log2(p)) + 2
+    assert len(set(res.values)) == 1
+
+
+def test_allreduce_wire_volume(benchmark):
+    benchmark.group = "bsp-allreduce"
+    x = dataset("random", N, 300)
+
+    def measure():
+        vols = []
+        for p in (4, 16):
+            res = exact_allreduce_sum(np.array_split(x, p))
+            vols.append(res.bytes_sent)
+        return vols
+
+    v4, v16 = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # P log P growth in accumulator-sized messages, not data-sized
+    assert v16 < v4 * 16
+    assert v16 < 8 * N  # far below shipping the data

@@ -1,0 +1,92 @@
+"""THM5/THM6 — external-memory I/O counters versus the theorems' bounds.
+
+Theorem 5: O(sort(n)) I/Os without memory assumptions. Theorem 6:
+O(scan(n)) I/Os when the superaccumulator fits in internal memory —
+and exactly scan(n) in this implementation. Counters are asserted
+against the closed-form predictions of :mod:`repro.extmem.io_model`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import dataset, scaled
+from repro.extmem import (
+    BlockDevice,
+    ExtArray,
+    extmem_sum_scan,
+    extmem_sum_sorted,
+    scan_bound,
+    sum_sorted_bound,
+)
+
+B = 256
+N = scaled(20_000)
+
+
+def _device(mem_blocks: int) -> BlockDevice:
+    return BlockDevice(block_size=B, memory=B * mem_blocks)
+
+
+@pytest.mark.parametrize("mem_blocks", [8, 64])
+def test_thm5_sorting_based(benchmark, mem_blocks):
+    x = dataset("random", N, 500)
+    benchmark.group = "thm5-sort"
+
+    def run():
+        dev = _device(mem_blocks)
+        src = ExtArray.from_numpy(dev, "in", x)
+        return extmem_sum_sorted(dev, src)
+
+    res = benchmark(run)
+    assert res.io.total <= 2 * sum_sorted_bound(N, B * mem_blocks, B)
+
+
+def test_thm5_io_shrinks_with_memory(benchmark):
+    benchmark.group = "thm5-sort"
+    x = dataset("random", N, 500)
+
+    def measure():
+        ios = []
+        for mem_blocks in (6, 48):
+            dev = _device(mem_blocks)
+            src = ExtArray.from_numpy(dev, "in", x)
+            ios.append(extmem_sum_sorted(dev, src).io.total)
+        return ios
+
+    small_m, big_m = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert big_m <= small_m
+
+
+@pytest.mark.parametrize("delta", [50, 1500])
+def test_thm6_scan_based(benchmark, delta):
+    x = dataset("random", N, delta)
+    benchmark.group = "thm6-scan"
+
+    def run():
+        dev = _device(64)
+        src = ExtArray.from_numpy(dev, "in", x)
+        return extmem_sum_scan(dev, src)
+
+    res = benchmark(run)
+    # exactly scan(n) reads, zero writes
+    assert res.io.total == scan_bound(N, B)
+    assert res.io.writes == 0
+
+
+def test_thm6_beats_thm5_in_ios(benchmark):
+    benchmark.group = "thm6-scan"
+    x = dataset("random", N, 500)
+
+    def measure():
+        dev = _device(64)
+        src = ExtArray.from_numpy(dev, "in", x)
+        io6 = extmem_sum_scan(dev, src).io.total
+        dev2 = _device(64)
+        src2 = ExtArray.from_numpy(dev2, "in", x)
+        io5 = extmem_sum_sorted(dev2, src2).io.total
+        return io5, io6
+
+    io5, io6 = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert io6 < io5

@@ -1,0 +1,63 @@
+"""FIG1 — total running time vs input size (paper Figure 1).
+
+Paper setup: n sweeps 1M -> 1B at delta = 2000, four distribution
+panels, three algorithms: sequential iFastSum, MapReduce with small
+superaccumulators, MapReduce with sparse superaccumulators.
+
+Here each (algorithm x distribution x n) point is a pytest-benchmark
+case at laptop scale (n in {10k, 100k}; the full multi-point series is
+printed by ``python benchmarks/harness.py fig1``). Expected shape:
+iFastSum wins at small n; the combine-based algorithms win at large n
+(they are vectorized, iFastSum is an inherently sequential loop);
+small-superaccumulator slightly faster than sparse.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import dataset, scaled
+from repro.baselines import hybrid_sum, ifastsum
+from repro.mapreduce import parallel_sum
+
+DISTS = ["well", "random", "anderson", "sumzero"]
+SIZES = [scaled(10_000), scaled(100_000)]
+DELTA = 2000
+
+
+def _mapreduce(method, x):
+    return parallel_sum(x, method=method, block_items=1 << 14, executor="serial")
+
+
+@pytest.mark.parametrize("dist", DISTS)
+@pytest.mark.parametrize("n", SIZES)
+def test_fig1_ifastsum(benchmark, dist, n):
+    x = dataset(dist, n, DELTA)
+    benchmark.group = f"fig1-{dist}-n{n}"
+    benchmark(ifastsum, x)
+
+
+@pytest.mark.parametrize("dist", DISTS)
+@pytest.mark.parametrize("n", SIZES)
+def test_fig1_hybridsum(benchmark, dist, n):
+    # the vectorized sequential champion (wall-clock-fair comparator for
+    # the paper's C++ iFastSum; see DESIGN.md substitutions)
+    x = dataset(dist, n, DELTA)
+    benchmark.group = f"fig1-{dist}-n{n}"
+    benchmark(hybrid_sum, x)
+
+
+@pytest.mark.parametrize("dist", DISTS)
+@pytest.mark.parametrize("n", SIZES)
+def test_fig1_mapreduce_sparse(benchmark, dist, n):
+    x = dataset(dist, n, DELTA)
+    benchmark.group = f"fig1-{dist}-n{n}"
+    benchmark(_mapreduce, "sparse", x)
+
+
+@pytest.mark.parametrize("dist", DISTS)
+@pytest.mark.parametrize("n", SIZES)
+def test_fig1_mapreduce_small(benchmark, dist, n):
+    x = dataset(dist, n, DELTA)
+    benchmark.group = f"fig1-{dist}-n{n}"
+    benchmark(_mapreduce, "small", x)

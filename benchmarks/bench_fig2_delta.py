@@ -1,0 +1,52 @@
+"""FIG2 — total running time vs exponent-spread delta (paper Figure 2).
+
+Paper setup: n = 1B fixed, delta sweeps 10 -> 2000. Expected shapes:
+
+* sparse-superaccumulator time grows mildly with delta (more active
+  indices per accumulator);
+* small-superaccumulator time is flat in delta (fixed limb array);
+* the Anderson panel is flat for everyone (mean subtraction collapses
+  the effective exponent range to ~15 whatever delta is);
+* iFastSum degrades with delta on the Sum=Zero panel (more distillation
+  passes as the cancellation structure deepens).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import dataset, scaled
+from repro.baselines import ifastsum
+from repro.mapreduce import parallel_sum
+
+DISTS = ["well", "random", "anderson", "sumzero"]
+DELTAS = [10, 100, 2000]
+N = scaled(50_000)
+
+
+def _mapreduce(method, x):
+    return parallel_sum(x, method=method, block_items=1 << 14, executor="serial")
+
+
+@pytest.mark.parametrize("dist", DISTS)
+@pytest.mark.parametrize("delta", DELTAS)
+def test_fig2_ifastsum(benchmark, dist, delta):
+    x = dataset(dist, N, delta)
+    benchmark.group = f"fig2-{dist}-d{delta}"
+    benchmark(ifastsum, x)
+
+
+@pytest.mark.parametrize("dist", DISTS)
+@pytest.mark.parametrize("delta", DELTAS)
+def test_fig2_mapreduce_sparse(benchmark, dist, delta):
+    x = dataset(dist, N, delta)
+    benchmark.group = f"fig2-{dist}-d{delta}"
+    benchmark(_mapreduce, "sparse", x)
+
+
+@pytest.mark.parametrize("dist", DISTS)
+@pytest.mark.parametrize("delta", DELTAS)
+def test_fig2_mapreduce_small(benchmark, dist, delta):
+    x = dataset(dist, N, delta)
+    benchmark.group = f"fig2-{dist}-d{delta}"
+    benchmark(_mapreduce, "small", x)

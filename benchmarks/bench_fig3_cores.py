@@ -1,0 +1,56 @@
+"""FIG3 — total running time vs cluster size (paper Figure 3).
+
+Paper setup: fixed input, worker count sweeps 1 -> 32 on one EC2 node.
+iFastSum is flat (single core); the MapReduce algorithms scale ~linearly
+and then saturate.
+
+On this host the cluster is modeled with the simulated-cluster executor
+(serial execution, measured per-block costs scheduled LPT onto p
+virtual workers — DESIGN.md §2); on a multicore host set
+``executor="process"`` in the harness for physical scaling. Each bench
+case times the *whole job* at one worker count; the makespan series the
+paper plots is printed by ``python benchmarks/harness.py fig3``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import dataset, scaled
+from repro.baselines import ifastsum
+from repro.mapreduce import parallel_sum
+
+DISTS = ["well", "sumzero"]
+WORKERS = [1, 4, 16]
+N = scaled(100_000)
+DELTA = 2000
+
+
+@pytest.mark.parametrize("dist", DISTS)
+def test_fig3_ifastsum_single_core(benchmark, dist):
+    x = dataset(dist, N, DELTA)
+    benchmark.group = f"fig3-{dist}"
+    benchmark(ifastsum, x)
+
+
+@pytest.mark.parametrize("dist", DISTS)
+@pytest.mark.parametrize("workers", WORKERS)
+def test_fig3_mapreduce_sparse_makespan(benchmark, dist, workers):
+    """Time one simulated-cluster job; the reported wall time is the
+    serial execution, while the modeled p-worker makespan is printed by
+    the harness. The bench tracks the per-point cost of generating the
+    makespan series."""
+    x = dataset(dist, N, DELTA)
+    benchmark.group = f"fig3-{dist}"
+
+    def job():
+        return parallel_sum(
+            x,
+            method="sparse",
+            workers=workers,
+            executor="simulated",
+            block_items=1 << 14,
+            report=True,
+        ).total_seconds
+
+    benchmark(job)

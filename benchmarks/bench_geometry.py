@@ -1,0 +1,91 @@
+"""Geometry-application benches: predicate throughput and filter value.
+
+Measures the cost ladder of orientation predicates — float-only (wrong
+on degenerate input), adaptive (float filter + exact fallback), always-
+exact — on both benign and adversarial point sets, plus robust hull
+throughput. Quantifies the standard claim that the adaptive filter
+makes exactness ~free on benign data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import scaled
+from repro.geometry import convex_hull, orient2d, orient2d_fast, signed_area
+
+
+def _benign_triples(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return (rng.random((n, 6)) * 100).tolist()
+
+
+def _adversarial_triples(n):
+    out = []
+    for i in range(n):
+        out.append(
+            [0.5 + (i % 13) * 2.0**-53, 0.5 + (i % 7) * 2.0**-53,
+             12.0, 12.0, 24.0, 24.0]
+        )
+    return out
+
+
+N = scaled(2_000)
+
+
+def test_orient_float_only(benchmark):
+    triples = _benign_triples(N)
+    benchmark.group = "geometry-orient-benign"
+
+    def run():
+        s = 0
+        for ax, ay, bx, by, cx, cy in triples:
+            det = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+            s += (det > 0) - (det < 0)
+        return s
+
+    benchmark(run)
+
+
+def test_orient_adaptive_benign(benchmark):
+    triples = _benign_triples(N)
+    benchmark.group = "geometry-orient-benign"
+    benchmark(lambda: sum(orient2d_fast(*t) for t in triples))
+
+
+def test_orient_exact_benign(benchmark):
+    triples = _benign_triples(N // 10)  # exact is ~10-100x slower
+    benchmark.group = "geometry-orient-benign"
+    benchmark(lambda: sum(orient2d(*t) for t in triples))
+
+
+def test_orient_adaptive_adversarial(benchmark):
+    # every call falls through to the exact path: the filter's floor
+    triples = _adversarial_triples(N // 10)
+    benchmark.group = "geometry-orient-adversarial"
+    benchmark(lambda: sum(orient2d_fast(*t) for t in triples))
+
+
+@pytest.mark.parametrize("kind", ["random", "collinear-heavy"])
+def test_convex_hull(benchmark, kind):
+    rng = np.random.default_rng(3)
+    n = scaled(1_000)
+    if kind == "random":
+        pts = rng.random((n, 2)) * 100
+    else:
+        t = np.sort(rng.random(n))
+        pts = np.column_stack([t, t + rng.integers(-2, 3, n) * 2.0**-52])
+    benchmark.group = "geometry-hull"
+    hull = benchmark(convex_hull, pts)
+    assert len(hull) >= 2
+
+
+def test_exact_area_large_polygon(benchmark):
+    rng = np.random.default_rng(4)
+    n = scaled(5_000)
+    theta = np.sort(rng.random(n)) * 2 * np.pi
+    pts = np.column_stack([np.cos(theta), np.sin(theta)]) * 1e6 + 1e8
+    benchmark.group = "geometry-area"
+    area = benchmark(signed_area, pts)
+    assert area > 0

@@ -1,0 +1,95 @@
+"""THM2/THM4 — PRAM time/work counters versus the theorems' bounds.
+
+Theorem 2 claims O(log n) time (O(log^2 n) in this level-by-level
+simulation) and O(n log n) work; Theorem 4 claims condition-sensitive
+work O(n log C(X)) with O(log log log C(X)) iterations. The benches
+time the simulations and assert the counter scaling so a regression in
+either the algorithm or the accounting fails loudly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import dataset, scaled
+from repro.data import generate
+from repro.pram import condition_sensitive_sum, pram_exact_sum
+
+SIZES = [scaled(256), scaled(1024), scaled(4096)]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_thm2_fast_pram_sum(benchmark, n):
+    x = dataset("random", n, 300)
+    benchmark.group = "thm2-pram"
+    res = benchmark(pram_exact_sum, x)
+    logn = math.log2(max(n, 2))
+    # polylog rounds, O(n log n) work (generous constants)
+    assert res.stats.rounds <= 6 * logn * logn
+    assert res.stats.work <= 12 * n * logn
+
+
+def test_thm2_work_is_superlinear_sublog2(benchmark):
+    benchmark.group = "thm2-pram"
+
+    def measure():
+        w = []
+        for n in (512, 4096):
+            w.append(pram_exact_sum(dataset("random", n, 300)).stats.work)
+        return w
+
+    w512, w4096 = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ratio = w4096 / w512
+    assert 6 <= ratio <= 16  # 8x elements, ~n log n growth
+
+
+@pytest.mark.parametrize("n", [1024, 4096])
+def test_thm2_cole_vs_level_rounds(benchmark, n):
+    """The cascading ingredient: pipelined sort rounds are O(log n),
+    level-by-level rounds O(log^2 n) — measured side by side."""
+    from repro.pram import PRAM, cole_merge_sort, parallel_merge_sort
+
+    keys = dataset("random", n, 300)
+    benchmark.group = "thm2-sort-rounds"
+
+    def measure():
+        m_cole = PRAM()
+        cole_merge_sort(m_cole, keys, check_cover=False)
+        m_level = PRAM()
+        parallel_merge_sort(m_level, keys)
+        return m_cole.stats.rounds, m_level.stats.rounds
+
+    cole_rounds, level_rounds = benchmark.pedantic(measure, rounds=1, iterations=1)
+    logn = math.ceil(math.log2(n))
+    assert cole_rounds <= 4 * logn + 6
+    assert cole_rounds < level_rounds
+
+
+@pytest.mark.parametrize("cond_kind", ["mild", "harsh"])
+def test_thm4_condition_sensitive(benchmark, cond_kind):
+    if cond_kind == "mild":
+        x = dataset("well", scaled(2048), 20)
+    else:
+        x = generate("sumzero", scaled(2048), delta=1200, seed=9)
+    benchmark.group = "thm4-condition"
+    res = benchmark(condition_sensitive_sum, x)
+    if cond_kind == "mild":
+        assert len(res.iterations) <= 2
+    else:
+        assert len(res.iterations) >= 2
+
+
+def test_thm4_work_grows_with_condition(benchmark):
+    benchmark.group = "thm4-condition"
+
+    def measure():
+        mild = condition_sensitive_sum(dataset("well", scaled(1024), 20))
+        harsh = condition_sensitive_sum(
+            generate("sumzero", scaled(1024), delta=1200, seed=3)
+        )
+        return mild.stats.work, harsh.stats.work
+
+    mild_work, harsh_work = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert harsh_work > mild_work

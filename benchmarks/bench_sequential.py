@@ -1,0 +1,67 @@
+"""ABL-SEQ — the sequential accuracy/speed ladder.
+
+One place to compare every sequential method on identical data: the
+naive orderings, compensated summation, Shewchuk expansions, iFastSum,
+HybridSum, and the two superaccumulators. Exact methods must agree
+bit-for-bit; the bench records what each accuracy level costs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import dataset, scaled
+from repro.baselines import (
+    expansion_sum_value,
+    hybrid_sum,
+    ifastsum,
+    kahan_sum,
+    klein_sum,
+    neumaier_sum,
+    pairwise_sum,
+    recursive_sum,
+)
+from repro.core import SmallSuperaccumulator, exact_sum
+
+N = scaled(50_000)
+
+LADDER = [
+    ("recursive", recursive_sum, False),
+    ("pairwise", pairwise_sum, False),
+    ("kahan", kahan_sum, False),
+    ("neumaier", neumaier_sum, False),
+    ("klein", klein_sum, False),
+    ("ifastsum", ifastsum, True),
+    ("hybrid", hybrid_sum, True),
+    ("small-superacc", SmallSuperaccumulator.sum, True),
+    ("sparse-superacc", lambda x: exact_sum(x, method="sparse"), True),
+]
+
+
+@pytest.mark.parametrize("name,fn,exact", LADDER, ids=[r[0] for r in LADDER])
+def test_ladder_random(benchmark, name, fn, exact):
+    x = dataset("random", N, 400)
+    benchmark.group = "sequential-ladder-random"
+    got = benchmark(fn, x)
+    if exact:
+        assert got == exact_sum(x)
+
+
+@pytest.mark.parametrize(
+    "name,fn,exact",
+    [r for r in LADDER if r[2]],
+    ids=[r[0] for r in LADDER if r[2]],
+)
+def test_ladder_sumzero_exact_only(benchmark, name, fn, exact):
+    x = dataset("sumzero", N, 400)
+    benchmark.group = "sequential-ladder-sumzero"
+    got = benchmark(fn, x)
+    assert got == 0.0
+
+
+def test_expansion_small_input(benchmark):
+    # expansions are quadratic under cancellation: bench at reduced n
+    x = dataset("random", scaled(2_000), 400)
+    benchmark.group = "sequential-ladder-random"
+    got = benchmark(expansion_sum_value, x)
+    assert got == pytest.approx(exact_sum(x), abs=0.0) or got == exact_sum(x)

@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark suite.
+
+Scales: the paper ran 1M-1B elements on a 32-core EC2 node; this pure
+Python/NumPy reproduction defaults to laptop-friendly sizes that keep a
+full ``pytest benchmarks/ --benchmark-only`` run in minutes while
+preserving every qualitative shape (see EXPERIMENTS.md). Override with
+``REPRO_BENCH_SCALE`` (a float multiplier on every n).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+import pytest
+
+from repro.data import generate
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n: int) -> int:
+    """Apply the global size multiplier."""
+    return max(4, int(n * SCALE))
+
+
+@lru_cache(maxsize=64)
+def dataset(dist: str, n: int, delta: int = 2000, seed: int = 42):
+    """Cached paper-distribution dataset (shared across benches)."""
+    return generate(dist, n, delta=delta, seed=seed)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return SCALE

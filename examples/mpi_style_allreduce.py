@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""MPI-style exact allreduce: reproducible global sums for HPC codes.
+
+How an MPI simulation would consume this library: each rank holds a
+shard of a global quantity (energies, residuals, fluxes) and the
+collective must deliver the **same, correct** total to every rank.
+Plain ``MPI_Allreduce(MPI_SUM)`` results depend on the reduction tree —
+rerun on a different node count and the trajectory of your simulation
+diverges. The exact allreduce (recursive doubling over serialized
+sparse superaccumulators, ``O(log P)`` rounds) is schedule-independent
+by construction.
+
+Run: ``python examples/mpi_style_allreduce.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bsp import exact_allreduce_sum
+from repro.data import generate
+
+
+def float_allreduce(blocks) -> list:
+    """What MPI_SUM does: per-rank partial sums, then a float tree."""
+    partials = [float(np.sum(b)) for b in blocks]
+    # recursive-doubling with plain float adds
+    p = len(partials)
+    vals = list(partials)
+    k = 1
+    while k < p:
+        nxt = list(vals)
+        for r in range(p):
+            partner = r ^ k
+            if partner < p:
+                nxt[r] = vals[r] + vals[partner]
+        vals = nxt
+        k <<= 1
+    return vals
+
+
+def main() -> None:
+    # a cancellation-heavy global quantity, sharded across ranks
+    data = generate("anderson", 400_000, delta=40, seed=11)
+
+    print("float allreduce vs exact allreduce across cluster sizes:\n")
+    print(f"{'ranks':>6} {'float result':>26} {'exact result':>26} "
+          f"{'steps':>6} {'msgs':>6}")
+    float_results = set()
+    exact_results = set()
+    for p in (2, 3, 8, 16):
+        blocks = np.array_split(data, p)
+        f = float_allreduce(blocks)[0]
+        res = exact_allreduce_sum(blocks)
+        assert len(set(res.values)) == 1  # every rank identical
+        float_results.add(f)
+        exact_results.add(res.values[0])
+        print(f"{p:>6} {f!r:>26} {res.values[0]!r:>26} "
+              f"{res.supersteps:>6} {res.messages:>6}")
+
+    print(f"\nfloat allreduce produced {len(float_results)} distinct totals "
+          f"across cluster sizes")
+    print(f"exact allreduce produced {len(exact_results)} distinct total(s) "
+          f"— bitwise reproducible at any scale")
+    assert len(exact_results) == 1
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Robust convex hull and Delaunay-style tests on degenerate input.
+
+Shows the `repro.geometry` package (exact predicates on top of exact
+summation) surviving the inputs that break float geometry: thousands of
+nearly-collinear and nearly-cocircular points. A float-predicate hull
+on such data can be non-convex or drop extreme points; the exact hull
+is provably the true hull of the given coordinates.
+
+Run: ``python examples/robust_hull.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import (
+    convex_hull,
+    incircle,
+    is_convex,
+    orient2d,
+    polygon_contains,
+    signed_area,
+)
+
+
+def float_orient(ax, ay, bx, by, cx, cy) -> int:
+    det = float((bx - ax) * (cy - ay) - (by - ay) * (cx - ax))
+    return (det > 0) - (det < 0)
+
+
+def _hull_with(pred, points):
+    """Monotone-chain hull parameterized by the orientation predicate."""
+    pts = sorted({(float(a), float(b)) for a, b in points})
+    if len(pts) <= 2:
+        return pts
+
+    def build(seq):
+        chain = []
+        for p in seq:
+            while len(chain) >= 2 and pred(
+                chain[-2][0], chain[-2][1], chain[-1][0], chain[-1][1], p[0], p[1]
+            ) <= 0:
+                chain.pop()
+            chain.append(p)
+        return chain
+
+    lower = build(pts)
+    upper = build(reversed(pts))
+    return lower[:-1] + upper[:-1]
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+
+    # --- adversarial input: a fat line ----------------------------------
+    # points on y = x plus sub-ulp vertical noise, plus a few honest
+    # off-line points that must appear on the hull
+    n = 2000
+    t = np.sort(rng.random(n) * 10)
+    noise = rng.integers(-4, 5, n).astype(np.float64) * 2.0**-50
+    pts = np.column_stack([t, t + noise])
+    extremes = np.array([[5.0, -1.0], [5.0, 11.0]])
+    pts = np.vstack([pts, extremes])
+
+    hull = convex_hull(pts)
+    print(f"input: {pts.shape[0]:,} points (nearly collinear + 2 extremes)")
+    print(f"exact hull: {len(hull)} vertices, convex={is_convex(hull)}, "
+          f"area={signed_area(hull):.6f}")
+    assert is_convex(hull)
+    for e in extremes:
+        assert tuple(e) in set(hull), "extreme point missing from hull"
+    for p in pts[:: max(1, len(pts) // 200)]:
+        assert polygon_contains(hull, p), "hull fails to contain an input"
+    print("all inputs verified inside the hull; extremes present\n")
+
+    # --- where the float predicate actually loses points -----------------
+    # Kettner et al.'s failure mode: an ulp-grid near (0.5, 0.5) plus
+    # two distant anchors on the line y = x. The float-predicate hull
+    # collapses grid structure it cannot resolve and *excludes input
+    # points*; the exact hull contains everything.
+    grid = [(0.5 + i * 2.0**-53, 0.5 + j * 2.0**-53)
+            for i in range(6) for j in range(6)]
+    tricky = grid + [(12.0, 12.0), (24.0, 24.0)]
+    float_hull = _hull_with(float_orient, tricky)
+    exact_hull = convex_hull(tricky)
+    missing_float = sum(
+        0 if (len(float_hull) >= 3 and polygon_contains(float_hull, p)) else 1
+        for p in tricky
+    )
+    missing_exact = sum(0 if polygon_contains(exact_hull, p) else 1 for p in tricky)
+    print("ulp-grid + anchors (Kettner's classroom failure):")
+    print(f"  float-predicate hull: {len(float_hull)} vertices, "
+          f"misses {missing_float}/{len(tricky)} input points")
+    print(f"  exact hull          : {len(exact_hull)} vertices, "
+          f"misses {missing_exact}/{len(tricky)} input points")
+    assert missing_exact == 0 and missing_float > 0
+    print()
+
+    # --- near-cocircular in-circle decisions ------------------------------
+    # points one ulp inside/outside the unit circle through 3 anchors
+    a, b, c = (1.0, 0.0), (0.0, 1.0), (-1.0, 0.0)
+    eps = 2.0**-52
+    cases = [
+        ((0.0, -1.0 + eps), +1, "one ulp inside"),
+        ((0.0, -1.0 - eps), -1, "one ulp outside"),
+        ((0.0, -1.0), 0, "exactly on the circle"),
+    ]
+    print("exact in-circle on one-ulp perturbations of the unit circle:")
+    for d, want, label in cases:
+        got = incircle(a, b, c, d)
+        print(f"  {label:<24s} incircle = {got:+d}")
+        assert got == want
+    print("\nevery decision certified by exact summation")
+
+
+if __name__ == "__main__":
+    main()

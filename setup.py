@@ -1,0 +1,10 @@
+"""Legacy shim so ``pip install -e .`` works without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file only enables
+the ``--no-use-pep517`` editable-install path on offline machines whose
+setuptools predates PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

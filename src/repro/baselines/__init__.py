@@ -1,0 +1,51 @@
+"""Sequential baselines the paper compares against (or cites).
+
+The accuracy ladder, weakest to strongest:
+
+1. :func:`recursive_sum`, :func:`pairwise_sum`, :func:`sorted_sum` —
+   plain float orderings (inexact);
+2. :func:`kahan_sum`, :func:`neumaier_sum`, :func:`klein_sum` —
+   compensated (inexact but n-independent error);
+3. :func:`expansion_sum_value` — Shewchuk expansions (exact
+   representation, sequential carries);
+4. :func:`ifastsum` — Zhu–Hayes distillation (correctly rounded; the
+   paper's experimental comparator);
+5. :func:`hybrid_sum` — Zhu–Hayes exponent bucketing (correctly
+   rounded; the fast vectorized sequential champion here).
+"""
+
+from repro.baselines.compensated import kahan_sum, klein_sum, neumaier_sum
+from repro.baselines.expansion import (
+    compress,
+    expansion_from_values,
+    expansion_sum,
+    expansion_sum_value,
+    grow_expansion,
+)
+from repro.baselines.hybridsum import HybridAccumulator, hybrid_sum
+from repro.baselines.ifastsum import ifastsum, round_three_exact
+from repro.baselines.naive import (
+    pairwise_sum,
+    recursive_sum,
+    sorted_sum,
+    worst_case_error_bound,
+)
+
+__all__ = [
+    "kahan_sum",
+    "klein_sum",
+    "neumaier_sum",
+    "compress",
+    "expansion_from_values",
+    "expansion_sum",
+    "expansion_sum_value",
+    "grow_expansion",
+    "HybridAccumulator",
+    "hybrid_sum",
+    "ifastsum",
+    "round_three_exact",
+    "pairwise_sum",
+    "recursive_sum",
+    "sorted_sum",
+    "worst_case_error_bound",
+]

@@ -1,0 +1,70 @@
+"""Compensated summation: Kahan, Neumaier, Klein.
+
+The middle rungs of the accuracy ladder — one or two orders of
+compensation. These bound the error independently of ``n`` (to first or
+second order in the unit roundoff) but are still **not** exact: a
+condition number around ``1/u`` or ``1/u**2`` defeats them, which the
+ill-conditioned test distributions demonstrate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.eft import two_sum
+from repro.util.validation import ensure_float64_array
+
+__all__ = ["kahan_sum", "neumaier_sum", "klein_sum"]
+
+
+def kahan_sum(values: Iterable[float]) -> float:
+    """Kahan's classic compensated summation (one running correction).
+
+    Known failure mode: when an addend exceeds the running total in
+    magnitude the correction is lost — fixed by Neumaier's variant.
+    """
+    total = 0.0
+    comp = 0.0
+    for x in ensure_float64_array(values):
+        y = float(x) - comp
+        t = total + y
+        comp = (t - total) - y
+        total = t
+    return total
+
+
+def neumaier_sum(values: Iterable[float]) -> float:
+    """Neumaier's improved Kahan summation (magnitude-ordered TwoSum).
+
+    Accumulates the exact per-step errors in a side sum added once at
+    the end; first-order error bound independent of ``n``.
+    """
+    total = 0.0
+    comp = 0.0
+    for x in ensure_float64_array(values):
+        xf = float(x)
+        t = total + xf
+        if abs(total) >= abs(xf):
+            comp += (total - t) + xf
+        else:
+            comp += (xf - t) + total
+        total = t
+    return total + comp
+
+
+def klein_sum(values: Iterable[float]) -> float:
+    """Klein's second-order compensated ("doubly compensated") sum.
+
+    Two cascaded correction accumulators; error bound second order in
+    the unit roundoff. The strongest non-exact rung of the ladder.
+    """
+    s = 0.0
+    cs = 0.0
+    ccs = 0.0
+    for x in ensure_float64_array(values):
+        t, c = two_sum(s, float(x))
+        s = t
+        t2, cc = two_sum(cs, c)
+        cs = t2
+        ccs += cc
+    return s + cs + ccs

@@ -1,0 +1,115 @@
+"""Shewchuk-style floating-point expansions (related work, §1.1).
+
+An *expansion* is a sum of floats that are pairwise non-overlapping and
+ordered by increasing magnitude; Shewchuk's adaptive-precision
+arithmetic keeps exact intermediate results in this form. The paper
+contrasts it with the sparse superaccumulator: expansions are sparse
+and adaptive but their component exponents are arbitrary (not multiples
+of a radix), and summation still propagates carries — so they do not
+parallelize. Implemented here both as a correctness baseline and to
+let benches show the quadratic blow-up on adversarial inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.core.eft import fast_two_sum, two_sum
+from repro.util.validation import check_finite_array, ensure_float64_array
+
+__all__ = [
+    "grow_expansion",
+    "expansion_sum",
+    "compress",
+    "expansion_from_values",
+    "expansion_approx",
+    "expansion_sum_value",
+]
+
+
+def grow_expansion(expansion: Sequence[float], b: float) -> List[float]:
+    """Add one float to an expansion (Shewchuk's GROW-EXPANSION).
+
+    The input must be a valid non-overlapping expansion in increasing
+    magnitude order; the output is one as well and represents the exact
+    sum. O(len) TwoSum operations.
+    """
+    out: List[float] = []
+    q = b
+    for e in expansion:
+        q, h = two_sum(q, e)
+        if h != 0.0:
+            out.append(h)
+    if q != 0.0:
+        out.append(q)
+    return out
+
+
+def expansion_sum(e: Sequence[float], f: Sequence[float]) -> List[float]:
+    """Exact sum of two expansions (repeated GROW-EXPANSION).
+
+    O(len(e) * len(f)) worst case — the cost the paper's carry-free
+    representation avoids.
+    """
+    out = list(e)
+    for b in f:
+        out = grow_expansion(out, b)
+    return out
+
+
+def compress(expansion: Sequence[float]) -> List[float]:
+    """Shewchuk's COMPRESS: minimal equal-value expansion.
+
+    Two sweeps of FastTwoSum; the result has no zero components and its
+    largest component approximates the total to within an ulp.
+    """
+    e = [v for v in expansion if v != 0.0]
+    if not e:
+        return []
+    # Downward sweep: absorb from largest to smallest.
+    g: List[float] = []
+    q = e[-1]
+    for v in reversed(e[:-1]):
+        q, small = fast_two_sum(q, v)
+        if small != 0.0:
+            g.append(q)
+            q = small
+    g.append(q)
+    # g currently holds components from largest to smallest; upward sweep.
+    g.reverse()
+    out: List[float] = []
+    q = g[0]
+    for v in g[1:]:
+        q, small = fast_two_sum(v, q)
+        if small != 0.0:
+            out.append(small)
+    out.append(q)
+    return out
+
+
+def expansion_from_values(values: Iterable[float]) -> List[float]:
+    """Exact expansion of the sum of arbitrary floats."""
+    arr = ensure_float64_array(values)
+    check_finite_array(arr)
+    out: List[float] = []
+    for x in arr:
+        out = grow_expansion(out, float(x))
+    return out
+
+
+def expansion_approx(expansion: Sequence[float]) -> float:
+    """Approximate value: add components smallest-first.
+
+    For a compressed expansion this equals the correctly rounded value
+    in all but boundary cases; exactness-critical callers should round
+    through :func:`repro.core.exact.exact_sum` instead.
+    """
+    total = 0.0
+    for v in expansion:
+        total += v
+    return total
+
+
+def expansion_sum_value(values: Iterable[float]) -> float:
+    """Faithful float sum via expansions (compress + approx)."""
+    return expansion_approx(compress(expansion_from_values(values)))

@@ -1,0 +1,158 @@
+"""HybridSum — Zhu & Hayes' exponent-bucketed exact sum (SISC 2009).
+
+The companion algorithm to iFastSum from the same paper: instead of
+distilling, each input is **split** into two half-width parts that are
+deposited *error-free* into accumulators indexed by the input's
+exponent class, and the few-thousand bucket values are handed to
+iFastSum at the end.
+
+A double ``x = M * 2**e2`` (``|M| < 2**53``, ``e2`` the frexp exponent
+minus 53) splits exactly into
+
+* ``hi = (|M| >> 26)`` with weight ``2**(e2 + 26)`` (27 bits), and
+* ``lo = (|M| & (2**26 - 1))`` with weight ``2**e2`` (26 bits).
+
+We keep the bucket contents as **int64 digit sums** in those weights
+(the published algorithm stores integer-valued doubles; int64 buckets
+carry the identical values with a wider deferred-add budget of ~``2**35``
+deposits, and they sidestep float overflow at the very top of the
+exponent range, where a handful of ``2**1023``-scale addends would
+otherwise take the float buckets to infinity — an input family the
+original paper does not exercise). A vectorized rebucketing pass
+("flush") restores headroom by moving balanced carries 26 exponent
+classes up, and :meth:`result` converts the flushed buckets back to
+exact doubles for the final iFastSum — falling back to exact integer
+rounding only if a converted term overflows the float range.
+
+The deposit loop is a scatter-add over exponent indices (``np.add.at``),
+making this the fastest *sequential* exact method in this package — the
+wall-clock-fair stand-in for the paper's C++ iFastSum when comparing
+against our (equally Python/NumPy) MapReduce implementations. See
+DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.baselines.ifastsum import ifastsum
+from repro.core.fpinfo import decompose_vec
+from repro.core.rounding import round_scaled_int
+from repro.util.validation import check_finite_array, ensure_float64_array
+
+__all__ = ["HybridAccumulator", "hybrid_sum"]
+
+# Exponent classes: e2 = frexp_exponent - 53 spans [-1126, 971] for
+# finite doubles (subnormals included); flush carries can climb a few
+# classes of 26 above the top, hence the headroom.
+_E2_MIN = -1126
+_E2_TOP = 971
+_HEADROOM = 3 * 26
+_COUNT = _E2_TOP - _E2_MIN + 1 + _HEADROOM
+
+_HALF26 = np.int64(1 << 25)
+_MASK26 = np.int64((1 << 26) - 1)
+
+#: Deposits allowed between flushes: each deposit adds < 2**27 to a
+#: bucket, so 2**35 of them stay below 2**62 in int64.
+_FLUSH_LIMIT = 1 << 35
+_CHUNK = 1 << 22
+
+
+class HybridAccumulator:
+    """Streaming exact accumulator with exponent-indexed int64 buckets.
+
+    Add arrays with :meth:`add_array`; read the correctly rounded sum
+    with :meth:`result` (non-destructive up to internal flushing, which
+    preserves the represented value exactly).
+    """
+
+    __slots__ = ("_hi", "_lo", "_deposits")
+
+    def __init__(self) -> None:
+        self._hi = np.zeros(_COUNT, dtype=np.int64)  # weight 2**(e2+26)
+        self._lo = np.zeros(_COUNT, dtype=np.int64)  # weight 2**e2
+        self._deposits = 0
+
+    def add_array(self, values: Iterable[float]) -> None:
+        """Deposit every element of ``values`` exactly."""
+        arr = ensure_float64_array(values)
+        check_finite_array(arr)
+        for start in range(0, arr.size, _CHUNK):
+            part = arr[start : start + _CHUNK]
+            if self._deposits + part.size > _FLUSH_LIMIT:
+                self._flush()
+            self._deposit(part)
+
+    def _deposit(self, arr: np.ndarray) -> None:
+        m, e2 = decompose_vec(arr)
+        sign = np.sign(m)
+        a = np.abs(m)
+        hi = sign * (a >> np.int64(26))
+        lo = sign * (a & _MASK26)
+        idx = (e2 - _E2_MIN).astype(np.intp)
+        np.add.at(self._hi, idx, hi)
+        np.add.at(self._lo, idx, lo)
+        self._deposits += arr.size
+
+    def _flush(self) -> None:
+        """Rebucket so every bucket magnitude drops below ``2**25``.
+
+        Balanced carries (``(v + 2**25) >> 26``) move 26 exponent
+        classes up (``lo -> hi`` of the same class, ``hi -> hi`` of the
+        class 26 higher); magnitudes shrink by a factor ``2**26`` per
+        pass, so this terminates in at most three passes.
+        """
+        carry_lo = (self._lo + _HALF26) >> np.int64(26)
+        self._lo -= carry_lo << np.int64(26)
+        self._hi += carry_lo
+        for _ in range(6):  # magnitudes shrink 2**26-fold per pass
+            carry_hi = (self._hi + _HALF26) >> np.int64(26)
+            if not carry_hi.any():
+                self._deposits = 0
+                return
+            self._hi -= carry_hi << np.int64(26)
+            self._hi[26:] += carry_hi[:-26]
+            if carry_hi[-26:].any():
+                raise OverflowError("hybrid accumulator range exceeded")
+        raise AssertionError("flush failed to converge")
+
+    def _terms(self) -> Tuple[np.ndarray, bool]:
+        """Flushed bucket contents as float terms, plus a finite flag."""
+        self._flush()
+        e2 = np.arange(_COUNT, dtype=np.int32) + _E2_MIN
+        nz_hi = self._hi != 0
+        nz_lo = self._lo != 0
+        with np.errstate(over="ignore"):
+            terms = np.concatenate(
+                [
+                    np.ldexp(self._hi[nz_hi].astype(np.float64), e2[nz_hi] + 26),
+                    np.ldexp(self._lo[nz_lo].astype(np.float64), e2[nz_lo]),
+                ]
+            )
+        return terms, bool(np.isfinite(terms).all())
+
+    def result(self) -> float:
+        """Correctly rounded sum of everything deposited so far."""
+        terms, finite = self._terms()
+        if terms.size == 0:
+            return 0.0
+        if finite:
+            return ifastsum(terms)
+        # Bucket totals exceed the float range (possible only when the
+        # aggregated magnitude tops 2**1024): decide with exact integers.
+        value = 0
+        for i in np.flatnonzero(self._hi):
+            value += int(self._hi[i]) << (int(i) + 26 + 1200)
+        for i in np.flatnonzero(self._lo):
+            value += int(self._lo[i]) << (int(i) + 1200)
+        return round_scaled_int(value, _E2_MIN - 1200)
+
+
+def hybrid_sum(values: Iterable[float]) -> float:
+    """One-shot HybridSum: correctly rounded sum of ``values``."""
+    acc = HybridAccumulator()
+    acc.add_array(values)
+    return acc.result()

@@ -1,0 +1,140 @@
+"""iFastSum — Zhu & Hayes' correctly rounded sequential sum (SISC 2009).
+
+This is the "state-of-the-art sequential algorithm" of the paper's
+experimental section (Figures 1-3). The algorithm repeatedly *distills*
+the input with AddTwo passes: each pass replaces the array with the
+exact per-step errors while folding the running totals into ``s``,
+maintaining the invariant
+
+    exact_total  =  s + st + sum(x[0:count]),
+
+with an a-priori bound ``em`` on ``|sum(x[0:count])|``. Once ``em``
+cannot affect the rounding of ``s`` (checked by rounding ``s + st ± em``
+both ways), ``s``'s rounding is decided; otherwise distill again.
+
+Fidelity notes versus the published pseudocode:
+
+* our error bound uses a full ulp instead of a half ulp (``em = count *
+  ulp(sm)``) — a factor-2 overestimate that keeps the bound safe under
+  the float multiplication that computes it, at worst costing one extra
+  distillation pass;
+* the ``Round3`` tie-breaking procedure is implemented as an exact
+  constant-time rounding of the three-float sum ``s + st ± em`` via
+  integer arithmetic (Zhu & Hayes use an equivalent constant-time
+  float-only procedure);
+* exact half-way ties that the distillation loop cannot separate
+  (detected by ``em`` failing to shrink) fall back to an exact
+  superaccumulator pass over the ``O(count)`` residual terms — the role
+  HybridSum recursion plays in the original.
+
+Cost: ``O(passes * n)`` float operations, sequentially dependent —
+the very structure the paper's parallel algorithms break free of.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+from repro.core.eft import two_sum
+from repro.core.fpinfo import decompose
+from repro.core.rounding import round_scaled_int
+from repro.util.validation import check_finite_array, ensure_float64_array
+
+__all__ = ["ifastsum", "round_three_exact"]
+
+
+def round_three_exact(a: float, b: float, c: float, mode: str = "nearest") -> float:
+    """Correctly rounded ``a + b + c`` in O(1) exact integer arithmetic."""
+    parts = [decompose(v) for v in (a, b, c) if v != 0.0]
+    if not parts:
+        return 0.0
+    shift = min(e for _, e in parts)
+    total = sum(m << (e - shift) for m, e in parts)
+    return round_scaled_int(total, shift, mode)
+
+
+def _distill_pass(x: List[float], n: int) -> "tuple[int, float, float]":
+    """One AddTwo sweep: compact non-zero errors in place.
+
+    Returns ``(count, st, sm)``: the number of surviving error terms
+    (now in ``x[0:count]``), the sweep's rounded total ``st``, and the
+    largest ``|st|`` seen at a step that produced an error term.
+    """
+    count = 0
+    st = 0.0
+    sm = 0.0
+    for i in range(n):
+        st, err = two_sum(st, x[i])
+        if err != 0.0:
+            x[count] = err
+            count += 1
+            ast = abs(st)
+            if ast > sm:
+                sm = ast
+    return count, st, sm
+
+
+def ifastsum(values: Iterable[float]) -> float:
+    """Correctly rounded sum of ``values`` (Zhu–Hayes iFastSum).
+
+    Raises:
+        NonFiniteInputError: on NaN/inf input.
+    """
+    arr = ensure_float64_array(values)
+    check_finite_array(arr)
+    x: List[float] = arr.tolist()
+    n = len(x)
+    if n == 0:
+        return 0.0
+
+    # Initial absorption pass: s = rounded running total, x <- errors.
+    s = 0.0
+    for i in range(n):
+        s, x[i] = two_sum(s, x[i])
+    if not math.isfinite(s):
+        # A running prefix overflowed even though the true sum may be
+        # finite (e.g. [2**1023, 2**1023, -2**1023]). TwoSum is no
+        # longer error-free past infinity, so distillation cannot
+        # recover; decide exactly instead. (The published algorithm
+        # assumes inputs whose prefixes stay finite.)
+        return _exact_fallback(arr.tolist(), 0.0)
+
+    prev_em = math.inf
+    while True:
+        count, st, sm = _distill_pass(x, n)
+        # Safe bound on |sum of surviving errors|: each error produced
+        # at a step with |st| <= sm is at most ulp(sm)/2; we charge a
+        # full ulp to absorb the rounding of the bound itself.
+        em = count * math.ulp(sm) if count else 0.0
+        s, st = two_sum(s, st)
+        if count < len(x):
+            x[count] = st
+        else:
+            x.append(st)
+        count += 1
+        n = count
+
+        if em == 0.0:
+            # Residual is exactly st: one exact 2-term rounding decides.
+            return round_three_exact(s, st, 0.0)
+        if s != 0.0 and em < 0.5 * math.ulp(s):
+            w_hi = round_three_exact(s, st, em)
+            w_lo = round_three_exact(s, st, -em)
+            if w_hi == w_lo:
+                return w_hi
+        if em >= prev_em:
+            # Distillation stalled (constructed half-way tie): decide
+            # exactly on the O(count) residual terms.
+            return _exact_fallback(x[:n], s)
+        prev_em = em
+
+
+def _exact_fallback(terms: List[float], s: float) -> float:
+    """Exact O(len) epilogue for ties and overflowed prefixes."""
+    from repro.core.sparse import SparseSuperaccumulator
+
+    acc = SparseSuperaccumulator.from_floats(terms)
+    if s != 0.0:
+        acc = acc.add(SparseSuperaccumulator.from_float(s))
+    return acc.to_float()

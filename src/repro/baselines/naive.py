@@ -1,0 +1,109 @@
+"""Inexact summation orderings: the accuracy baselines.
+
+None of these are exact; they exist so tests and benches can quantify
+how far ordinary float summation drifts on the ill-conditioned
+distributions (and how little ordering tricks help), motivating the
+exact algorithms. ``sorted_sum`` with decreasing exponent order is the
+Demmel–Hida heuristic the paper cites (\"highly accurate ... yet the
+answer does not have to be faithfully rounded\").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from repro.util.validation import ensure_float64_array
+
+__all__ = [
+    "recursive_sum",
+    "pairwise_sum",
+    "sorted_sum",
+    "worst_case_error_bound",
+]
+
+
+def recursive_sum(values: Iterable[float]) -> float:
+    """Left-to-right sequential ``(+)`` accumulation.
+
+    Worst-case relative error grows linearly in ``n``; the weakest
+    baseline, equivalent to ``sum(values)``.
+    """
+    total = 0.0
+    for x in ensure_float64_array(values):
+        total += float(x)
+    return total
+
+
+def pairwise_sum(values: Iterable[float], *, block: int = 128) -> float:
+    """Balanced-tree (pairwise/cascade) summation.
+
+    Error grows as ``O(log n)`` instead of ``O(n)``; this is the
+    summation-tree shape of the paper's Section 1 discussion and what
+    ``numpy.sum`` approximates. Blocks of ``block`` leaves are summed
+    sequentially, then combined pairwise level by level — all in float,
+    no compensation.
+    """
+    arr = ensure_float64_array(values).copy()
+    if arr.size == 0:
+        return 0.0
+    # Sequential base blocks.
+    nblocks = -(-arr.size // block)
+    level = np.empty(nblocks, dtype=np.float64)
+    for b in range(nblocks):
+        total = 0.0
+        for x in arr[b * block : (b + 1) * block]:
+            total += float(x)
+        level[b] = total
+    # Pairwise combine.
+    while level.size > 1:
+        half = level.size // 2
+        combined = level[: 2 * half : 2] + level[1 : 2 * half : 2]
+        if level.size % 2:
+            combined = np.append(combined, level[-1])
+        level = combined
+    return float(level[0])
+
+
+def sorted_sum(values: Iterable[float], *, order: str = "decreasing_magnitude") -> float:
+    """Sequential summation after sorting.
+
+    Args:
+        order: ``"increasing_magnitude"`` (classic advice for same-sign
+            data), ``"decreasing_magnitude"`` (Demmel–Hida: summing in
+            decreasing order by exponent yields a highly accurate —
+            but not faithfully rounded — answer), or ``"ascending"``
+            (plain value order).
+    """
+    arr = ensure_float64_array(values)
+    if order == "increasing_magnitude":
+        arr = arr[np.argsort(np.abs(arr), kind="stable")]
+    elif order == "decreasing_magnitude":
+        arr = arr[np.argsort(-np.abs(arr), kind="stable")]
+    elif order == "ascending":
+        arr = np.sort(arr)
+    else:
+        raise ValueError(f"unknown order {order!r}")
+    total = 0.0
+    for x in arr:
+        total += float(x)
+    return total
+
+
+def worst_case_error_bound(values: Iterable[float], *, tree_depth: bool = False) -> float:
+    """A-priori error bound for plain float summation.
+
+    ``(n-1) * u * sum|x|`` for sequential order, or ``ceil(log2 n) * u *
+    sum|x|`` for a balanced tree, with ``u = 2**-53``. Used by tests to
+    check the naive baselines err *within* their bound while the exact
+    methods err not at all.
+    """
+    arr = ensure_float64_array(values)
+    n = arr.size
+    if n <= 1:
+        return 0.0
+    mag = float(np.sum(np.abs(arr)))
+    factor = math.ceil(math.log2(n)) if tree_depth else (n - 1)
+    return factor * (2.0**-53) * mag / (1 - factor * 2.0**-53)

@@ -1,0 +1,19 @@
+"""Bulk-synchronous (MPI-style) substrate: exact collectives.
+
+* :class:`BSPMachine` — superstep-synchronous rank simulator with
+  message/byte/round counters;
+* :func:`exact_allreduce_sum` — recursive-doubling allreduce with exact
+  superaccumulator merging: every rank gets the bit-identical correctly
+  rounded global sum in ``O(log P)`` supersteps.
+"""
+
+from repro.bsp.allreduce import AllreduceResult, exact_allreduce_sum
+from repro.bsp.simulator import BSPMachine, BSPStats, Rank
+
+__all__ = [
+    "AllreduceResult",
+    "exact_allreduce_sum",
+    "BSPMachine",
+    "BSPStats",
+    "Rank",
+]

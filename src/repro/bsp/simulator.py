@@ -1,0 +1,113 @@
+"""Bulk-synchronous (MPI-style) message-passing simulator.
+
+The fourth deployment substrate, complementing PRAM / external-memory /
+MapReduce: a rank-based bulk-synchronous machine in the style of MPI
+collectives (the form in which HPC codes would actually consume this
+library — an exact ``allreduce``). Ranks run Python callables that
+communicate through explicit ``send``/``recv`` against a superstep
+barrier; the simulator counts supersteps (latency), messages, and bytes
+on the wire, so collective algorithms can be checked against their
+``O(log P)`` round complexity just like the other substrates.
+
+Deterministic by construction: ranks execute round-robin within a
+superstep and messages are delivered in (superstep, sender, order)
+order, so every run of a program is bit-identical.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ModelViolationError
+from repro.util.validation import check_positive_int
+
+__all__ = ["BSPMachine", "BSPStats", "Rank"]
+
+
+@dataclass
+class BSPStats:
+    """Communication cost counters.
+
+    Attributes:
+        supersteps: barrier-separated communication rounds.
+        messages: point-to-point messages delivered.
+        bytes_sent: total payload volume.
+    """
+
+    supersteps: int = 0
+    messages: int = 0
+    bytes_sent: int = 0
+
+
+class Rank:
+    """One process's view of the machine (passed to the rank program)."""
+
+    def __init__(self, machine: "BSPMachine", rank: int) -> None:
+        self._machine = machine
+        self.rank = rank
+        self.size = machine.size
+
+    def send(self, dest: int, payload: bytes) -> None:
+        """Queue ``payload`` for ``dest``; delivered after the next barrier."""
+        if not 0 <= dest < self.size:
+            raise ValueError(f"destination rank {dest} out of range")
+        if not isinstance(payload, (bytes, bytearray)):
+            raise TypeError("BSP payloads are bytes (serialize explicitly)")
+        self._machine._outbox[self.rank].append((dest, bytes(payload)))
+
+    def recv_all(self) -> List[Tuple[int, bytes]]:
+        """Messages delivered to this rank at the last barrier,
+        as ``(source, payload)`` in deterministic order."""
+        return list(self._machine._inbox.get(self.rank, ()))
+
+
+class BSPMachine:
+    """Superstep-synchronous machine running ``size`` rank programs.
+
+    A *program* is a generator function ``prog(rank: Rank)`` that
+    ``yield``s at every barrier; the machine advances all ranks one
+    superstep at a time, moving outboxes to inboxes between steps.
+    Programs finish by returning; their return values are collected.
+    """
+
+    def __init__(self, size: int) -> None:
+        self.size = check_positive_int(size, name="size")
+        self.stats = BSPStats()
+        self._outbox: Dict[int, List[Tuple[int, bytes]]] = defaultdict(list)
+        self._inbox: Dict[int, List[Tuple[int, bytes]]] = {}
+
+    def run(self, program: Callable[[Rank], "object"]) -> List[object]:
+        """Execute ``program`` on every rank to completion."""
+        gens = []
+        results: List[Optional[object]] = [None] * self.size
+        for r in range(self.size):
+            gens.append(program(Rank(self, r)))
+        live = set(range(self.size))
+        guard = 0
+        while live:
+            finished = set()
+            for r in sorted(live):
+                try:
+                    next(gens[r])
+                except StopIteration as stop:
+                    results[r] = stop.value
+                    finished.add(r)
+            live -= finished
+            self._barrier()
+            guard += 1
+            if guard > 10_000:
+                raise ModelViolationError("BSP program failed to terminate")
+        return results
+
+    def _barrier(self) -> None:
+        self.stats.supersteps += 1
+        inbox: Dict[int, List[Tuple[int, bytes]]] = defaultdict(list)
+        for src in sorted(self._outbox):
+            for dest, payload in self._outbox[src]:
+                inbox[dest].append((src, payload))
+                self.stats.messages += 1
+                self.stats.bytes_sent += len(payload)
+        self._outbox = defaultdict(list)
+        self._inbox = dict(inbox)

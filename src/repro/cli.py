@@ -1,0 +1,140 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — write one of the four experimental distributions to a
+  ``.f64`` dataset file;
+* ``sum`` — exactly sum a dataset file with a chosen algorithm and
+  print the correctly rounded result (hex and decimal);
+* ``info`` — dataset diagnostics: n, exponent span, condition number,
+  exact sum vs naive sum.
+
+Example::
+
+    python -m repro generate sumzero /tmp/d.f64 -n 1000000 --delta 500
+    python -m repro sum /tmp/d.f64 --method mapreduce-sparse --workers 8
+    python -m repro info /tmp/d.f64
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines import hybrid_sum, ifastsum
+from repro.core import condition_number, exact_sum
+from repro.core.fpinfo import exponent_span
+from repro.data import DISTRIBUTIONS, generate, read_dataset, write_dataset
+from repro.mapreduce import parallel_sum
+
+__all__ = ["main"]
+
+_METHODS: Dict[str, Callable[[np.ndarray, argparse.Namespace], float]] = {
+    "sparse": lambda x, a: exact_sum(x, method="sparse"),
+    "small": lambda x, a: exact_sum(x, method="small"),
+    "dense": lambda x, a: exact_sum(x, method="dense"),
+    "ifastsum": lambda x, a: ifastsum(x),
+    "hybrid": lambda x, a: hybrid_sum(x),
+    "mapreduce-sparse": lambda x, a: parallel_sum(
+        x, method="sparse", workers=a.workers, executor="auto"
+    ),
+    "mapreduce-small": lambda x, a: parallel_sum(
+        x, method="small", workers=a.workers, executor="auto"
+    ),
+    "naive": lambda x, a: float(np.sum(x)),
+}
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    data = generate(args.distribution, args.n, delta=args.delta, seed=args.seed)
+    count = write_dataset(args.path, data)
+    print(f"wrote {count:,} values ({args.distribution}, delta={args.delta}, "
+          f"seed={args.seed}) to {args.path}")
+    return 0
+
+
+def _cmd_sum(args: argparse.Namespace) -> int:
+    data = read_dataset(args.path)
+    fn = _METHODS[args.method]
+    t0 = time.perf_counter()
+    result = fn(data, args)
+    elapsed = time.perf_counter() - t0
+    print(f"method : {args.method}")
+    print(f"n      : {data.size:,}")
+    print(f"sum    : {result!r}")
+    print(f"hex    : {result.hex() if result == result else 'nan'}")
+    print(f"time   : {elapsed:.4f} s")
+    if args.check and args.method != "naive":
+        ref = exact_sum(data)
+        status = "OK (correctly rounded)" if result == ref else f"MISMATCH vs {ref!r}"
+        print(f"check  : {status}")
+        if result != ref:
+            return 1
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    data = read_dataset(args.path)
+    print(f"n              : {data.size:,}")
+    if data.size == 0:
+        return 0
+    print(f"exponent span  : {exponent_span(data)}")
+    print(f"min / max      : {data.min():.6g} / {data.max():.6g}")
+    exact = exact_sum(data)
+    naive = float(np.sum(data))
+    print(f"exact sum      : {exact!r}")
+    print(f"naive np.sum   : {naive!r}")
+    print(f"naive correct  : {naive == exact}")
+    cond = condition_number(data)
+    print(f"condition C(X) : {cond:.6g}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="exact floating-point summation toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="write an experimental dataset")
+    g.add_argument("distribution", choices=sorted(DISTRIBUTIONS))
+    g.add_argument("path")
+    g.add_argument("-n", type=int, default=1_000_000)
+    g.add_argument("--delta", type=int, default=2000)
+    g.add_argument("--seed", type=int, default=0)
+    g.set_defaults(fn=_cmd_generate)
+
+    s = sub.add_parser("sum", help="sum a dataset file")
+    s.add_argument("path")
+    s.add_argument("--method", choices=sorted(_METHODS), default="sparse")
+    s.add_argument("--workers", type=int, default=None)
+    s.add_argument("--check", action="store_true",
+                   help="verify against the sparse superaccumulator")
+    s.set_defaults(fn=_cmd_sum)
+
+    i = sub.add_parser("info", help="dataset diagnostics")
+    i.add_argument("path")
+    i.set_defaults(fn=_cmd_info)
+
+    t = sub.add_parser("selftest", help="fast whole-install verification")
+    t.set_defaults(fn=_cmd_selftest)
+    return parser
+
+
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    from repro.selftest import run_selftest
+
+    return 0 if run_selftest() else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

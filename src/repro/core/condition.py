@@ -1,0 +1,58 @@
+"""Exact condition numbers for summation problems.
+
+The paper (Section 1) characterizes instance difficulty by
+
+    C(X) = sum(|x_i|) / |sum(x_i)|,
+
+which is 1 for same-signed data and grows without bound as cancellation
+increases. Both numerator and denominator are computed *exactly* with
+superaccumulators, so the reported condition number is itself reliable
+even on instances engineered to defeat floating point.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.core.digits import DEFAULT_RADIX, RadixConfig
+from repro.core.sparse import SparseSuperaccumulator
+from repro.util.validation import check_finite_array, ensure_float64_array
+
+__all__ = ["condition_number", "condition_number_exact"]
+
+
+def condition_number_exact(
+    values: Iterable[float], radix: RadixConfig = DEFAULT_RADIX
+) -> Tuple[Fraction, Fraction]:
+    """Exact ``(sum |x_i|, |sum x_i|)`` as Fractions.
+
+    Returned separately so callers can form ``C(X)`` or detect the
+    zero-sum case without dividing.
+    """
+    arr = ensure_float64_array(values)
+    check_finite_array(arr)
+    total = SparseSuperaccumulator.from_floats(arr, radix).to_fraction()
+    mag = SparseSuperaccumulator.from_floats(np.abs(arr), radix).to_fraction()
+    return mag, abs(total)
+
+
+def condition_number(
+    values: Iterable[float], radix: RadixConfig = DEFAULT_RADIX
+) -> float:
+    """Exact condition number ``C(X)`` rounded to a float.
+
+    Returns ``math.inf`` for non-trivial instances whose sum is exactly
+    zero (the paper's footnote 4 caveat) and ``1.0`` for empty or
+    all-zero input by convention.
+    """
+    mag, total = condition_number_exact(values, radix)
+    if mag == 0:
+        return 1.0
+    if total == 0:
+        return math.inf
+    ratio = mag / total
+    return float(ratio)

@@ -1,0 +1,210 @@
+"""Base-10 sparse superaccumulators (paper footnote 1).
+
+"We take the viewpoint in this paper that floating-point numbers are a
+base-2 representation; nevertheless, our algorithms can easily be
+modified to work with other standard floating-point bases, such as 10."
+
+This module performs that modification for :class:`decimal.Decimal`
+inputs: digits live in radix ``R = 10**k`` with the same
+``alpha = beta = R - 1`` regularization, and Lemma 1 goes through
+verbatim (its proof only needs ``R > 2``), so addition is carry-free
+exactly as in base 2. Because no bit tricks apply, everything here is
+scalar exact-integer arithmetic — which also makes this module the
+readable reference implementation of the paper's scheme, free of the
+vectorization machinery of :mod:`repro.core.digits`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from decimal import Decimal, localcontext
+from fractions import Fraction
+from typing import Dict, Iterable, Tuple
+
+from repro.errors import NonFiniteInputError, RepresentationError
+
+__all__ = ["DecimalRadix", "DecimalSuperaccumulator", "exact_decimal_sum"]
+
+
+@dataclass(frozen=True)
+class DecimalRadix:
+    """Radix parameters ``R = 10**k`` for base-10 superaccumulators."""
+
+    k: int = 9  # 10**9 < 2**31: roomy limbs, human-readable
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+
+    @property
+    def R(self) -> int:
+        """The radix ``10**k`` (``> 2`` as Lemma 1 requires)."""
+        return 10**self.k
+
+    @property
+    def alpha(self) -> int:
+        return self.R - 1
+
+    @property
+    def beta(self) -> int:
+        return self.R - 1
+
+
+class DecimalSuperaccumulator:
+    """Sparse (alpha, beta)-regularized base-10 superaccumulator.
+
+    Components map digit position ``j`` (weight ``R**j = 10**(k*j)``) to
+    a signed digit in ``[-(R-1), R-1]``. Pairwise addition is Lemma 1:
+    component-wise sum, signed carry to the adjacent position only.
+    """
+
+    __slots__ = ("radix", "_digits")
+
+    def __init__(self, radix: DecimalRadix = DecimalRadix()) -> None:
+        self.radix = radix
+        self._digits: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_decimal(
+        cls, value: Decimal, radix: DecimalRadix = DecimalRadix()
+    ) -> "DecimalSuperaccumulator":
+        """Exact conversion of one finite Decimal (§3 step 2 analogue)."""
+        acc = cls(radix)
+        if not value.is_finite():
+            raise NonFiniteInputError(f"cannot accumulate {value!r}")
+        sign, digit_tuple, exp = value.as_tuple()
+        mag = int("".join(map(str, digit_tuple or (0,))))
+        if mag == 0:
+            return acc
+        if sign:
+            mag = -mag
+        # value = mag * 10**exp; align to multiples of k.
+        j0, s = divmod(exp, radix.k)
+        mag *= 10**s
+        sgn = -1 if mag < 0 else 1
+        mag = abs(mag)
+        j = j0
+        R = radix.R
+        while mag:
+            d = mag % R
+            if d:
+                acc._digits[j] = sgn * d
+            mag //= R
+            j += 1
+        return acc
+
+    def copy(self) -> "DecimalSuperaccumulator":
+        dup = DecimalSuperaccumulator(self.radix)
+        dup._digits = dict(self._digits)
+        return dup
+
+    # ------------------------------------------------------------------
+    # the carry-free merge (Lemma 1, base 10)
+    # ------------------------------------------------------------------
+
+    def add(self, other: "DecimalSuperaccumulator") -> "DecimalSuperaccumulator":
+        """Carry-free sum; every carry lands on the adjacent position."""
+        if other.radix != self.radix:
+            raise ValueError("cannot mix decimal radix configurations")
+        R = self.radix.R
+        alpha = self.radix.alpha
+        out = DecimalSuperaccumulator(self.radix)
+        digits = out._digits
+        merged = sorted(set(self._digits) | set(other._digits))
+        # First pass: P and carry selection (Lemma 1's two cases).
+        carries: Dict[int, int] = {}
+        for j in merged:
+            p = self._digits.get(j, 0) + other._digits.get(j, 0)
+            c = 1 if p >= R - 1 else (-1 if p <= -(R - 1) else 0)
+            w = p - c * R
+            digits[j] = w
+            if c:
+                carries[j + 1] = c
+        # Second pass: deposit carries (W + C stays in [-alpha, beta]).
+        for j, c in carries.items():
+            digits[j] = digits.get(j, 0) + c
+        for j, d in digits.items():
+            if not -alpha <= d <= alpha:
+                raise RepresentationError(
+                    f"digit {d} at position {j} escaped regularization"
+                )
+        return out
+
+    def add_decimal(self, value: Decimal) -> "DecimalSuperaccumulator":
+        """Convenience: carry-free sum with one Decimal."""
+        return self.add(DecimalSuperaccumulator.from_decimal(value, self.radix))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def active_count(self) -> int:
+        """Number of active positions (zeros from cancellation kept)."""
+        return len(self._digits)
+
+    def is_zero(self) -> bool:
+        return not any(self._digits.values())
+
+    def to_fraction(self) -> Fraction:
+        """Exact value."""
+        total = Fraction(0)
+        for j, d in self._digits.items():
+            total += Fraction(d) * Fraction(10) ** (self.radix.k * j)
+        return total
+
+    def to_scaled_int(self) -> Tuple[int, int]:
+        """Exact value as ``(V, p)`` meaning ``V * 10**p``."""
+        if not self._digits:
+            return 0, 0
+        jmin = min(self._digits)
+        v = sum(
+            d * 10 ** (self.radix.k * (j - jmin)) for j, d in self._digits.items()
+        )
+        return v, self.radix.k * jmin
+
+    def to_decimal(self, precision: int = 28) -> Decimal:
+        """Round the exact value to ``precision`` significant decimal
+        digits (ROUND_HALF_EVEN) — the faithful-rounding step, base 10."""
+        v, p = self.to_scaled_int()
+        if v == 0:
+            return Decimal(0)
+        with localcontext() as ctx:
+            ctx.prec = precision
+            return +(Decimal(v).scaleb(p))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DecimalSuperaccumulator):
+            return NotImplemented
+        return self.to_fraction() == other.to_fraction()
+
+    def __hash__(self) -> int:
+        return hash(self.to_fraction())
+
+    def __repr__(self) -> str:
+        return (
+            f"DecimalSuperaccumulator(k={self.radix.k}, "
+            f"active={self.active_count})"
+        )
+
+
+def exact_decimal_sum(
+    values: Iterable[Decimal],
+    *,
+    precision: int = 28,
+    radix: DecimalRadix = DecimalRadix(),
+) -> Decimal:
+    """Correctly rounded (half-even) Decimal sum at ``precision`` digits.
+
+    The full pipeline in base 10: exact carry-free accumulation of every
+    input, one rounding at the end. Immune to the intermediate rounding
+    a plain ``sum(decimals)`` performs under a finite context.
+    """
+    acc = DecimalSuperaccumulator(radix)
+    for v in values:
+        acc = acc.add_decimal(Decimal(v))
+    return acc.to_decimal(precision)

@@ -1,0 +1,105 @@
+"""Error-free transformations (EFTs) on IEEE 754 binary64 values.
+
+These are the classical building blocks the paper calls ``AddTwo``
+(Section 1): given floats ``x`` and ``y``, compute floats ``(s, e)``
+with ``s = x (+) y`` (the rounded sum) and ``x + y = s + e`` *exactly*.
+
+Two implementations are provided:
+
+* :func:`two_sum` — Knuth's branch-free 6-flop algorithm, valid for any
+  finite ``x, y``.
+* :func:`fast_two_sum` — Dekker's 3-flop algorithm, valid only when
+  ``|x| >= |y|`` (or ``x == 0``).
+
+Vectorized variants (``two_sum_vec``) operate elementwise on NumPy
+arrays and are the workhorses of the distillation-based baselines
+(iFastSum, OnlineExactSum) and of Shewchuk expansion arithmetic.
+
+All routines assume round-to-nearest-even, which is what CPython and
+NumPy use on every supported platform.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "two_sum",
+    "fast_two_sum",
+    "two_sum_vec",
+    "fast_two_sum_vec",
+    "split",
+    "two_product",
+]
+
+# Dekker's splitting constant for binary64: 2**ceil(53/2) + 1.
+_SPLITTER = 134217729.0  # 2**27 + 1
+
+
+def two_sum(x: float, y: float) -> Tuple[float, float]:
+    """Knuth's TwoSum: return ``(s, e)`` with ``s = fl(x+y)`` and
+    ``x + y = s + e`` exactly.
+
+    Branch-free and valid for all finite inputs regardless of relative
+    magnitude. This is the ``AddTwo`` primitive of the paper.
+    """
+    s = x + y
+    bb = s - x
+    e = (x - (s - bb)) + (y - bb)
+    return s, e
+
+
+def fast_two_sum(x: float, y: float) -> Tuple[float, float]:
+    """Dekker's FastTwoSum; requires ``|x| >= |y|`` (unchecked).
+
+    Three flops instead of six. Used inside expansion arithmetic where
+    the magnitude ordering is known.
+    """
+    s = x + y
+    e = y - (s - x)
+    return s, e
+
+
+def two_sum_vec(x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Elementwise :func:`two_sum` over arrays (broadcasting allowed)."""
+    s = x + y
+    bb = s - x
+    e = (x - (s - bb)) + (y - bb)
+    return s, e
+
+
+def fast_two_sum_vec(
+    x: np.ndarray, y: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Elementwise :func:`fast_two_sum`; caller guarantees ``|x| >= |y|``."""
+    s = x + y
+    e = y - (s - x)
+    return s, e
+
+
+def split(a: float) -> Tuple[float, float]:
+    """Dekker's split: ``a = hi + lo`` with ``hi``/``lo`` 26/27-bit values.
+
+    Used by :func:`two_product` on machines without FMA; exposed because
+    the paper's Section 2 discussion of splitting mantissas into radix
+    chunks is the integer analogue of this float-level split.
+    """
+    c = _SPLITTER * a
+    hi = c - (c - a)
+    lo = a - hi
+    return hi, lo
+
+
+def two_product(a: float, b: float) -> Tuple[float, float]:
+    """Dekker/Veltkamp TwoProduct: ``(p, e)`` with ``a*b = p + e`` exactly.
+
+    Not required for summation but rounds out the EFT toolkit (needed by
+    the exact dot-product convenience in :mod:`repro.core.exact`).
+    """
+    p = a * b
+    a_hi, a_lo = split(a)
+    b_hi, b_lo = split(b)
+    e = ((a_hi * b_hi - p) + a_hi * b_lo + a_lo * b_hi) + a_lo * b_lo
+    return p, e

@@ -1,0 +1,123 @@
+"""The explicit fixed-point register of paper §2 — the instructive baseline.
+
+Section 2 opens with the representation everything else improves on:
+"we could alternatively represent every floating point number ... as a
+fixed-point binary number consisting of a sign bit, t + 2^(l−1) +
+⌈log n⌉ bits to the left of the binary point, and t + 2^(l−1) bits to
+the right" — e.g. IEEE binary32 values fit a 256-bit register. Exact,
+simple, but "in the worst-case, there can be a lot of carry-bit
+propagations that occur for any addition, which negatively impacts
+parallel performance".
+
+:class:`FixedPointRegister` is that object, implemented as a bounded
+two's-complement integer with **observable carry chains**: every add
+reports how far its carry rippled, so the ABL-FX bench can measure the
+worst-case propagation the superaccumulators eliminate. Functionally it
+is exact and agrees bit-for-bit with every other representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from repro.core.fpinfo import BINARY64, FloatFormat, decompose
+from repro.core.rounding import round_scaled_int
+from repro.errors import NonFiniteInputError, RepresentationError
+
+__all__ = ["FixedPointRegister", "register_width"]
+
+
+def register_width(fmt: FloatFormat = BINARY64, *, log_n: int = 64) -> int:
+    """Bits of the §2 register for ``fmt`` with ``2**log_n`` summands.
+
+    ``t + 2**(l-1) + log_n`` integer bits plus ``t + 2**(l-1)``
+    fractional bits plus the sign — 277+ for binary32 with the paper's
+    accounting (the "256-bit" figure rounds the bookkeeping), ~4200 for
+    binary64.
+    """
+    half_range = 1 << (fmt.l - 1)
+    return 2 * (fmt.t + half_range) + log_n + 1
+
+
+@dataclass
+class _AddReport:
+    """Carry observability for one addition.
+
+    Attributes:
+        carry_bits: highest bit position changed beyond the addend's own
+            span — the length of the carry ripple the paper worries
+            about (0 = no propagation past the addend).
+    """
+
+    carry_bits: int
+
+
+class FixedPointRegister:
+    """Exact bounded fixed-point accumulator with carry accounting.
+
+    The value is ``register * 2**lsb_exponent`` where ``register`` is a
+    bounded signed integer. Adding a float aligns its mantissa to the
+    register and performs plain integer addition — conceptually a full
+    hardware carry chain; :attr:`max_carry_chain` records the longest
+    ripple observed (measured as how far the changed-bit span of the
+    register exceeds the addend's own bit span).
+    """
+
+    def __init__(self, fmt: FloatFormat = BINARY64, *, log_n: int = 64) -> None:
+        self.fmt = fmt
+        self.width = register_width(fmt, log_n=log_n)
+        self.lsb_exponent = fmt.min_subnormal_exponent
+        self._register = 0
+        self.adds = 0
+        self.max_carry_chain = 0
+
+    def add_float(self, x: float) -> _AddReport:
+        """Add one float exactly; report the carry ripple length."""
+        m, e = decompose(x)
+        if m == 0:
+            self.adds += 1
+            return _AddReport(0)
+        # canonicalize: decompose may leave trailing zero bits in m
+        tz = (m & -m).bit_length() - 1
+        m >>= tz
+        e += tz
+        shift = e - self.lsb_exponent
+        if shift < 0:
+            raise NonFiniteInputError(f"{x!r} below the register's lsb")
+        addend = m << shift
+        before = self._register
+        after = before + addend
+        if after.bit_length() > self.width:
+            raise RepresentationError("fixed-point register overflow")
+        # Carry ripple: how far the highest changed bit sits above the
+        # addend's own most significant bit.
+        changed = before ^ after
+        if changed == 0:
+            ripple = 0
+        else:
+            top_changed = changed.bit_length() - 1
+            top_addend = abs(addend).bit_length() - 1
+            ripple = max(0, top_changed - top_addend)
+        self._register = after
+        self.adds += 1
+        if ripple > self.max_carry_chain:
+            self.max_carry_chain = ripple
+        return _AddReport(ripple)
+
+    def add_array(self, values: Iterable[float]) -> None:
+        """Add many floats (scalar loop — this baseline has no vector path;
+        that asymmetry is part of what the bench shows)."""
+        for v in values:
+            self.add_float(float(v))
+
+    def to_scaled_int(self) -> Tuple[int, int]:
+        """Exact value as ``(V, shift)``."""
+        return self._register, self.lsb_exponent
+
+    def to_float(self, mode: str = "nearest") -> float:
+        """Correctly rounded value."""
+        return round_scaled_int(self._register, self.lsb_exponent, mode)
+
+    def is_zero(self) -> bool:
+        return self._register == 0

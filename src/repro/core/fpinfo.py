@@ -1,0 +1,194 @@
+"""Floating-point format introspection.
+
+The paper (Section 2) works with a generic base-2 format parameterized
+by ``t`` (mantissa bits) and ``l`` (exponent bits); IEEE 754 binary64
+has ``t = 52`` and ``l = 11``. Everything downstream is written against
+:class:`FloatFormat` so the representation machinery stays
+precision-independent, while the fast NumPy paths are specialized to
+binary64 (the only format with native array support).
+
+The central primitive is :func:`decompose`: write a finite float ``x``
+exactly as ``M * 2**e`` with integer ``M``, ``|M| < 2**(t+1)``. This is
+the bridge between hardware floats and the integer signed-digit world
+of :mod:`repro.core.digits`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import NonFiniteInputError
+
+__all__ = [
+    "FloatFormat",
+    "BINARY32",
+    "BINARY64",
+    "decompose",
+    "compose",
+    "decompose_vec",
+    "ulp",
+    "exponent_of",
+    "exponent_span",
+]
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """A base-2 floating-point format ``(t, l)`` in the paper's notation.
+
+    Attributes:
+        t: number of stored mantissa bits (52 for binary64). The
+            significand including the hidden bit has ``t + 1`` bits.
+        l: number of exponent bits (11 for binary64).
+    """
+
+    t: int
+    l: int
+
+    @property
+    def precision(self) -> int:
+        """Significand width including the hidden bit (``t + 1``)."""
+        return self.t + 1
+
+    @property
+    def bias(self) -> int:
+        """Exponent bias ``2**(l-1) - 1``."""
+        return (1 << (self.l - 1)) - 1
+
+    @property
+    def e_max(self) -> int:
+        """Largest unbiased exponent of a normal number."""
+        return self.bias
+
+    @property
+    def e_min(self) -> int:
+        """Smallest unbiased exponent of a normal number."""
+        return 1 - self.bias
+
+    @property
+    def min_subnormal_exponent(self) -> int:
+        """Exponent ``e`` such that the smallest subnormal is ``2**e``.
+
+        For binary64 this is -1074: the least significant bit position
+        any finite value of the format can occupy.
+        """
+        return self.e_min - self.t
+
+    @property
+    def max_value_exponent(self) -> int:
+        """Exponent of the most significant bit of the largest finite value.
+
+        For binary64 this is 971 + 52 = 1023; i.e. ``max_finite < 2**1024``.
+        """
+        return self.e_max
+
+    @property
+    def delta_max(self) -> int:
+        """Width of the exponent *field* range usable by finite numbers.
+
+        The experimental sections of Zhu–Hayes and of the paper cap the
+        data-generator parameter ``delta`` at 2046 for binary64: the
+        number of distinct biased exponent values of finite numbers.
+        """
+        return (1 << self.l) - 2
+
+
+BINARY32 = FloatFormat(t=23, l=8)
+BINARY64 = FloatFormat(t=52, l=11)
+
+# Scale used to lift frexp output to an integer significand for binary64.
+_TWO53 = float(1 << 53)
+
+
+def decompose(x: float) -> Tuple[int, int]:
+    """Write finite ``x`` exactly as ``M * 2**e``, ``M`` an int, ``|M| < 2**53``.
+
+    Zero decomposes to ``(0, 0)``. Works for subnormals (the resulting
+    ``M`` simply has fewer significant bits).
+
+    Raises:
+        NonFiniteInputError: for NaN or infinities.
+    """
+    if x == 0.0:
+        return 0, 0
+    if not math.isfinite(x):
+        raise NonFiniteInputError(f"cannot decompose non-finite value {x!r}")
+    m, e = math.frexp(x)  # x = m * 2**e, 0.5 <= |m| < 1
+    mantissa = int(m * _TWO53)  # exact: m has <= 53 significant bits
+    return mantissa, e - 53
+
+
+def compose(mantissa: int, e: int) -> float:
+    """Inverse of :func:`decompose` for representable pairs.
+
+    ``compose(M, e)`` returns the float nearest ``M * 2**e`` (exact when
+    representable). Large mantissas are handled via correct rounding of
+    the underlying integer, so ``compose`` never silently truncates.
+    """
+    if mantissa == 0:
+        return 0.0
+    if abs(mantissa) < (1 << 53):
+        return math.ldexp(float(mantissa), e)
+    # Fall back to exact big-int scaling with correct rounding.
+    from repro.core.rounding import round_scaled_int  # local: avoid cycle
+
+    return round_scaled_int(mantissa, e)
+
+
+def decompose_vec(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`decompose` for a float64 array.
+
+    Returns:
+        ``(M, e)`` int64 arrays with ``x == M * 2.0**e`` elementwise and
+        ``|M| < 2**53``. Zeros map to ``(0, 0)``.
+
+    The caller is responsible for rejecting non-finite entries (see
+    :func:`repro.util.validation.check_finite_array`); NaN/inf here
+    would produce garbage decompositions, not errors.
+    """
+    m, e = np.frexp(x)
+    mantissa = np.asarray(m * _TWO53, dtype=np.int64)  # exact conversion
+    exp = e.astype(np.int64) - 53
+    if x.size:
+        zero = mantissa == 0
+        if zero.any():
+            exp = np.where(zero, 0, exp)
+    return mantissa, exp
+
+
+def ulp(x: float) -> float:
+    """Unit in the last place of ``x`` (binary64), as a positive float.
+
+    Matches :func:`math.ulp` for non-zero finite values; defined here so
+    algorithms written against :class:`FloatFormat` have one spelling.
+    """
+    return math.ulp(x)
+
+
+def exponent_of(x: float) -> int:
+    """Unbiased exponent of the most significant bit of finite ``x != 0``.
+
+    ``2**exponent_of(x) <= |x| < 2**(exponent_of(x) + 1)``.
+    """
+    if x == 0.0 or not math.isfinite(x):
+        raise ValueError(f"exponent_of requires finite non-zero x, got {x!r}")
+    return math.frexp(x)[1] - 1
+
+
+def exponent_span(values: np.ndarray) -> int:
+    """Spread (max - min) of msb exponents over the non-zero entries.
+
+    This is the quantity the experimental parameter ``delta`` controls
+    in the data generators; exposed so tests can verify generator
+    output and so the harness can report the *effective* delta (which
+    Anderson's distribution collapses — Figure 2 discussion).
+    """
+    nz = values[values != 0.0]
+    if nz.size == 0:
+        return 0
+    _, e = np.frexp(nz)
+    return int(e.max() - e.min())

@@ -1,0 +1,272 @@
+"""Dense superaccumulators: exact fixed-point sums as limb arrays.
+
+Section 2 of the paper opens with the "instructive" exact fixed-point
+representation: a wide binary integer covering the whole exponent range
+of the input format. :class:`DenseSuperaccumulator` is that object,
+stored as an array of radix-``R`` signed limbs with deferred
+renormalization so bulk adds are a pair of exact ``bincount`` reductions
+per chunk (see :func:`repro.core.digits.accumulate_digits`).
+
+:class:`SmallSuperaccumulator` specializes it to the fixed ~70-limb
+array spanning every binary64 exponent — the Neal-style comparator the
+paper benchmarks its MapReduce algorithm against ("Small
+Superaccumulator (MapReduce)" in Figures 1-3). Its defining property,
+visible in Figure 2, is that cost is independent of the exponent-spread
+parameter delta, because the limb array never grows or shrinks.
+"""
+
+from __future__ import annotations
+
+import struct
+from fractions import Fraction
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.digits import (
+    DEFAULT_RADIX,
+    RadixConfig,
+    accumulate_digits,
+    digits_to_int,
+    normalize_digit_array,
+    split_float,
+    split_floats_vec,
+)
+from repro.core.rounding import round_digits
+from repro.errors import RepresentationError
+from repro.util.validation import check_finite_array, ensure_float64_array
+
+__all__ = ["DenseSuperaccumulator", "SmallSuperaccumulator"]
+
+# Deferred-renormalization budget: with w <= 31 every digit has
+# magnitude < 2**31, so int64 limbs can absorb 2**31 raw digit deposits
+# (plus one regularized residue) with |limb| < 2**62 — renormalize
+# before the *next* chunk could overflow.
+_CHUNK = 1 << 22  # elements per vectorized deposit chunk
+_NORM_BUDGET = (1 << 31) - _CHUNK * 4  # deposits allowed between norms
+
+_HEADER = struct.Struct("<4sBqqq")  # magic, w, base_index, nlimbs, count
+_MAGIC = b"DSUP"
+
+
+class DenseSuperaccumulator:
+    """Exact sum accumulator over a contiguous range of digit positions.
+
+    The represented value is ``sum(limbs[k] * R**(base_index + k))``.
+    Limbs are int64 and may exceed the regularized digit range between
+    renormalizations; every public query (rounding, comparison,
+    serialization) renormalizes first, so observable state is always
+    (alpha, beta)-regularized.
+
+    Args:
+        radix: digit width configuration; must support the vectorized
+            paths (``w <= 31``) for :meth:`add_array`.
+        base_index: digit position of ``limbs[0]``.
+        nlimbs: number of limbs.
+    """
+
+    __slots__ = ("radix", "base_index", "limbs", "_deposits")
+
+    def __init__(
+        self,
+        radix: RadixConfig = DEFAULT_RADIX,
+        *,
+        base_index: Optional[int] = None,
+        nlimbs: Optional[int] = None,
+    ) -> None:
+        self.radix = radix
+        if base_index is None or nlimbs is None:
+            base, count = self.full_range_bounds(radix)
+            base_index = base if base_index is None else base_index
+            nlimbs = count if nlimbs is None else nlimbs
+        self.base_index = int(base_index)
+        self.limbs = np.zeros(int(nlimbs), dtype=np.int64)
+        self._deposits = 0
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def full_range_bounds(radix: RadixConfig) -> Tuple[int, int]:
+        """(base_index, nlimbs) covering every finite binary64 value.
+
+        Bit positions of binary64 span [-1074, 1023]; we add the
+        per-double split width plus carry headroom on top.
+        """
+        lo = (-1074) // radix.w
+        hi = 1023 // radix.w + radix.digits_per_double + 2
+        return lo, hi - lo + 1
+
+    @classmethod
+    def from_array(
+        cls, values: Iterable[float], radix: RadixConfig = DEFAULT_RADIX
+    ) -> "DenseSuperaccumulator":
+        """Accumulator holding the exact sum of ``values``."""
+        acc = cls(radix)
+        acc.add_array(values)
+        return acc
+
+    def copy(self) -> "DenseSuperaccumulator":
+        """Deep copy (limbs array duplicated)."""
+        dup = DenseSuperaccumulator(
+            self.radix, base_index=self.base_index, nlimbs=len(self.limbs)
+        )
+        dup.limbs[:] = self.limbs
+        dup._deposits = self._deposits
+        return dup
+
+    # ------------------------------------------------------------------
+    # accumulation
+    # ------------------------------------------------------------------
+
+    def add_float(self, x: float) -> None:
+        """Add one float exactly (scalar path, any radix width)."""
+        for j, d in split_float(x, self.radix):
+            k = j - self.base_index
+            if not 0 <= k < len(self.limbs):
+                raise RepresentationError(
+                    f"digit position {j} outside accumulator range"
+                )
+            self.limbs[k] += d
+        self._deposits += self.radix.digits_per_double
+        if self._deposits >= _NORM_BUDGET:
+            self.renormalize()
+
+    def add_array(self, values: Iterable[float]) -> None:
+        """Add every element of ``values`` exactly (vectorized path)."""
+        arr = ensure_float64_array(values)
+        check_finite_array(arr)
+        for start in range(0, arr.size, _CHUNK):
+            chunk = arr[start : start + _CHUNK]
+            idx, dig = split_floats_vec(chunk, self.radix)
+            if self._deposits + idx.size >= _NORM_BUDGET:
+                self.renormalize()
+            self.limbs += accumulate_digits(
+                idx, dig, base_index=self.base_index, length=len(self.limbs)
+            )
+            self._deposits += idx.size
+
+    def add_accumulator(self, other: "DenseSuperaccumulator") -> None:
+        """Exactly add another dense accumulator (same radix) in place."""
+        if other.radix != self.radix:
+            raise ValueError("cannot mix radix configurations")
+        if (
+            other.base_index != self.base_index
+            or len(other.limbs) != len(self.limbs)
+        ):
+            raise ValueError("accumulator ranges differ; renormalize/rebase first")
+        if self._deposits + other._deposits + 2 >= _NORM_BUDGET:
+            self.renormalize()
+        if other._deposits + self._deposits + 2 >= _NORM_BUDGET:
+            other = other.copy()
+            other.renormalize()
+        self.limbs += other.limbs
+        self._deposits += other._deposits + 1
+
+    def renormalize(self) -> None:
+        """Reduce limbs to the regularized digit range ``[-alpha, beta]``.
+
+        Carries produced here stay inside the existing top headroom; a
+        genuine overflow of the binary64-covering range is impossible
+        for sums of fewer than ``2**(2w)`` inputs and raises otherwise.
+        """
+        reduced = normalize_digit_array(self.limbs, self.radix)
+        if reduced[len(self.limbs) :].any():
+            raise RepresentationError("superaccumulator range overflow")
+        self.limbs = reduced[: len(self.limbs)]
+        self._deposits = 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def to_scaled_int(self) -> Tuple[int, int]:
+        """Exact value as ``(V, shift)`` meaning ``V * 2**shift``."""
+        return digits_to_int(self.limbs, self.base_index, self.radix)
+
+    def to_fraction(self) -> Fraction:
+        """Exact value as a :class:`fractions.Fraction` (for testing)."""
+        v, s = self.to_scaled_int()
+        return Fraction(v, 1) * Fraction(2) ** s
+
+    def to_float(self, mode: str = "nearest") -> float:
+        """Round the exact value to binary64 (default: correct rounding).
+
+        Uses the digit-wise pipeline of Section 3 steps 6-7 (carry
+        propagation + leading-window rounding), not a big-integer
+        reconstruction.
+        """
+        self.renormalize()
+        return round_digits(self.limbs, self.base_index, self.radix, mode)
+
+    def is_zero(self) -> bool:
+        """True iff the exact value is zero."""
+        self.renormalize()
+        return not self.limbs.any()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DenseSuperaccumulator):
+            return NotImplemented
+        return self.to_scaled_int() == other.to_scaled_int() or (
+            self.to_fraction() == other.to_fraction()
+        )
+
+    def __hash__(self) -> int:  # value-based, matches __eq__
+        return hash(self.to_fraction())
+
+    def __repr__(self) -> str:
+        active = int(np.count_nonzero(self.limbs))
+        return (
+            f"DenseSuperaccumulator(w={self.radix.w}, "
+            f"base={self.base_index}, limbs={len(self.limbs)}, "
+            f"nonzero={active})"
+        )
+
+    # ------------------------------------------------------------------
+    # serialization (MapReduce shuffle format)
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Compact wire format: header + raw little-endian limbs."""
+        self.renormalize()
+        header = _HEADER.pack(
+            _MAGIC, self.radix.w, self.base_index, len(self.limbs), 1
+        )
+        return header + self.limbs.astype("<i8").tobytes()
+
+    @staticmethod
+    def from_bytes(payload: bytes) -> "DenseSuperaccumulator":
+        """Inverse of :meth:`to_bytes` (always a dense accumulator)."""
+        magic, w, base, nlimbs, _count = _HEADER.unpack_from(payload, 0)
+        if magic != _MAGIC:
+            raise ValueError("not a DenseSuperaccumulator payload")
+        acc = DenseSuperaccumulator(RadixConfig(w), base_index=base, nlimbs=nlimbs)
+        acc.limbs[:] = np.frombuffer(
+            payload, dtype="<i8", count=nlimbs, offset=_HEADER.size
+        )
+        return acc
+
+
+class SmallSuperaccumulator(DenseSuperaccumulator):
+    """Neal-style *small superaccumulator*: fixed limbs over all of binary64.
+
+    This is the comparator representation of the paper's experiments: a
+    dense array of overlapping limbs covering the full double exponent
+    range, added to with deferred carry handling. Because the limb count
+    is a format constant (~70 for ``w = 30``), per-add cost does not
+    depend on the data's exponent spread — the flat-in-delta curves of
+    Figure 2.
+    """
+
+    def __init__(self, radix: RadixConfig = DEFAULT_RADIX) -> None:
+        super().__init__(radix)
+
+    @classmethod
+    def sum(
+        cls, values: Iterable[float], radix: RadixConfig = DEFAULT_RADIX
+    ) -> float:
+        """Correctly rounded sum of ``values`` in one call."""
+        acc = cls(radix)
+        acc.add_array(values)
+        return acc.to_float()

@@ -1,0 +1,28 @@
+"""Experimental data: the four input distributions and dataset files."""
+
+from repro.data.generators import (
+    DISTRIBUTIONS,
+    PANEL_NAMES,
+    exponent_window,
+    generate,
+    generate_anderson,
+    generate_random_signs,
+    generate_sum_zero,
+    generate_well_conditioned,
+)
+from repro.data.io import dataset_len, iter_blocks, read_dataset, write_dataset
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "PANEL_NAMES",
+    "exponent_window",
+    "generate",
+    "generate_anderson",
+    "generate_random_signs",
+    "generate_sum_zero",
+    "generate_well_conditioned",
+    "dataset_len",
+    "iter_blocks",
+    "read_dataset",
+    "write_dataset",
+]

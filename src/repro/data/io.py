@@ -1,0 +1,72 @@
+"""Binary dataset files and block-wise readers.
+
+The experiments' pipeline is "first generate a dataset ... and store it
+to disk. Then, process the same generated dataset with each algorithm
+one after another." These helpers provide that shared on-disk format:
+a tiny header plus raw little-endian float64, streamable in blocks so
+both the external-memory loader and the HDFS-style loader ingest the
+same files.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterator, Union
+
+import numpy as np
+
+from repro.util.validation import ensure_float64_array
+
+__all__ = ["write_dataset", "read_dataset", "iter_blocks", "dataset_len"]
+
+_HEADER = struct.Struct("<4sq")
+_MAGIC = b"F64D"
+
+
+def write_dataset(path: Union[str, Path], values) -> int:
+    """Write values as a ``.f64`` dataset file; returns the item count."""
+    arr = ensure_float64_array(values)
+    path = Path(path)
+    with path.open("wb") as fh:
+        fh.write(_HEADER.pack(_MAGIC, arr.size))
+        fh.write(arr.astype("<f8").tobytes())
+    return int(arr.size)
+
+
+def _read_header(fh) -> int:
+    raw = fh.read(_HEADER.size)
+    magic, count = _HEADER.unpack(raw)
+    if magic != _MAGIC:
+        raise ValueError("not a repro .f64 dataset file")
+    return count
+
+
+def dataset_len(path: Union[str, Path]) -> int:
+    """Item count from the header (no data read)."""
+    with Path(path).open("rb") as fh:
+        return _read_header(fh)
+
+
+def read_dataset(path: Union[str, Path]) -> np.ndarray:
+    """Read the whole dataset into memory."""
+    with Path(path).open("rb") as fh:
+        count = _read_header(fh)
+        data = np.frombuffer(fh.read(8 * count), dtype="<f8", count=count)
+    return data.astype(np.float64)
+
+
+def iter_blocks(
+    path: Union[str, Path], block_items: int = 1 << 17
+) -> Iterator[np.ndarray]:
+    """Stream the dataset in blocks of ``block_items`` (last may be short)."""
+    if block_items < 1:
+        raise ValueError("block_items must be >= 1")
+    with Path(path).open("rb") as fh:
+        count = _read_header(fh)
+        remaining = count
+        while remaining > 0:
+            take = min(block_items, remaining)
+            chunk = np.frombuffer(fh.read(8 * take), dtype="<f8", count=take)
+            remaining -= take
+            yield chunk.astype(np.float64)

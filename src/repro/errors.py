@@ -1,0 +1,38 @@
+"""Exception hierarchy for the :mod:`repro` package."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "NonFiniteInputError",
+    "RepresentationError",
+    "ModelViolationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class NonFiniteInputError(ReproError, ValueError):
+    """An input contained NaN or an infinity.
+
+    Exact summation is defined only for finite values; the IEEE 754
+    semantics of non-finite propagation are left to the caller.
+    """
+
+
+class RepresentationError(ReproError, ValueError):
+    """A number representation violated one of its invariants.
+
+    For example, a digit vector claimed to be (alpha, beta)-regularized
+    holding a digit outside ``[-alpha, beta]``.
+    """
+
+
+class ModelViolationError(ReproError, RuntimeError):
+    """A simulated machine model constraint was violated.
+
+    Raised by the PRAM simulator on EREW access conflicts and by the
+    external-memory device when an algorithm exceeds internal memory.
+    """

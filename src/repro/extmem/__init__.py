@@ -1,0 +1,37 @@
+"""External-memory substrate and the paper's Section 5 algorithms.
+
+* :class:`BlockDevice` / :class:`ExtArray` — the I/O-model machine;
+* :func:`external_merge_sort` — the sorting substrate;
+* :func:`extmem_sum_sorted` — Theorem 5 (``O(sort(n))`` I/Os);
+* :func:`extmem_sum_scan` — Theorem 6 (``O(scan(n))`` I/Os when the
+  superaccumulator fits in internal memory);
+* :mod:`repro.extmem.io_model` — closed-form bounds for the benches.
+"""
+
+from repro.extmem.device import BlockDevice, IOStats
+from repro.extmem.ext_array import BlockWriter, ExtArray
+from repro.extmem.ext_sort import external_merge_sort
+from repro.extmem.io_model import (
+    scan_bound,
+    sort_bound,
+    sum_scan_bound,
+    sum_sorted_bound,
+)
+from repro.extmem.sum_scan import extmem_sum_scan
+from repro.extmem.sum_sort import COMPONENT_DTYPE, ExtMemSumResult, extmem_sum_sorted
+
+__all__ = [
+    "BlockDevice",
+    "IOStats",
+    "BlockWriter",
+    "ExtArray",
+    "external_merge_sort",
+    "scan_bound",
+    "sort_bound",
+    "sum_scan_bound",
+    "sum_sorted_bound",
+    "extmem_sum_scan",
+    "COMPONENT_DTYPE",
+    "ExtMemSumResult",
+    "extmem_sum_sorted",
+]

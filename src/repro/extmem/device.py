@@ -1,0 +1,158 @@
+"""Simulated external-memory machine (Vitter's I/O model).
+
+The model of the paper's Section 5: an internal memory holding ``M``
+items, an unbounded external memory accessed in blocks of ``B`` items,
+cost measured in block transfers. :class:`BlockDevice` stores named
+files as lists of NumPy blocks, counts every read/write, and (softly)
+enforces the internal-memory budget through an allocation context the
+algorithms use to declare what they hold resident.
+
+Items are dtype-agnostic: the summation pipeline stores float64 input
+files and structured ``(index, digit)`` component files on the same
+device; ``M`` and ``B`` are in items, matching how sort/scan bounds are
+usually stated.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+from repro.errors import ModelViolationError
+
+__all__ = ["BlockDevice", "IOStats"]
+
+
+@dataclass
+class IOStats:
+    """Block-transfer counters.
+
+    Attributes:
+        reads: blocks transferred external -> internal.
+        writes: blocks transferred internal -> external.
+    """
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total I/Os (the model's cost measure)."""
+        return self.reads + self.writes
+
+
+@dataclass
+class BlockDevice:
+    """External memory with I/O accounting and a memory budget.
+
+    Args:
+        block_size: items per block (``B``).
+        memory: internal memory capacity in items (``M``). Must allow at
+            least three blocks (input, output, working) or no two-file
+            streaming algorithm can run.
+        enforce_memory: when True, :meth:`allocate` raises
+            :class:`ModelViolationError` on over-subscription.
+    """
+
+    block_size: int
+    memory: int
+    enforce_memory: bool = True
+    stats: IOStats = field(default_factory=IOStats)
+    _files: Dict[str, List[np.ndarray]] = field(default_factory=dict)
+    _allocated: int = 0
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        if self.memory < 3 * self.block_size:
+            raise ValueError("internal memory must hold at least 3 blocks")
+
+    # ------------------------------------------------------------------
+    # file namespace
+    # ------------------------------------------------------------------
+
+    def create(self, name: str) -> None:
+        """Create an empty file (error if it exists)."""
+        if name in self._files:
+            raise ValueError(f"file {name!r} already exists")
+        self._files[name] = []
+
+    def delete(self, name: str) -> None:
+        """Remove a file and free its blocks."""
+        self._files.pop(name)
+
+    def rename(self, old: str, new: str) -> None:
+        """Metadata-only move (no block transfers)."""
+        if new in self._files:
+            raise ValueError(f"file {new!r} already exists")
+        self._files[new] = self._files.pop(old)
+
+    def exists(self, name: str) -> bool:
+        """Whether ``name`` is a file on this device."""
+        return name in self._files
+
+    def num_blocks(self, name: str) -> int:
+        """Block count of a file."""
+        return len(self._files[name])
+
+    def num_items(self, name: str) -> int:
+        """Item count of a file."""
+        return sum(b.shape[0] for b in self._files[name])
+
+    def list_files(self) -> List[str]:
+        """Names of all files (deterministic order)."""
+        return sorted(self._files)
+
+    # ------------------------------------------------------------------
+    # block transfers (the costed operations)
+    # ------------------------------------------------------------------
+
+    def read_block(self, name: str, index: int) -> np.ndarray:
+        """Transfer one block into internal memory (costs 1 read)."""
+        self.stats.reads += 1
+        return self._files[name][index]
+
+    def append_block(self, name: str, block: np.ndarray) -> None:
+        """Transfer one block out to the end of a file (costs 1 write)."""
+        if block.shape[0] == 0:
+            return
+        if block.shape[0] > self.block_size:
+            raise ValueError(
+                f"block of {block.shape[0]} items exceeds B={self.block_size}"
+            )
+        self.stats.writes += 1
+        self._files[name].append(np.array(block, copy=True))
+
+    # ------------------------------------------------------------------
+    # internal-memory budget
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def allocate(self, items: int, *, what: str = "buffer") -> Iterator[None]:
+        """Declare ``items`` of internal memory held for the block's scope."""
+        if items < 0:
+            raise ValueError("allocation must be non-negative")
+        if self.enforce_memory and self._allocated + items > self.memory:
+            raise ModelViolationError(
+                f"{what}: internal memory exceeded "
+                f"({self._allocated} + {items} > M={self.memory})"
+            )
+        self._allocated += items
+        try:
+            yield
+        finally:
+            self._allocated -= items
+
+    # ------------------------------------------------------------------
+    # convenience (uncosted debug access for tests)
+    # ------------------------------------------------------------------
+
+    def peek(self, name: str) -> np.ndarray:
+        """Entire file contents without I/O accounting (tests only)."""
+        blocks = self._files[name]
+        if not blocks:
+            return np.empty(0)
+        return np.concatenate(blocks)

@@ -1,0 +1,113 @@
+"""Blocked arrays on a :class:`~repro.extmem.device.BlockDevice`.
+
+Thin, scan-oriented wrapper: load a NumPy array onto the device, stream
+it back block by block (every block transfer costed), or append to it
+through a write buffer. All the Section 5 algorithms are phrased as
+scans over these.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.extmem.device import BlockDevice
+
+__all__ = ["ExtArray", "BlockWriter"]
+
+
+class ExtArray:
+    """A named blocked array on a device."""
+
+    def __init__(self, device: BlockDevice, name: str) -> None:
+        self.device = device
+        self.name = name
+        if not device.exists(name):
+            device.create(name)
+
+    @classmethod
+    def from_numpy(
+        cls, device: BlockDevice, name: str, values: np.ndarray
+    ) -> "ExtArray":
+        """Write ``values`` to the device as a new file (costs writes)."""
+        arr = cls(device, name)
+        B = device.block_size
+        for start in range(0, values.shape[0], B):
+            device.append_block(name, values[start : start + B])
+        return arr
+
+    def __len__(self) -> int:
+        return self.device.num_items(self.name)
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks in the file."""
+        return self.device.num_blocks(self.name)
+
+    def scan(self, *, reverse: bool = False) -> Iterator[np.ndarray]:
+        """Stream blocks (front-to-back, or back-to-front for the §5
+        step-4 style back-scan), costing one read each."""
+        n = self.num_blocks
+        order = range(n - 1, -1, -1) if reverse else range(n)
+        for i in order:
+            yield self.device.read_block(self.name, i)
+
+    def read_block(self, index: int) -> np.ndarray:
+        """Read one block by position (costs 1 read)."""
+        return self.device.read_block(self.name, index)
+
+    def writer(self) -> "BlockWriter":
+        """Buffered appender (flushes full blocks as they fill)."""
+        return BlockWriter(self)
+
+    def to_numpy(self) -> np.ndarray:
+        """Materialize the whole file, costing a full scan of reads."""
+        blocks = list(self.scan())
+        if not blocks:
+            return np.empty(0)
+        return np.concatenate(blocks)
+
+
+class BlockWriter:
+    """Accumulates items and appends full blocks to an :class:`ExtArray`.
+
+    Use as a context manager so the final partial block is flushed::
+
+        with out.writer() as w:
+            for chunk in stream:
+                w.write(chunk)
+    """
+
+    def __init__(self, target: ExtArray) -> None:
+        self._target = target
+        self._pending: Optional[np.ndarray] = None
+
+    def write(self, items: np.ndarray) -> None:
+        """Queue ``items``; full blocks are written through immediately."""
+        if items.shape[0] == 0:
+            return
+        if self._pending is not None:
+            items = np.concatenate([self._pending, items])
+            self._pending = None
+        B = self._target.device.block_size
+        full = (items.shape[0] // B) * B
+        for start in range(0, full, B):
+            self._target.device.append_block(
+                self._target.name, items[start : start + B]
+            )
+        if items.shape[0] > full:
+            self._pending = np.array(items[full:], copy=True)
+
+    def flush(self) -> None:
+        """Write any buffered partial block."""
+        if self._pending is not None and self._pending.shape[0]:
+            self._target.device.append_block(self._target.name, self._pending)
+        self._pending = None
+
+    def __enter__(self) -> "BlockWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if exc[0] is None:
+            self.flush()

@@ -1,0 +1,142 @@
+"""External merge sort with I/O accounting (§5 step 2 substrate).
+
+Classic two-phase multiway merge sort in the I/O model:
+
+1. **run formation** — read ``M`` items at a time, sort in internal
+   memory, write sorted runs (``2 * scan(n)`` I/Os);
+2. **multiway merge** — repeatedly merge ``k = M/B - 1`` runs through
+   one input block buffer per run plus one output buffer, until a
+   single run remains (``2 * scan(n)`` I/Os per level,
+   ``ceil(log_k(n/M))`` levels).
+
+Total: ``O((n/B) log_{M/B}(n/B)) = O(sort(n))`` I/Os, which the THM5
+bench verifies against the device counters.
+
+Sorting is stable on a named key field of a structured dtype, which is
+how superaccumulator components ``(index, digit)`` are ordered by
+exponent without disturbing digit payloads.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+import numpy as np
+
+from repro.extmem.device import BlockDevice
+from repro.extmem.ext_array import ExtArray
+
+__all__ = ["external_merge_sort"]
+
+
+def _form_runs(
+    device: BlockDevice, source: ExtArray, key: str, tag: str
+) -> List[ExtArray]:
+    """Phase 1: memory-sized sorted runs."""
+    M = device.memory
+    B = device.block_size
+    run_items = max(B, (M // B) * B)  # whole blocks, as much as fits
+    runs: List[ExtArray] = []
+    buffer: List[np.ndarray] = []
+    buffered = 0
+
+    def emit() -> None:
+        nonlocal buffer, buffered
+        if not buffered:
+            return
+        with device.allocate(buffered, what="run formation"):
+            chunk = np.concatenate(buffer)
+            chunk = chunk[np.argsort(chunk[key], kind="stable")]
+            run = ExtArray(device, f"{tag}.run{len(runs)}")
+            with run.writer() as w:
+                w.write(chunk)
+            runs.append(run)
+        buffer = []
+        buffered = 0
+
+    for block in source.scan():
+        buffer.append(block)
+        buffered += block.shape[0]
+        if buffered >= run_items:
+            emit()
+    emit()
+    return runs
+
+
+def _merge_group(
+    device: BlockDevice, group: List[ExtArray], out_name: str, key: str
+) -> ExtArray:
+    """Merge up to ``M/B - 1`` sorted runs through one block buffer each."""
+    B = device.block_size
+    out = ExtArray(device, out_name)
+    with device.allocate((len(group) + 1) * B, what="multiway merge buffers"):
+        cursors = []  # per-run: (block array, offset, next block idx)
+        for r, run in enumerate(group):
+            if run.num_blocks:
+                cursors.append([run.read_block(0), 0, 1])
+            else:
+                cursors.append([None, 0, 0])
+        heap = []
+        for r, cur in enumerate(cursors):
+            if cur[0] is not None and cur[0].shape[0]:
+                heapq.heappush(heap, (cur[0][key][0], r))
+        with out.writer() as w:
+            out_buf = None  # typed lazily from the first block seen
+            out_fill = 0
+            while heap:
+                _, r = heapq.heappop(heap)
+                block, off, nxt = cursors[r]
+                if out_buf is None:
+                    out_buf = np.empty(B, dtype=block.dtype)
+                out_buf[out_fill] = block[off]
+                out_fill += 1
+                if out_fill == B:
+                    w.write(out_buf)
+                    out_fill = 0
+                off += 1
+                if off == block.shape[0]:
+                    if nxt < group[r].num_blocks:
+                        block = group[r].read_block(nxt)
+                        cursors[r] = [block, 0, nxt + 1]
+                        heapq.heappush(heap, (block[key][0], r))
+                else:
+                    cursors[r] = [block, off, nxt]
+                    heapq.heappush(heap, (block[key][off], r))
+            if out_buf is not None and out_fill:
+                w.write(out_buf[:out_fill])
+    for run in group:
+        device.delete(run.name)
+    return out
+
+
+def external_merge_sort(
+    device: BlockDevice, source: ExtArray, *, key: str, out_name: str
+) -> ExtArray:
+    """Sort ``source`` by ``key`` into a new file ``out_name``.
+
+    ``source`` is left intact; intermediate runs are deleted as they
+    are consumed. Stable within runs and across the tie-broken merge
+    (ties resolve by run order, i.e. original block order).
+    """
+    fanout = max(2, device.memory // device.block_size - 1)
+    runs = _form_runs(device, source, key, out_name)
+    if not runs:
+        return ExtArray(device, out_name)
+    level = 0
+    while len(runs) > 1:
+        merged: List[ExtArray] = []
+        for g in range(0, len(runs), fanout):
+            group = runs[g : g + fanout]
+            name = f"{out_name}.merge{level}.{g // fanout}"
+            if len(group) == 1:
+                merged.append(group[0])
+            else:
+                merged.append(_merge_group(device, group, name, key))
+        runs = merged
+        level += 1
+    final = runs[0]
+    if final.name != out_name:
+        device.rename(final.name, out_name)
+        final = ExtArray(device, out_name)
+    return final

@@ -1,0 +1,59 @@
+"""Closed-form I/O bounds for comparing against measured counters.
+
+``scan(n)`` and ``sort(n)`` in the notation of the paper's footnotes 7
+and 8, with the constant factors of *this* implementation spelled out
+so benches can assert measured/predicted ratios stay near 1.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["scan_bound", "sort_bound", "sum_sorted_bound", "sum_scan_bound"]
+
+
+def scan_bound(n: int, block_size: int) -> int:
+    """``scan(n) = ceil(n / B)`` block transfers to read n items once."""
+    return -(-n // block_size)
+
+
+def sort_bound(n: int, memory: int, block_size: int) -> int:
+    """I/Os of our two-phase multiway merge sort on ``n`` items.
+
+    Run formation reads and writes everything once; each merge level
+    reads and writes everything once; there are
+    ``ceil(log_k(ceil(n / M)))`` levels with fan-in ``k = M/B - 1``.
+    This is ``Theta((n/B) log_{M/B}(n/B)) = Theta(sort(n))``.
+    """
+    if n <= 0:
+        return 0
+    scans = scan_bound(n, block_size)
+    runs = max(1, -(-n // max(block_size, (memory // block_size) * block_size)))
+    fanout = max(2, memory // block_size - 1)
+    levels = 0 if runs == 1 else max(1, math.ceil(math.log(runs, fanout)))
+    return 2 * scans * (1 + levels)
+
+
+def sum_sorted_bound(
+    n: int, memory: int, block_size: int, *, components_per_item: int = 3
+) -> int:
+    """Predicted I/Os of :func:`~repro.extmem.sum_sort.extmem_sum_sorted`.
+
+    One input scan + component write-out, the sort on ``c*n`` component
+    records, the scan-add read + output write, the back-scan, and the
+    rounding reads (O(1) amortized). Constants match the implementation;
+    the bench asserts measured <= ~2x this prediction.
+    """
+    c = components_per_item
+    return (
+        scan_bound(n, block_size)  # read input
+        + scan_bound(c * n, block_size)  # write components
+        + sort_bound(c * n, memory, block_size)  # sort components
+        + 2 * scan_bound(c * n, block_size)  # scan-add read + output write
+        + 2 * scan_bound(c * n, block_size)  # back-scan + rounding reads
+    )
+
+
+def sum_scan_bound(n: int, block_size: int) -> int:
+    """Predicted I/Os of :func:`~repro.extmem.sum_scan.extmem_sum_scan`."""
+    return scan_bound(n, block_size)

@@ -1,0 +1,62 @@
+"""Theorem 6: exact summation in ``O(scan(n))`` I/Os when ``sigma(n) <= M``.
+
+When the whole superaccumulator fits in internal memory there is no
+need to sort: keep it resident, stream the input once, deposit every
+block, and round at the end. The device's memory budget is charged for
+the accumulator's active components plus one input block, so running
+this with ``M < sigma(n)`` raises
+:class:`~repro.errors.ModelViolationError` — the exact boundary the
+theorem draws.
+"""
+
+from __future__ import annotations
+
+from repro.core.digits import DEFAULT_RADIX, RadixConfig
+from repro.core.sparse import SparseSuperaccumulator
+from repro.extmem.device import BlockDevice, IOStats
+from repro.extmem.ext_array import ExtArray
+from repro.extmem.sum_sort import ExtMemSumResult
+
+__all__ = ["extmem_sum_scan"]
+
+
+def extmem_sum_scan(
+    device: BlockDevice,
+    source: ExtArray,
+    *,
+    radix: RadixConfig = DEFAULT_RADIX,
+    mode: str = "nearest",
+) -> ExtMemSumResult:
+    """Correctly rounded sum of a float64 file in one scan (Theorem 6).
+
+    Raises:
+        ModelViolationError: if the accumulator's active-component count
+            ever exceeds what the internal memory can hold alongside an
+            input block (``sigma(n) > M - B``), i.e. when the theorem's
+            precondition fails and the sorting-based algorithm
+            (:func:`~repro.extmem.sum_sort.extmem_sum_sorted`) is needed.
+    """
+    start_reads = device.stats.reads
+    start_writes = device.stats.writes
+
+    acc = SparseSuperaccumulator.zero(radix)
+    B = device.block_size
+    for block in source.scan():
+        # The resident footprint during a block's processing: the input
+        # block, the accumulator before, and the (at most B*3 component)
+        # batch being folded in.
+        batch = SparseSuperaccumulator.from_floats(block, radix)
+        with device.allocate(
+            B + acc.active_count + batch.active_count,
+            what="in-memory superaccumulator (Theorem 6 requires sigma <= M)",
+        ):
+            acc = acc.add(batch)
+
+    with device.allocate(acc.active_count, what="rounding"):
+        value = acc.to_float(mode)
+
+    io = IOStats(
+        reads=device.stats.reads - start_reads,
+        writes=device.stats.writes - start_writes,
+    )
+    return ExtMemSumResult(value=value, io=io, components=acc.active_count)

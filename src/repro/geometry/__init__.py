@@ -1,0 +1,41 @@
+"""Computational geometry on exact summation (the paper's application).
+
+* :func:`orient2d` / :func:`orient2d_fast` / :func:`orient3d` /
+  :func:`incircle` — exact predicates (signs of small determinants);
+* :func:`exact_det` — correctly rounded small determinants;
+* :func:`signed_area` / :func:`is_convex` / :func:`polygon_contains` —
+  exact polygon measures;
+* :func:`convex_hull` — robust monotone-chain hull.
+"""
+
+from repro.geometry.hull import convex_hull
+from repro.geometry.polygon import (
+    centroid_times_area,
+    is_convex,
+    polygon_contains,
+    signed_area,
+)
+from repro.geometry.predicates import (
+    exact_det,
+    exact_det_sign,
+    incircle,
+    orient2d,
+    orient2d_fast,
+    orient3d,
+    product_expansion,
+)
+
+__all__ = [
+    "convex_hull",
+    "centroid_times_area",
+    "is_convex",
+    "polygon_contains",
+    "signed_area",
+    "exact_det",
+    "exact_det_sign",
+    "incircle",
+    "orient2d",
+    "orient2d_fast",
+    "orient3d",
+    "product_expansion",
+]

@@ -1,0 +1,48 @@
+"""Robust convex hull (Andrew's monotone chain + exact orientation).
+
+The canonical consumer of an exact orientation predicate: with float
+orientation, nearly-collinear inputs produce hulls that are non-convex,
+self-intersecting, or miss extreme points; with the exact predicate the
+output is the true hull for the given float coordinates, always.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.predicates import orient2d_fast
+
+__all__ = ["convex_hull"]
+
+
+def convex_hull(points: Sequence[Sequence[float]]) -> List[Tuple[float, float]]:
+    """Convex hull in counter-clockwise order, exact decisions.
+
+    Collinear boundary points are dropped (strict turns only), matching
+    the usual minimal-vertex hull definition. Duplicate input points
+    are handled. Uses the adaptive predicate, so the common case costs
+    the same as a float-only hull.
+    """
+    pts = sorted({(float(p[0]), float(p[1])) for p in np.asarray(points, dtype=np.float64)})
+    if len(pts) <= 2:
+        return list(pts)
+
+    def build(seq):
+        chain: List[Tuple[float, float]] = []
+        for p in seq:
+            while (
+                len(chain) >= 2
+                and orient2d_fast(
+                    chain[-2][0], chain[-2][1], chain[-1][0], chain[-1][1], p[0], p[1]
+                )
+                <= 0
+            ):
+                chain.pop()
+            chain.append(p)
+        return chain
+
+    lower = build(pts)
+    upper = build(reversed(pts))
+    return lower[:-1] + upper[:-1]

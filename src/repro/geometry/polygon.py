@@ -1,0 +1,128 @@
+"""Exact polygon measures via superaccumulator summation.
+
+The shoelace formula is a long alternating sum of products — exactly
+the cancellation-prone shape the paper's exact summation fixes. All
+routines here expand products error-free and round once at the end, so
+areas and centroids are correctly rounded floats regardless of where
+the polygon sits in the plane.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exact import exact_sum
+from repro.geometry.predicates import orient2d, product_expansion
+
+__all__ = ["signed_area", "polygon_contains", "is_convex", "centroid_times_area"]
+
+
+def _shoelace_terms(points: np.ndarray) -> List[float]:
+    """Error-free expansion of ``sum(x_i*y_{i+1} - x_{i+1}*y_i)``."""
+    x = points[:, 0]
+    y = points[:, 1]
+    xn = np.roll(x, -1)
+    yn = np.roll(y, -1)
+    terms: List[float] = []
+    for i in range(points.shape[0]):
+        terms.extend(product_expansion([float(x[i]), float(yn[i])]))
+        terms.extend(-t for t in product_expansion([float(xn[i]), float(y[i])]))
+    return terms
+
+
+def signed_area(points: Sequence[Sequence[float]]) -> float:
+    """Correctly rounded signed area (positive = counter-clockwise).
+
+    The exact shoelace sum is computed with a superaccumulator and
+    halved at the end (an exact operation in binary floating point).
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 2 or pts.shape[0] < 3:
+        raise ValueError("signed_area needs an (n >= 3, 2) point array")
+    return 0.5 * exact_sum(np.array(_shoelace_terms(pts)))
+
+
+def centroid_times_area(points: Sequence[Sequence[float]]) -> Tuple[float, float]:
+    """``(Cx * 6A, Cy * 6A)`` computed exactly, rounded once each.
+
+    The centroid itself needs a division (not exactly representable);
+    returning the exact numerators lets callers choose their own final
+    precision. Divide by ``6 * signed_area(points)`` for the centroid.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    x = pts[:, 0]
+    y = pts[:, 1]
+    xn = np.roll(x, -1)
+    yn = np.roll(y, -1)
+    tx: List[float] = []
+    ty: List[float] = []
+    for i in range(pts.shape[0]):
+        # cross_i = x_i*y_{i+1} - x_{i+1}*y_i  (degree-3 monomials below)
+        for sgn, mono in (
+            (1.0, [float(x[i]), float(x[i]), float(yn[i])]),
+            (1.0, [float(x[i]), float(xn[i]), float(yn[i])]),
+            (-1.0, [float(x[i]), float(xn[i]), float(y[i])]),
+            (-1.0, [float(xn[i]), float(xn[i]), float(y[i])]),
+        ):
+            exp = product_expansion(mono)
+            tx.extend(sgn * t for t in exp)
+        # (y_i + y_{i+1}) * (x_i y_{i+1} - x_{i+1} y_i), expanded:
+        for sgn, mono in (
+            (1.0, [float(x[i]), float(y[i]), float(yn[i])]),
+            (1.0, [float(x[i]), float(yn[i]), float(yn[i])]),
+            (-1.0, [float(xn[i]), float(y[i]), float(y[i])]),
+            (-1.0, [float(xn[i]), float(yn[i]), float(y[i])]),
+        ):
+            exp = product_expansion(mono)
+            ty.extend(sgn * t for t in exp)
+    return exact_sum(np.array(tx)), exact_sum(np.array(ty))
+
+
+def is_convex(points: Sequence[Sequence[float]]) -> bool:
+    """Exact convexity test: all turns the same way (collinear allowed).
+
+    Uses the exact orientation predicate at every vertex, so slivers
+    thinner than float epsilon are classified correctly.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    n = pts.shape[0]
+    if n < 3:
+        raise ValueError("need at least 3 vertices")
+    seen_pos = seen_neg = False
+    for i in range(n):
+        a, b, c = pts[i], pts[(i + 1) % n], pts[(i + 2) % n]
+        o = orient2d(a[0], a[1], b[0], b[1], c[0], c[1])
+        if o > 0:
+            seen_pos = True
+        elif o < 0:
+            seen_neg = True
+        if seen_pos and seen_neg:
+            return False
+    return True
+
+
+def polygon_contains(points: Sequence[Sequence[float]], q: Sequence[float]) -> bool:
+    """Exact point-in-polygon (boundary counts as inside).
+
+    Ray-crossing with the exact orientation predicate deciding every
+    edge side, so points within an ulp of an edge are classified by the
+    true geometry instead of rounding noise.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    qx, qy = float(q[0]), float(q[1])
+    n = pts.shape[0]
+    inside = False
+    for i in range(n):
+        ax, ay = float(pts[i][0]), float(pts[i][1])
+        bx, by = float(pts[(i + 1) % n][0]), float(pts[(i + 1) % n][1])
+        o = orient2d(ax, ay, bx, by, qx, qy)
+        if o == 0 and min(ax, bx) <= qx <= max(ax, bx) and min(ay, by) <= qy <= max(ay, by):
+            return True  # exactly on the edge
+        if (ay > qy) != (by > qy):
+            # crossing iff q is strictly left of edge a->b as seen going up
+            upward = by > ay
+            if (o > 0) == upward and o != 0:
+                inside = not inside
+    return inside

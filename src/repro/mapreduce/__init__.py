@@ -1,0 +1,48 @@
+"""MapReduce substrate and the paper's Section 6 summation jobs.
+
+* :class:`BlockStore` — simulated HDFS block placement;
+* :func:`run_job` + executors — the single-round engine;
+* :class:`SparseSuperaccumulatorJob` / :class:`SmallSuperaccumulatorJob`
+  — the two exact jobs of Figures 1-3 (:class:`NaiveSumJob` is the
+  inexact control);
+* :func:`parallel_sum` — the one-call driver.
+"""
+
+from repro.mapreduce.driver import parallel_sum
+from repro.mapreduce.hdfs import Block, BlockStore
+from repro.mapreduce.partitioner import (
+    Partitioner,
+    RandomPartitioner,
+    RoundRobinPartitioner,
+)
+from repro.mapreduce.runtime import (
+    JobResult,
+    MapReduceJob,
+    MultiprocessExecutor,
+    SerialExecutor,
+    run_job,
+)
+from repro.mapreduce.sum_job import (
+    NaiveSumJob,
+    NoCombinerSumJob,
+    SmallSuperaccumulatorJob,
+    SparseSuperaccumulatorJob,
+)
+
+__all__ = [
+    "parallel_sum",
+    "Block",
+    "BlockStore",
+    "Partitioner",
+    "RandomPartitioner",
+    "RoundRobinPartitioner",
+    "JobResult",
+    "MapReduceJob",
+    "MultiprocessExecutor",
+    "SerialExecutor",
+    "run_job",
+    "NaiveSumJob",
+    "NoCombinerSumJob",
+    "SmallSuperaccumulatorJob",
+    "SparseSuperaccumulatorJob",
+]

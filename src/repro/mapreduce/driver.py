@@ -1,0 +1,127 @@
+"""High-level driver: ``parallel_sum`` in one call (paper §6.2's job).
+
+Wraps block placement (simulated HDFS), executor selection, job choice
+and the run into the API a downstream user reaches for::
+
+    from repro.mapreduce import parallel_sum
+    total = parallel_sum(values, workers=8)
+
+Returns either the float or, with ``report=True``, a
+:class:`~repro.mapreduce.runtime.JobResult` carrying per-phase timings
+and shuffle volume — the observables the figure harness plots.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.digits import DEFAULT_RADIX, RadixConfig
+from repro.mapreduce.hdfs import BlockStore
+from repro.mapreduce.partitioner import Partitioner
+import os
+
+from repro.mapreduce.runtime import (
+    JobResult,
+    MultiprocessExecutor,
+    SerialExecutor,
+    SimulatedClusterExecutor,
+    run_job,
+)
+from repro.mapreduce.sum_job import (
+    NaiveSumJob,
+    SmallSuperaccumulatorJob,
+    SparseSuperaccumulatorJob,
+)
+from repro.util.validation import check_finite_array, ensure_float64_array
+
+__all__ = ["parallel_sum"]
+
+_JOBS = {
+    "sparse": SparseSuperaccumulatorJob,
+    "small": SmallSuperaccumulatorJob,
+    "naive": NaiveSumJob,
+}
+
+#: Default items per simulated HDFS block for laptop-scale runs. Small
+#: enough to give every worker several blocks at bench sizes, large
+#: enough that combine dominates scheduling overhead.
+DEFAULT_BLOCK_ITEMS = 1 << 17
+
+
+def parallel_sum(
+    values,
+    *,
+    workers: Optional[int] = None,
+    method: str = "sparse",
+    block_items: int = DEFAULT_BLOCK_ITEMS,
+    reducers: Optional[int] = None,
+    radix: RadixConfig = DEFAULT_RADIX,
+    mode: str = "nearest",
+    partitioner: Optional[Partitioner] = None,
+    executor: str = "auto",
+    report: bool = False,
+) -> Union[float, JobResult]:
+    """Faithfully rounded sum via the single-round MapReduce algorithm.
+
+    Args:
+        values: finite float64 array-like.
+        workers: worker count; ``None`` or 1 runs serially in-process.
+        method: ``"sparse"`` (paper), ``"small"`` (Neal comparator) or
+            ``"naive"`` (inexact control — for demonstrations only).
+        block_items: simulated HDFS block size in items.
+        reducers: the ``p`` of §6.1; defaults to the worker count.
+        radix: superaccumulator digit configuration.
+        mode: final rounding direction.
+        partitioner: reducer assignment (default round-robin).
+        executor: ``"process"`` (multiprocessing pool), ``"simulated"``
+            (serial run with a simulated p-worker makespan clock — for
+            single-core hosts or modeling cluster sizes beyond the
+            host), ``"serial"``, or ``"auto"`` (process when the host
+            has at least ``workers`` cores, simulated otherwise).
+        report: return the full :class:`JobResult` instead of the float.
+    """
+    if method not in _JOBS:
+        raise ValueError(f"method must be one of {sorted(_JOBS)}")
+    arr = ensure_float64_array(values)
+    if method != "naive":
+        check_finite_array(arr)
+
+    nodes = max(1, workers or 1)
+    store = BlockStore(nodes=nodes, block_items=block_items)
+    store.put("input", arr)
+    blocks = [b.data for b in store.blocks("input")]
+
+    job_cls = _JOBS[method]
+    job = job_cls() if method == "naive" else job_cls(radix=radix, mode=mode)
+    p = reducers if reducers is not None else nodes
+
+    if executor not in ("auto", "process", "simulated", "serial"):
+        raise ValueError(f"unknown executor {executor!r}")
+    w = workers or 1
+    kind = executor
+    if kind == "auto":
+        if w <= 1:
+            kind = "serial"
+        elif (os.cpu_count() or 1) >= w:
+            kind = "process"
+        else:
+            kind = "simulated"
+
+    if kind == "process" and w > 1:
+        with MultiprocessExecutor(w) as exe:
+            result = run_job(
+                job, blocks, reducers=p, executor=exe, partitioner=partitioner
+            )
+    elif kind == "simulated":
+        result = run_job(
+            job,
+            blocks,
+            reducers=p,
+            executor=SimulatedClusterExecutor(w),
+            partitioner=partitioner,
+        )
+    else:
+        result = run_job(
+            job, blocks, reducers=p, executor=SerialExecutor(), partitioner=partitioner
+        )
+    return result if report else result.value

@@ -1,0 +1,47 @@
+"""Reducer assignment functions ``r(x) -> [0, p)`` (paper §6.1).
+
+The paper's map phase tags each record (after combining: each combined
+superaccumulator) with a reducer id, "simply ... a random function r,
+which assigns each input record to a randomly chosen reducer", with a
+note that domain knowledge can balance load better. Both options are
+here; the round-robin partitioner is the deterministic load-balanced
+choice the experiments effectively enjoy after the combine step (one
+value per block).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+__all__ = ["Partitioner", "RandomPartitioner", "RoundRobinPartitioner"]
+
+
+class Partitioner(Protocol):
+    """Maps a combined value's ordinal to a reducer in ``[0, p)``."""
+
+    def assign(self, ordinal: int, p: int) -> int:
+        """Reducer id for the ``ordinal``-th value among ``p`` reducers."""
+        ...
+
+
+class RandomPartitioner:
+    """The paper's random ``r``: uniform over reducers, seeded."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def assign(self, ordinal: int, p: int) -> int:
+        check_positive_int(p, name="p")
+        return int(self._rng.integers(0, p))
+
+
+class RoundRobinPartitioner:
+    """Deterministic balanced assignment: ``ordinal mod p``."""
+
+    def assign(self, ordinal: int, p: int) -> int:
+        check_positive_int(p, name="p")
+        return ordinal % p

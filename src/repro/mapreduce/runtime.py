@@ -1,0 +1,268 @@
+"""Single-round MapReduce engine (paper §6.1-6.2).
+
+Phases, matching the paper's Spark implementation:
+
+1. **combine** — every input block is reduced locally to one small
+   value (here: a serialized superaccumulator). Embarrassingly
+   parallel; this is where almost all the time goes and what Figure 3's
+   core-scaling measures.
+2. **shuffle** — each combined value is tagged with a reducer id by the
+   partitioner and grouped. Volume is ``p`` superaccumulators, not
+   ``n`` records — the entire point of combining.
+3. **reduce** — each reducer folds its group into one value (parallel
+   across reducers).
+4. **post-process** — the driver folds the ``p`` reducer outputs into
+   the final answer.
+
+Executors: :class:`SerialExecutor` runs everything in-process (used by
+tests and as the 1-worker baseline); :class:`MultiprocessExecutor` uses
+a ``multiprocessing`` pool, standing in for the paper's 32-core Spark
+workers. Values crossing the executor boundary are ``bytes`` (each
+job's ``encode``/``decode``), mirroring real shuffle serialization.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.mapreduce.partitioner import Partitioner, RoundRobinPartitioner
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "MapReduceJob",
+    "JobResult",
+    "SerialExecutor",
+    "MultiprocessExecutor",
+    "SimulatedClusterExecutor",
+    "run_job",
+]
+
+
+class MapReduceJob(ABC):
+    """A single-round MapReduce job over float blocks.
+
+    Subclasses must be defined at module top level (the multiprocess
+    executor pickles them to workers) and values exchanged between
+    phases are opaque ``bytes``.
+    """
+
+    @abstractmethod
+    def combine(self, block: np.ndarray) -> bytes:
+        """Reduce one input block to a serialized intermediate value."""
+
+    @abstractmethod
+    def reduce(self, values: Sequence[bytes]) -> bytes:
+        """Fold one reducer's group of intermediates into one."""
+
+    @abstractmethod
+    def postprocess(self, values: Sequence[bytes]) -> float:
+        """Driver-side final fold over all reducer outputs."""
+
+
+@dataclass
+class JobResult:
+    """Outcome of :func:`run_job` with per-phase observability.
+
+    Attributes:
+        value: the job's final answer.
+        phase_seconds: wall-clock per phase name ("combine", "shuffle",
+            "reduce", "postprocess") — the series the figure harness
+            reports.
+        shuffle_bytes: total bytes crossing the shuffle.
+        blocks: number of input blocks combined.
+        reducers: reducer count ``p``.
+    """
+
+    value: float
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    shuffle_bytes: int = 0
+    blocks: int = 0
+    reducers: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end job time."""
+        return sum(self.phase_seconds.values())
+
+
+class SerialExecutor:
+    """In-process executor: plain ``map`` (the 1-core configuration)."""
+
+    workers = 1
+
+    def map(self, fn: Callable[[Any], bytes], items: Sequence[Any]) -> List[bytes]:
+        return [fn(item) for item in items]
+
+    def close(self) -> None:  # symmetry with the pool executor
+        """No resources to release."""
+
+
+def _invoke(args):
+    """Top-level trampoline so (fn, item) pairs pickle to pool workers."""
+    fn, item = args
+    return fn(item)
+
+
+class MultiprocessExecutor:
+    """``multiprocessing`` pool executor (the paper's worker cluster).
+
+    Args:
+        workers: pool size; plays the role of cluster cores in Fig. 3.
+        chunksize: items per task handed to a worker.
+    """
+
+    def __init__(self, workers: int, *, chunksize: int = 1) -> None:
+        self.workers = check_positive_int(workers, name="workers")
+        self._chunksize = check_positive_int(chunksize, name="chunksize")
+        self._pool = get_context("fork").Pool(self.workers)
+
+    def map(self, fn: Callable[[Any], bytes], items: Sequence[Any]) -> List[bytes]:
+        if not items:
+            return []
+        return self._pool.map(
+            _invoke, [(fn, item) for item in items], chunksize=self._chunksize
+        )
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "MultiprocessExecutor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class SimulatedClusterExecutor:
+    """Serial execution with a simulated ``p``-worker makespan clock.
+
+    On machines without multiple cores (or to model cluster sizes beyond
+    the host), tasks run serially but each task's wall time is recorded
+    and greedily scheduled (longest-processing-time-first) onto
+    ``workers`` virtual machines; :attr:`last_makespan` is the simulated
+    parallel phase time that :func:`run_job` reports. This is the
+    substitution DESIGN.md §2 documents for the paper's 32-core cluster:
+    the phase structure and per-task costs are measured, only the
+    concurrency is modeled.
+    """
+
+    def __init__(self, workers: int) -> None:
+        self.workers = check_positive_int(workers, name="workers")
+        self.last_makespan = 0.0
+
+    def map(self, fn: Callable[[Any], bytes], items: Sequence[Any]) -> List[bytes]:
+        durations: List[float] = []
+        out: List[bytes] = []
+        for item in items:
+            t0 = time.perf_counter()
+            out.append(fn(item))
+            durations.append(time.perf_counter() - t0)
+        self.last_makespan = self._makespan(durations)
+        return out
+
+    def _makespan(self, durations: List[float]) -> float:
+        loads = [0.0] * self.workers
+        for d in sorted(durations, reverse=True):
+            loads[loads.index(min(loads))] += d
+        return max(loads) if loads else 0.0
+
+    def close(self) -> None:
+        """No resources to release."""
+
+
+class _RetryingMap:
+    """Task-level fault tolerance: retry failed tasks a bounded number
+    of times (real frameworks reschedule failed map/reduce tasks; the
+    summation jobs are deterministic and side-effect free, so a retry
+    is always safe).
+
+    Retries run in-process (the failure already consumed the executor's
+    attempt); exceeding the budget re-raises the last error.
+    """
+
+    def __init__(self, exe, max_retries: int) -> None:
+        self._exe = exe
+        self._max_retries = max_retries
+
+    @property
+    def last_makespan(self):
+        """Pass through the wrapped executor's simulated makespan."""
+        return getattr(self._exe, "last_makespan", None)
+
+    def map(self, fn: Callable[[Any], bytes], items: Sequence[Any]) -> List[bytes]:
+        try:
+            return self._exe.map(fn, items)
+        except Exception:
+            if self._max_retries <= 0:
+                raise
+        out: List[bytes] = []
+        for item in items:
+            attempt = 0
+            while True:
+                try:
+                    out.append(fn(item))
+                    break
+                except Exception:
+                    attempt += 1
+                    if attempt > self._max_retries:
+                        raise
+        return out
+
+
+def run_job(
+    job: MapReduceJob,
+    blocks: Sequence[np.ndarray],
+    *,
+    reducers: int,
+    executor: Optional[SerialExecutor] = None,
+    partitioner: Optional[Partitioner] = None,
+    max_retries: int = 0,
+) -> JobResult:
+    """Execute one single-round MapReduce job.
+
+    Args:
+        job: the job definition (combine/reduce/postprocess).
+        blocks: input blocks (NumPy float arrays; typically
+            ``[b.data for b in store.blocks(name)]``).
+        reducers: the ``p`` of the paper's analysis.
+        executor: defaults to :class:`SerialExecutor`.
+        partitioner: reducer assignment; defaults to round-robin.
+        max_retries: per-task retry budget for transient failures (0 =
+            fail fast). Deterministic jobs make retries exactly safe.
+    """
+    p = check_positive_int(reducers, name="reducers")
+    base_exe = executor if executor is not None else SerialExecutor()
+    exe = _RetryingMap(base_exe, max_retries) if max_retries else base_exe
+    part = partitioner if partitioner is not None else RoundRobinPartitioner()
+    result = JobResult(value=0.0, blocks=len(blocks), reducers=p)
+
+    t0 = time.perf_counter()
+    combined = exe.map(job.combine, list(blocks))
+    t1 = time.perf_counter()
+    result.phase_seconds["combine"] = getattr(exe, "last_makespan", None) or (t1 - t0)
+
+    groups: List[List[bytes]] = [[] for _ in range(p)]
+    for ordinal, payload in enumerate(combined):
+        groups[part.assign(ordinal, p)].append(payload)
+        result.shuffle_bytes += len(payload)
+    occupied = [g for g in groups if g]
+    t2 = time.perf_counter()
+    result.phase_seconds["shuffle"] = t2 - t1
+
+    reduced = exe.map(job.reduce, occupied)
+    t3 = time.perf_counter()
+    result.phase_seconds["reduce"] = getattr(exe, "last_makespan", None) or (t3 - t2)
+
+    result.value = job.postprocess(reduced)
+    result.phase_seconds["postprocess"] = time.perf_counter() - t3
+    return result

@@ -1,0 +1,50 @@
+"""PRAM substrate and the paper's Sections 3-4 parallel algorithms.
+
+* :class:`PRAM` — round/work-accounting EREW machine model;
+* :func:`parallel_prefix` / :func:`parallel_merge` /
+  :func:`parallel_merge_sort` — the primitives;
+* :func:`pram_exact_sum` — the fast algorithm (Theorem 2);
+* :func:`condition_sensitive_sum` — the C(X)-sensitive algorithm
+  (Theorem 4);
+* :func:`sets_equal_by_summation` — the lower-bound reduction.
+"""
+
+from repro.pram.cole import ColeSortStats, cole_merge_sort
+from repro.pram.condition_sensitive import (
+    ConditionSensitiveResult,
+    condition_sensitive_sum,
+)
+from repro.pram.fast_sum import PRAMSumResult, pram_carry_propagate, pram_exact_sum
+from repro.pram.lower_bound import (
+    set_equality_instance,
+    sets_equal_by_summation,
+    tau_for,
+)
+from repro.pram.machine import PRAM, PRAMStats
+from repro.pram.primitives import (
+    parallel_compact,
+    parallel_merge,
+    parallel_merge_sort,
+    parallel_prefix,
+    parallel_reduce,
+)
+
+__all__ = [
+    "ColeSortStats",
+    "cole_merge_sort",
+    "ConditionSensitiveResult",
+    "condition_sensitive_sum",
+    "PRAMSumResult",
+    "pram_carry_propagate",
+    "pram_exact_sum",
+    "set_equality_instance",
+    "sets_equal_by_summation",
+    "tau_for",
+    "PRAM",
+    "PRAMStats",
+    "parallel_compact",
+    "parallel_merge",
+    "parallel_merge_sort",
+    "parallel_prefix",
+    "parallel_reduce",
+]

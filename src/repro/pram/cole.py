@@ -1,0 +1,198 @@
+"""Cole-style pipelined (cascading) merge sort — the O(log n) ingredient.
+
+The paper's step 3 reaches ``O(log n)`` *total* rounds for building all
+the summation tree's merged exponent lists "via the cascading
+divide-and-conquer technique [Atallah-Cole-Goodrich]", i.e. Cole's
+pipelined merge sort, instead of the ``O(log^2 n)`` of level-by-level
+merging. This module implements that pipeline:
+
+* every tree node ``v`` maintains a sorted *up-list* that grows over
+  synchronous **stages**; at each stage ``v`` merges *samples* of its
+  children's up-lists — every 4th element while a child is still
+  filling, every 2nd / every 1st in the two stages after the child
+  becomes *full* (holds all its leaves) — so a node is full three
+  stages after its children, and the root is full after ``~3 ceil(log2
+  n)`` stages;
+* the reason each stage costs ``O(1)`` parallel time is Cole's
+  *cover property*: successive merged lists interleave so tightly
+  (each gap of the previous list receives O(1) new elements) that a
+  stage's merge can reuse the previous stage's ranks instead of
+  searching. The simulation performs stage merges with vectorized host
+  sorting but **verifies the cover property** at every node and stage
+  (``check_cover=True``) — the invariant that justifies charging O(1)
+  rounds per stage — and charges the model O(1) rounds and O(total
+  list size) work per stage.
+
+Ties are broken by original position (keys are paired with their input
+index), which both makes the sort stable and keeps the cover-property
+bookkeeping well-defined on duplicate keys.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ModelViolationError
+from repro.pram.machine import PRAM
+
+__all__ = ["cole_merge_sort", "ColeSortStats"]
+
+_REC = np.dtype([("k", "<f8"), ("i", "<i8")])
+
+
+@dataclass
+class ColeSortStats:
+    """Observability for the pipeline (asserted by tests/benches).
+
+    Attributes:
+        stages: synchronous stages until the root filled (``~3 log2 n``).
+        max_cover_gap: the largest number of new elements landing in one
+            gap of a node's previous list at any stage — Cole's lemma
+            bounds this by a small constant; measuring it is the
+            evidence for the O(1)-per-stage round charge.
+        total_items_processed: sum of merged-list sizes over all stages
+            (the O(n log n) work).
+    """
+
+    stages: int = 0
+    max_cover_gap: int = 0
+    total_items_processed: int = 0
+
+
+class _Node:
+    __slots__ = ("left", "right", "size", "uplist", "full_since")
+
+    def __init__(self, left: Optional["_Node"], right: Optional["_Node"], size: int):
+        self.left = left
+        self.right = right
+        self.size = size
+        self.uplist = np.empty(0, dtype=_REC)
+        self.full_since: Optional[int] = None
+
+
+def _sample_rate(full_since: Optional[int], prev_stage: int) -> int:
+    """Cole's schedule: every 4th while filling, then 2nd, then all."""
+    if full_since is None:
+        return 4
+    since = prev_stage - full_since
+    if since <= 1:
+        return 4
+    if since == 2:
+        return 2
+    return 1
+
+
+def _sample(arr: np.ndarray, rate: int) -> np.ndarray:
+    if rate == 1:
+        return arr
+    return arr[rate - 1 :: rate]
+
+
+def _cover_gap(old: np.ndarray, new: np.ndarray) -> int:
+    """Max count of ``new`` elements inside one gap of ``old``."""
+    pos = np.searchsorted(new, old)
+    boundaries = np.concatenate([[0], pos, [new.size]])
+    return int(np.max(np.diff(boundaries)))
+
+
+def cole_merge_sort(
+    machine: PRAM,
+    keys: np.ndarray,
+    *,
+    check_cover: bool = True,
+    cover_bound: int = 8,
+) -> Tuple[np.ndarray, ColeSortStats]:
+    """Sort ``keys`` with the pipelined merge sort; O(1) rounds per stage.
+
+    Args:
+        machine: PRAM accountant (one O(1)-round charge per stage, work
+            = items touched in that stage).
+        keys: float64 array.
+        check_cover: verify the cover property at every node and stage;
+            a violation raises :class:`ModelViolationError` because it
+            would invalidate the O(1)-round charge.
+        cover_bound: allowed cover constant (Cole's analysis yields a
+            small constant; 8 sits comfortably above it).
+
+    Returns:
+        ``(sorted_keys, stats)``; the sort is stable.
+    """
+    arr = np.asarray(keys, dtype=np.float64)
+    n = arr.shape[0]
+    stats = ColeSortStats()
+    if n <= 1:
+        return arr.copy(), stats
+
+    # Leaves (full at stage 0) and the internal tree above them.
+    leaves: List[_Node] = []
+    for i in range(n):
+        node = _Node(None, None, 1)
+        rec = np.empty(1, dtype=_REC)
+        rec["k"] = arr[i]
+        rec["i"] = i
+        node.uplist = rec
+        node.full_since = 0
+        leaves.append(node)
+    internal: List[_Node] = []
+    level = leaves
+    while len(level) > 1:
+        parents = [
+            _Node(level[j], level[j + 1], level[j].size + level[j + 1].size)
+            for j in range(0, len(level) - 1, 2)
+        ]
+        internal.extend(parents)
+        if len(level) % 2:
+            parents = parents + [level[-1]]  # carried node, already tracked
+        level = parents
+    root = level[0]
+
+    stage = 0
+    max_stages = 6 * (math.ceil(math.log2(n)) + 2)
+    while root.full_since is None:
+        stage += 1
+        # Synchronous semantics: all merges read the *previous* stage's
+        # lists; snapshot before any update.
+        snapshot = {id(nd): (nd.uplist, nd.full_since) for nd in leaves + internal}
+        stage_work = 0
+        stage_procs = 0
+        updates: List[Tuple[_Node, np.ndarray, bool]] = []
+        for nd in internal:
+            if nd.full_since is not None:
+                continue  # finished nodes keep their full lists
+            l_list, l_full = snapshot[id(nd.left)]
+            r_list, r_full = snapshot[id(nd.right)]
+            ls = _sample(l_list, _sample_rate(l_full, stage - 1))
+            rs = _sample(r_list, _sample_rate(r_full, stage - 1))
+            if ls.size == 0 and rs.size == 0:
+                continue
+            merged = np.sort(np.concatenate([ls, rs]), order=("k", "i"))
+            if check_cover and nd.uplist.size:
+                gap = _cover_gap(nd.uplist, merged)
+                stats.max_cover_gap = max(stats.max_cover_gap, gap)
+                if gap > cover_bound:
+                    raise ModelViolationError(
+                        f"cover property violated: {gap} new elements in one "
+                        f"previous-list gap (bound {cover_bound})"
+                    )
+            became_full = (
+                merged.size == nd.size and l_full is not None and r_full is not None
+                and ls.size == l_list.size and rs.size == r_list.size
+            )
+            updates.append((nd, merged, became_full))
+            stage_work += int(merged.size)
+            stage_procs = max(stage_procs, int(merged.size))
+        for nd, merged, became_full in updates:
+            nd.uplist = merged
+            if became_full:
+                nd.full_since = stage
+        stats.stages = stage
+        stats.total_items_processed += stage_work
+        machine.charge(rounds=1, work=stage_work, processors=stage_procs)
+        if stage > max_stages:
+            raise ModelViolationError("pipelined sort failed to converge")
+
+    return root.uplist["k"].copy(), stats

@@ -1,0 +1,109 @@
+"""Round-synchronous EREW PRAM cost model.
+
+The PRAM algorithms in this package are *simulations with accounting*:
+the data movement is performed by vectorized NumPy (one array operation
+stands for one synchronous parallel step over its elements), while a
+:class:`PRAM` object charges the time (parallel rounds) and work (total
+operations) the step would cost on the abstract machine, and can verify
+the EREW discipline — that no memory cell is read or written by two
+processors within the same round.
+
+This is the standard way to validate PRAM *bounds* without cycle-exact
+emulation: the round/work counters are the observables the paper's
+Theorems 2 and 4 make claims about, and the benches in
+``benchmarks/bench_pram.py`` plot them against ``n`` and ``C(X)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelViolationError
+
+__all__ = ["PRAM", "PRAMStats"]
+
+
+@dataclass
+class PRAMStats:
+    """Accumulated cost of a PRAM computation.
+
+    Attributes:
+        rounds: synchronous parallel steps (the model's "time").
+        work: total primitive operations across all processors.
+        max_processors: the widest round seen — the processor count a
+            real schedule would need to realize the counted rounds
+            (before Brent's-theorem rescheduling).
+    """
+
+    rounds: int = 0
+    work: int = 0
+    max_processors: int = 0
+
+    def merge(self, other: "PRAMStats") -> None:
+        """Fold a sub-computation's cost into this one (sequential composition)."""
+        self.rounds += other.rounds
+        self.work += other.work
+        self.max_processors = max(self.max_processors, other.max_processors)
+
+
+@dataclass
+class PRAM:
+    """EREW PRAM cost accountant.
+
+    Args:
+        check_erew: when True, :meth:`access` raises
+            :class:`ModelViolationError` if a round's declared read or
+            write address set contains duplicates (concurrent access).
+            Costs an ``O(m log m)`` host-side sort per declaration, so
+            tests enable it and benches leave it off.
+    """
+
+    check_erew: bool = False
+    stats: PRAMStats = field(default_factory=PRAMStats)
+
+    def charge(self, *, rounds: int = 1, work: int = 0, processors: int = 0) -> None:
+        """Charge ``rounds`` parallel steps of ``work`` total operations."""
+        if rounds < 0 or work < 0:
+            raise ValueError("cost components must be non-negative")
+        self.stats.rounds += rounds
+        self.stats.work += work
+        self.stats.max_processors = max(self.stats.max_processors, processors)
+
+    def charge_parallel(self, elements: int) -> None:
+        """Charge one round touching ``elements`` cells with one processor each."""
+        self.charge(rounds=1, work=elements, processors=elements)
+
+    def access(
+        self,
+        reads: Optional[np.ndarray] = None,
+        writes: Optional[np.ndarray] = None,
+        *,
+        what: str = "round",
+    ) -> None:
+        """Declare one round's memory footprint for EREW validation.
+
+        ``reads``/``writes`` are integer cell addresses (any dtype). A
+        duplicate inside either set means two processors touched the
+        same cell in the same round — an EREW violation.
+        """
+        if not self.check_erew:
+            return
+        for name, addrs in (("read", reads), ("write", writes)):
+            if addrs is None:
+                continue
+            flat = np.asarray(addrs).reshape(-1)
+            if flat.size != np.unique(flat).size:
+                raise ModelViolationError(
+                    f"EREW violation in {what}: duplicate {name} address"
+                )
+
+    def fork(self) -> "PRAM":
+        """Accountant for a sub-computation (merge back with :meth:`join`)."""
+        return PRAM(check_erew=self.check_erew)
+
+    def join(self, child: "PRAM") -> None:
+        """Sequentially compose a sub-computation's cost into this one."""
+        self.stats.merge(child.stats)

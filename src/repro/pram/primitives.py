@@ -1,0 +1,208 @@
+"""Work-efficient EREW PRAM primitives with cost accounting.
+
+Everything the Section 3/4 algorithms need:
+
+* :func:`parallel_prefix` — Blelloch's two-sweep scan: ``O(log n)``
+  rounds, ``O(n)`` work (used for duplicate removal, list compaction
+  and the signed-carry propagation of §3 step 6);
+* :func:`parallel_reduce` — balanced-tree reduction;
+* :func:`parallel_merge` — rank-based merge of two sorted arrays:
+  ``O(log n)`` rounds, ``O(n log n)`` work (binary search per element);
+* :func:`parallel_merge_sort` — level-by-level merge sort over keys.
+
+Each primitive takes the :class:`~repro.pram.machine.PRAM` accountant
+first and performs real data movement with NumPy while charging model
+cost. See DESIGN.md §5.4 for the level-by-level-vs-cascading caveat on
+the sort's round count.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.pram.machine import PRAM
+
+__all__ = [
+    "parallel_prefix",
+    "parallel_reduce",
+    "parallel_compact",
+    "parallel_merge",
+    "parallel_merge_sort",
+]
+
+
+def _ceil_log2(n: int) -> int:
+    return max(1, math.ceil(math.log2(max(n, 2))))
+
+
+def parallel_prefix(
+    machine: PRAM,
+    values: np.ndarray,
+    op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+    *,
+    inclusive: bool = True,
+) -> np.ndarray:
+    """Blelloch scan: prefix combination under an associative ``op``.
+
+    ``O(log n)`` rounds, ``O(n)`` work, EREW (up-sweep and down-sweep
+    touch disjoint cells per round). ``op`` must be associative and is
+    applied to whole arrays (vectorized).
+    """
+    arr = np.asarray(values)
+    n = arr.shape[0]
+    if n == 0:
+        return arr.copy()
+    # Pad to a power of two so the tree sweeps are uniform.
+    size = 1 << _ceil_log2(n) if n > 1 else 1
+    if op is np.add:
+        identity = np.zeros(arr.shape[1:], dtype=arr.dtype)
+    else:
+        op_identity = getattr(op, "identity", None)
+        if op_identity is None:
+            raise ValueError("custom ops must expose an `identity` attribute")
+        identity = np.asarray(op_identity, dtype=arr.dtype)
+    tree = np.empty((size,) + arr.shape[1:], dtype=arr.dtype)
+    tree[:] = identity
+    tree[:n] = arr
+    # Up-sweep.
+    stride = 1
+    while stride < size:
+        left = tree[stride - 1 :: 2 * stride]
+        right = tree[2 * stride - 1 :: 2 * stride]
+        machine.access(
+            reads=np.arange(stride - 1, size, 2 * stride),
+            writes=np.arange(2 * stride - 1, size, 2 * stride),
+            what="scan up-sweep",
+        )
+        machine.charge_parallel(right.shape[0])
+        tree[2 * stride - 1 :: 2 * stride] = op(left, right)
+        stride *= 2
+    total = tree[-1].copy()
+    # Down-sweep (exclusive scan).
+    tree[-1] = identity
+    stride = size // 2
+    while stride >= 1:
+        left_idx = np.arange(stride - 1, size, 2 * stride)
+        right_idx = np.arange(2 * stride - 1, size, 2 * stride)
+        machine.access(reads=right_idx, writes=left_idx, what="scan down-sweep")
+        machine.charge_parallel(right_idx.shape[0])
+        left = tree[left_idx].copy()
+        tree[left_idx] = tree[right_idx]
+        tree[right_idx] = op(tree[right_idx], left)
+        stride //= 2
+    exclusive = tree[:n]
+    if not inclusive:
+        return exclusive.copy()
+    machine.charge_parallel(n)
+    return op(exclusive, arr)
+
+
+def parallel_reduce(
+    machine: PRAM,
+    values: np.ndarray,
+    op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+):
+    """Balanced binary-tree reduction: ``O(log n)`` rounds, ``O(n)`` work."""
+    arr = np.asarray(values).copy()
+    if arr.shape[0] == 0:
+        if op is np.add:
+            return arr.dtype.type(0)
+        raise ValueError("cannot reduce an empty array without an identity")
+    while arr.shape[0] > 1:
+        half = arr.shape[0] // 2
+        machine.charge_parallel(half)
+        combined = op(arr[: 2 * half : 2], arr[1 : 2 * half : 2])
+        if arr.shape[0] % 2:
+            combined = np.concatenate([combined, arr[-1:]])
+        arr = combined
+    return arr[0]
+
+
+def parallel_compact(
+    machine: PRAM, values: np.ndarray, keep: np.ndarray
+) -> np.ndarray:
+    """Stable compaction of ``values[keep]`` via an exclusive prefix sum.
+
+    The §3 step 4 duplicate-removal pattern: ``O(log n)`` rounds,
+    ``O(n)`` work.
+    """
+    arr = np.asarray(values)
+    mask = np.asarray(keep, dtype=np.int64)
+    if arr.shape[0] == 0:
+        return arr.copy()
+    offsets = parallel_prefix(machine, mask, inclusive=False)
+    machine.charge_parallel(arr.shape[0])
+    out_n = int(offsets[-1] + mask[-1])
+    out = np.empty(out_n, dtype=arr.dtype)
+    sel = mask.astype(bool)
+    machine.access(writes=offsets[sel], what="compact scatter")
+    out[offsets[sel]] = arr[sel]
+    return out
+
+
+def parallel_merge(
+    machine: PRAM, a: np.ndarray, b: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Rank-based merge of two sorted arrays.
+
+    Every element binary-searches its rank in the other array (``O(log
+    m)`` rounds since searches proceed in lockstep; ``O(m log m)``
+    work), then scatters to ``own_rank + cross_rank``. Returns
+    ``(merged, pos_a, pos_b)`` where ``pos_a[i]`` is the output slot of
+    ``a[i]`` — the cross-links §3 step 3 keeps between a node's list
+    and its children's.
+
+    Ties are broken toward ``a`` (stable left-priority), which makes
+    the output positions unique — the EREW scatter requirement.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    la, lb = a.shape[0], b.shape[0]
+    depth = _ceil_log2(max(la + lb, 2))
+    machine.charge(rounds=depth, work=(la + lb) * depth, processors=la + lb)
+    rank_a = np.searchsorted(b, a, side="left")  # b-elements strictly before
+    rank_b = np.searchsorted(a, b, side="right")  # a-elements at-or-before
+    pos_a = np.arange(la) + rank_a
+    pos_b = np.arange(lb) + rank_b
+    merged = np.empty(la + lb, dtype=np.result_type(a, b))
+    machine.access(writes=np.concatenate([pos_a, pos_b]), what="merge scatter")
+    machine.charge_parallel(la + lb)
+    merged[pos_a] = a
+    merged[pos_b] = b
+    return merged, pos_a, pos_b
+
+
+def parallel_merge_sort(machine: PRAM, keys: np.ndarray) -> np.ndarray:
+    """Sort by repeated pairwise :func:`parallel_merge`, level by level.
+
+    ``O(log^2 n)`` rounds / ``O(n log n)`` work as simulated. The paper
+    reaches ``O(log n)`` rounds for the same work via cascading
+    divide-and-conquer [Atallah-Cole-Goodrich]; the work bound — the
+    quantity Theorem 2's optimality argument is about — is identical.
+    """
+    runs: List[np.ndarray] = [np.asarray(keys[i : i + 1]) for i in range(keys.shape[0])]
+    if not runs:
+        return np.asarray(keys).copy()
+    while len(runs) > 1:
+        nxt: List[np.ndarray] = []
+        # All merges of one level run concurrently on the model machine:
+        # the level's round count is the *max* over its merges, its work
+        # the sum — account them on per-merge children and fold by hand.
+        level_rounds = 0
+        level_work = 0
+        level_procs = 0
+        for i in range(0, len(runs) - 1, 2):
+            child = machine.fork()
+            merged, _, _ = parallel_merge(child, runs[i], runs[i + 1])
+            nxt.append(merged)
+            level_rounds = max(level_rounds, child.stats.rounds)
+            level_work += child.stats.work
+            level_procs += child.stats.max_processors
+        if len(runs) % 2:
+            nxt.append(runs[-1])
+        machine.charge(rounds=level_rounds, work=level_work, processors=level_procs)
+        runs = nxt
+    return runs[0]

@@ -1,0 +1,144 @@
+"""Installation self-check: a fast battery over every subsystem.
+
+``python -m repro selftest`` runs in a few seconds and exercises one
+representative path through each subsystem against exact references —
+the release-engineering convention for numerical libraries whose
+correctness depends on platform floating-point behaviour (rounding
+mode, FMA contraction, x87 double-rounding would all surface here).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+__all__ = ["run_selftest"]
+
+
+def _ref(values) -> float:
+    from repro.core.rounding import round_scaled_int
+
+    total = Fraction(0)
+    for v in values:
+        total += Fraction(float(v))
+    if total == 0:
+        return 0.0
+    num, den = total.numerator, total.denominator
+    return round_scaled_int(num, -(den.bit_length() - 1))
+
+
+def _check_environment() -> None:
+    # round-to-nearest-even and no surprise FMA contraction
+    assert 1.0 + 2.0**-53 == 1.0, "rounding mode is not nearest-even"
+    assert 1.0 + 2.0**-52 != 1.0, "double precision narrower than expected"
+    x, y = 1e16, 1.0
+    s = x + y
+    assert (x - (s - (s - x))) + (y - (s - x)) == 1.0, "TwoSum algebra broken"
+
+
+def _check_core() -> None:
+    from repro.core import exact_sum
+
+    rng = np.random.default_rng(1)
+    x = (rng.random(2000) - 0.5) * 10.0 ** rng.integers(-200, 200, 2000)
+    want = _ref(x)
+    for method in ("sparse", "small", "dense"):
+        assert exact_sum(x, method=method) == want, method
+
+
+def _check_baselines() -> None:
+    from repro.baselines import hybrid_sum, ifastsum
+
+    cases = [[1.0, 2.0**-53], [1e16, 1.0, -1e16], [2.0**-1074] * 5]
+    for c in cases:
+        want = _ref(c)
+        assert ifastsum(c) == want
+        assert hybrid_sum(c) == want
+
+
+def _check_pram() -> None:
+    from repro.pram import PRAM, cole_merge_sort, pram_exact_sum
+
+    rng = np.random.default_rng(2)
+    x = (rng.random(256) - 0.5) * 10.0 ** rng.integers(-50, 50, 256)
+    assert pram_exact_sum(x).value == _ref(x)
+    out, _ = cole_merge_sort(PRAM(), x)
+    assert (out == np.sort(x)).all()
+
+
+def _check_extmem() -> None:
+    from repro.extmem import BlockDevice, ExtArray, extmem_sum_scan, extmem_sum_sorted
+
+    rng = np.random.default_rng(3)
+    x = (rng.random(1000) - 0.5) * 10.0 ** rng.integers(-80, 80, 1000)
+    dev = BlockDevice(block_size=64, memory=64 * 10)
+    src = ExtArray.from_numpy(dev, "x", x)
+    assert extmem_sum_sorted(dev, src).value == _ref(x)
+    dev2 = BlockDevice(block_size=64, memory=64 * 10)
+    src2 = ExtArray.from_numpy(dev2, "x", x)
+    assert extmem_sum_scan(dev2, src2).value == _ref(x)
+
+
+def _check_mapreduce() -> None:
+    from repro.mapreduce import parallel_sum
+
+    rng = np.random.default_rng(4)
+    x = (rng.random(3000) - 0.5) * 10.0 ** rng.integers(-80, 80, 3000)
+    assert parallel_sum(x, block_items=256) == _ref(x)
+
+
+def _check_bsp() -> None:
+    from repro.bsp import exact_allreduce_sum
+
+    rng = np.random.default_rng(5)
+    x = (rng.random(500) - 0.5) * 10.0 ** rng.integers(-50, 50, 500)
+    res = exact_allreduce_sum(np.array_split(x, 5))
+    assert res.values == [_ref(x)] * 5
+
+
+def _check_geometry() -> None:
+    from repro.geometry import incircle, orient2d
+
+    assert orient2d(0.5 + 2.0**-53, 0.5, 12.0, 12.0, 24.0, 24.0) != 0
+    assert incircle((1, 0), (0, 1), (-1, 0), (0, -1)) == 0
+
+
+def _check_stats() -> None:
+    from repro.stats import exact_variance
+
+    assert exact_variance(np.array([1e8 + 1, 1e8 + 2, 1e8 + 3, 1e8 + 4])) == 1.25
+
+
+_CHECKS: List[Tuple[str, Callable[[], None]]] = [
+    ("float environment", _check_environment),
+    ("core superaccumulators", _check_core),
+    ("sequential baselines", _check_baselines),
+    ("PRAM algorithms", _check_pram),
+    ("external memory", _check_extmem),
+    ("MapReduce", _check_mapreduce),
+    ("BSP allreduce", _check_bsp),
+    ("geometry predicates", _check_geometry),
+    ("exact statistics", _check_stats),
+]
+
+
+def run_selftest(verbose: bool = True) -> bool:
+    """Run the battery; returns True on a fully passing install."""
+    ok = True
+    for name, check in _CHECKS:
+        try:
+            check()
+            status = "ok"
+        except AssertionError as exc:
+            status = f"FAIL ({exc})"
+            ok = False
+        except Exception as exc:  # import/runtime breakage
+            status = f"ERROR ({type(exc).__name__}: {exc})"
+            ok = False
+        if verbose:
+            print(f"  {name:<24s} {status}")
+    if verbose:
+        print("selftest:", "PASS" if ok else "FAIL")
+    return ok

@@ -1,0 +1,193 @@
+"""Streaming exact aggregation: running sums, sliding windows, cumsums.
+
+Superaccumulator addition is exact and signed, so *removal* is just
+adding the negation — which makes exact sliding windows and running
+statistics trivial to build and impossible to build from compensated
+methods (whose corrections don't subtract). Everything here maintains
+exact internal state and rounds only at query time, so query results
+are correctly rounded and independent of the update order that
+produced the state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable
+
+import numpy as np
+
+from repro.core.digits import DEFAULT_RADIX, RadixConfig
+from repro.core.sparse import SparseSuperaccumulator
+from repro.stats import round_fraction
+from repro.util.validation import check_finite_array, ensure_float64_array
+
+__all__ = ["ExactRunningSum", "SlidingWindowSum", "RunningStats", "exact_cumsum"]
+
+
+class ExactRunningSum:
+    """Append-only exact running total with O(sigma) state.
+
+    ``add``/``add_array`` fold values in exactly; ``value()`` rounds the
+    exact total on demand. ``merge`` combines two independent streams
+    (the MapReduce/allreduce building block at the user API level).
+    """
+
+    def __init__(self, radix: RadixConfig = DEFAULT_RADIX) -> None:
+        self._acc = SparseSuperaccumulator.zero(radix)
+        self.count = 0
+
+    def add(self, x: float) -> None:
+        """Fold one value in exactly."""
+        self._acc = self._acc.add_float(float(x))
+        self.count += 1
+
+    def add_array(self, values: Iterable[float]) -> None:
+        """Fold a batch in exactly (vectorized)."""
+        arr = ensure_float64_array(values)
+        check_finite_array(arr)
+        if arr.size:
+            self._acc = self._acc.add(
+                SparseSuperaccumulator.from_floats(arr, self._acc.radix)
+            )
+            self.count += int(arr.size)
+
+    def merge(self, other: "ExactRunningSum") -> None:
+        """Absorb another stream's exact state."""
+        self._acc = self._acc.add(other._acc)
+        self.count += other.count
+
+    def value(self, mode: str = "nearest") -> float:
+        """Correctly rounded current total."""
+        return self._acc.to_float(mode)
+
+    def exact_state(self) -> SparseSuperaccumulator:
+        """The exact accumulator (copy) for checkpointing/transport."""
+        return self._acc.copy()
+
+
+class SlidingWindowSum:
+    """Exact sum over the last ``window`` values of a stream.
+
+    Eviction subtracts the departing value exactly (adds its negation),
+    so the window total never accumulates drift — the failure mode of
+    the classic float ring-buffer subtract-on-evict, which decays after
+    millions of updates.
+    """
+
+    def __init__(self, window: int, radix: RadixConfig = DEFAULT_RADIX) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = int(window)
+        self._buf: Deque[float] = deque()
+        self._acc = SparseSuperaccumulator.zero(radix)
+
+    def push(self, x: float) -> float:
+        """Insert ``x``, evict if full; return the rounded window sum."""
+        x = float(x)
+        self._acc = self._acc.add_float(x)
+        self._buf.append(x)
+        if len(self._buf) > self.window:
+            gone = self._buf.popleft()
+            self._acc = self._acc.add_float(-gone)
+        return self._acc.to_float()
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def value(self, mode: str = "nearest") -> float:
+        """Correctly rounded sum of the current window contents."""
+        return self._acc.to_float(mode)
+
+
+class RunningStats:
+    """Exact streaming count/mean/variance (a reproducible Welford).
+
+    Keeps the exact sum and the exact sum of squares (via error-free
+    squaring) so ``mean()`` and ``variance()`` are correctly rounded at
+    any point in the stream; ``merge`` combines shards exactly, so
+    distributed statistics come out bit-identical to a serial pass.
+    """
+
+    def __init__(self, radix: RadixConfig = DEFAULT_RADIX) -> None:
+        self._radix = radix
+        self._n = 0
+        self._sum = SparseSuperaccumulator.zero(radix)
+        self._sum_sq = SparseSuperaccumulator.zero(radix)
+
+    def add_array(self, values: Iterable[float]) -> None:
+        """Fold a batch in exactly."""
+        arr = ensure_float64_array(values)
+        check_finite_array(arr)
+        if arr.size == 0:
+            return
+        self._n += int(arr.size)
+        self._sum = self._sum.add(
+            SparseSuperaccumulator.from_floats(arr, self._radix)
+        )
+        # error-free squares: x^2 = p + e exactly (normal-range split;
+        # out-of-range magnitudes handled by exact decomposition)
+        from repro.stats import _exact_square_sum_fraction
+
+        sq = _exact_square_sum_fraction(arr)
+        # fold the exact rational (dyadic) square sum into the accumulator
+        num, den = sq.numerator, sq.denominator
+        shift = -(den.bit_length() - 1)
+        from repro.core.apfloat import APFloat, split_apfloat
+
+        pairs = split_apfloat(APFloat(num, shift), self._radix)
+        if pairs:
+            idx = np.array([j for j, _ in pairs], dtype=np.int64)
+            dig = np.array([d for _, d in pairs], dtype=np.int64)
+            self._sum_sq = self._sum_sq.add(
+                SparseSuperaccumulator(self._radix, idx, dig, _validated=True)
+            )
+
+    def merge(self, other: "RunningStats") -> None:
+        """Absorb another shard's exact state."""
+        self._n += other._n
+        self._sum = self._sum.add(other._sum)
+        self._sum_sq = self._sum_sq.add(other._sum_sq)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    def sum(self, mode: str = "nearest") -> float:
+        """Correctly rounded running sum."""
+        return self._sum.to_float(mode)
+
+    def mean(self) -> float:
+        """Correctly rounded running mean."""
+        if self._n == 0:
+            raise ValueError("mean of empty stream")
+        return round_fraction(self._sum.to_fraction() / self._n)
+
+    def variance(self, ddof: int = 0) -> float:
+        """Correctly rounded running variance."""
+        if self._n - ddof <= 0:
+            raise ValueError("need more observations than ddof")
+        s = self._sum.to_fraction()
+        ss = self._sum_sq.to_fraction()
+        return round_fraction((ss - s * s / self._n) / (self._n - ddof))
+
+
+def exact_cumsum(
+    values: Iterable[float],
+    *,
+    mode: str = "nearest",
+    radix: RadixConfig = DEFAULT_RADIX,
+) -> np.ndarray:
+    """Prefix sums with **every** prefix correctly rounded.
+
+    ``out[i]`` is the correctly rounded value of ``x[0] + ... + x[i]``
+    exactly — unlike ``np.cumsum``, whose later prefixes carry the
+    accumulated rounding of earlier ones. O(n * sigma) work.
+    """
+    arr = ensure_float64_array(values)
+    check_finite_array(arr)
+    out = np.empty(arr.size, dtype=np.float64)
+    acc = SparseSuperaccumulator.zero(radix)
+    for i, x in enumerate(arr):
+        acc = acc.add_float(float(x))
+        out[i] = acc.to_float(mode)
+    return out

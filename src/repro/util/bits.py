@@ -1,0 +1,44 @@
+"""Small integer/bit helpers used by the digit machinery.
+
+These mirror hardware idioms (floored division, trailing-zero count)
+with exact Python-integer semantics so the scalar reference paths and
+the vectorized NumPy paths agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+__all__ = ["bit_length", "floor_div", "floor_mod", "trailing_zeros"]
+
+
+def bit_length(value: int) -> int:
+    """Number of bits needed to represent ``abs(value)``.
+
+    ``bit_length(0) == 0``, matching :meth:`int.bit_length`.
+    """
+    return abs(int(value)).bit_length()
+
+
+def floor_div(a: int, b: int) -> int:
+    """Floored division, explicit alias for readability at call sites.
+
+    Python's ``//`` already floors; NumPy integer ``//`` floors too, so
+    both paths agree for negative operands (unlike C truncation).
+    """
+    return a // b
+
+
+def floor_mod(a: int, b: int) -> int:
+    """Floored modulus paired with :func:`floor_div` (result sign of ``b``)."""
+    return a % b
+
+
+def trailing_zeros(value: int) -> int:
+    """Count of trailing zero bits of a nonzero integer.
+
+    Raises:
+        ValueError: if ``value`` is zero (infinitely many trailing zeros).
+    """
+    value = int(value)
+    if value == 0:
+        raise ValueError("trailing_zeros undefined for 0")
+    return (value & -value).bit_length() - 1

@@ -1,0 +1,39 @@
+"""Lightweight wall-clock timing for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer"]
+
+
+@dataclass
+class Timer:
+    """Accumulating monotonic stopwatch.
+
+    Usage::
+
+        t = Timer()
+        with t:
+            work()
+        print(t.elapsed)
+
+    Multiple ``with`` blocks accumulate into :attr:`elapsed`, which the
+    harness uses to time repeated phases (e.g. per-round MapReduce cost)
+    without allocating a timer per phase.
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed += time.perf_counter() - self._start
+
+    def reset(self) -> None:
+        """Zero the accumulated time."""
+        self.elapsed = 0.0

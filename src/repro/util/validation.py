@@ -1,0 +1,40 @@
+"""Argument validation helpers shared across the package."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import NonFiniteInputError
+
+__all__ = ["ensure_float64_array", "check_finite_array", "check_positive_int"]
+
+
+def ensure_float64_array(values: Any) -> np.ndarray:
+    """Return ``values`` as a contiguous 1-D float64 array (view if possible).
+
+    Accepts any array-like of real numbers. Does *not* check finiteness;
+    pair with :func:`check_finite_array` where NaN/inf must be rejected.
+    """
+    arr = np.ascontiguousarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        arr = arr.reshape(-1)
+    return arr
+
+
+def check_finite_array(arr: np.ndarray, *, what: str = "input") -> None:
+    """Raise :class:`NonFiniteInputError` if ``arr`` has NaN or infinities."""
+    if arr.size and not np.isfinite(arr).all():
+        bad = int(np.flatnonzero(~np.isfinite(arr))[0])
+        raise NonFiniteInputError(
+            f"{what} contains a non-finite value at index {bad}: {arr[bad]!r}"
+        )
+
+
+def check_positive_int(value: Any, *, name: str) -> int:
+    """Return ``value`` as a positive ``int`` or raise ``ValueError``."""
+    ivalue = int(value)
+    if ivalue <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return ivalue

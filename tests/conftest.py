@@ -1,0 +1,77 @@
+"""Shared fixtures and exact reference arithmetic for the test suite."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Iterable
+
+import numpy as np
+import pytest
+
+from repro.core.rounding import round_scaled_int
+
+
+def exact_fraction(values: Iterable[float]) -> Fraction:
+    """Ground-truth exact sum as a Fraction (independent of repro code
+    except for float->Fraction, which is exact by construction)."""
+    total = Fraction(0)
+    for v in values:
+        total += Fraction(float(v))
+    return total
+
+
+def fraction_to_float(x: Fraction) -> float:
+    """Correctly rounded float of a dyadic Fraction, overflow-aware."""
+    if x == 0:
+        return 0.0
+    num, den = x.numerator, x.denominator
+    # Denominators of float-derived fractions are powers of two.
+    shift = -(den.bit_length() - 1)
+    assert den == 1 << (-shift), "non-dyadic fraction in reference path"
+    return round_scaled_int(num, shift)
+
+
+def ref_sum(values: Iterable[float]) -> float:
+    """Correctly rounded reference sum; robust to intermediate overflow
+    (unlike math.fsum) and to huge exponent ranges."""
+    return fraction_to_float(exact_fraction(values))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(20160518)  # the paper's arXiv date
+
+
+def random_hard_array(
+    rng: np.random.Generator, n: int, *, emin: int = -250, emax: int = 250
+) -> np.ndarray:
+    """Mixed-sign values spanning a wide exponent range."""
+    mags = np.ldexp(
+        1.0 + rng.random(n), rng.integers(emin, emax, size=n).astype(np.int32)
+    )
+    return mags * rng.choice(np.array([-1.0, 1.0]), size=n)
+
+
+# Adversarial fixed cases reused by several modules: half-ulp ties,
+# cancellation, subnormals, overflow-adjacent values.
+ADVERSARIAL_CASES = [
+    [0.0],
+    [-0.0, 0.0],
+    [1.0, 2.0**-53],                      # exact round-to-even tie
+    [1.0, 2.0**-53, 2.0**-105, -(2.0**-105)],
+    [1.0, 2.0**-53, 2.0**-110],           # tie broken by a crumb
+    [1.0, -(2.0**-53), -(2.0**-110)],
+    [1e16, 1.0, -1e16],
+    [1e308, 1e308, -1e308],               # prefix overflow, finite sum
+    [1e308, 1e308, -1e308, -1e308],
+    [2.0**-1074] * 3,                     # subnormal accumulation
+    [2.0**-1074, -(2.0**-1074)],
+    [2.0**-1074, 2.0**-1022, -(2.0**-1022)],
+    [math.ldexp(1, 1023), math.ldexp(-1, 970)],
+    [4.9e-324, 4.9e-324, -1e-320, 1e-320],
+    [1.5, -0.5, -1.0],                    # exact zero from normals
+    [0.1] * 10,                           # classic decimal drift
+    [1e-300] * 7 + [-7e-300],
+]

@@ -1,0 +1,163 @@
+"""Unit tests for arbitrary-precision floats (paper's generality claim)."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.core.apfloat import (
+    APFloat,
+    accumulate_apfloats,
+    exact_sum_apfloat,
+    round_apfloat_sum_to_float,
+    split_apfloat,
+)
+from repro.core.digits import RadixConfig
+from repro.errors import NonFiniteInputError
+
+
+class TestAPFloatBasics:
+    def test_canonical_form(self):
+        a = APFloat(12, 0)  # 12 = 3 * 2^2
+        assert a.mantissa == 3 and a.exponent == 2
+        assert APFloat(0, 999) == APFloat(0, 0)
+
+    def test_immutable(self):
+        a = APFloat(1, 0)
+        with pytest.raises(AttributeError):
+            a.mantissa = 2
+
+    def test_from_float_exact(self):
+        for x in (1.5, -math.pi, 2.0**-1074, 1e308):
+            assert APFloat.from_float(x).to_fraction() == Fraction(x)
+
+    def test_from_float_rejects_nonfinite(self):
+        with pytest.raises(NonFiniteInputError):
+            APFloat.from_float(math.inf)
+        with pytest.raises(NonFiniteInputError):
+            APFloat.from_float(math.nan)
+
+    def test_from_fraction(self):
+        assert APFloat.from_fraction(Fraction(3, 8)).to_fraction() == Fraction(3, 8)
+        with pytest.raises(ValueError):
+            APFloat.from_fraction(Fraction(1, 3))
+
+    def test_to_float_correctly_rounded(self):
+        # 2**53 + 1 is a tie -> even
+        a = APFloat((1 << 53) + 1, 0)
+        assert a.to_float() == float(1 << 53)
+
+    def test_beyond_double_range(self):
+        huge = APFloat(1, 2000)
+        assert huge.to_float() == math.inf
+        tiny = APFloat(1, -2000)
+        assert tiny.to_float() == 0.0
+        assert tiny.to_fraction() == Fraction(2) ** -2000
+
+    def test_precision_property(self):
+        assert APFloat(0, 0).precision == 0
+        assert APFloat(7, 5).precision == 3
+        assert APFloat((1 << 200) + 1, 0).precision == 201
+
+
+class TestArithmetic:
+    def test_add_exact(self):
+        a = APFloat(1, 1_000)
+        b = APFloat(1, -1_000)
+        s = a + b
+        assert s.to_fraction() == Fraction(2) ** 1000 + Fraction(2) ** -1000
+        assert s.precision == 2001
+
+    def test_sub_and_neg(self):
+        a = APFloat(5, 2)
+        assert (a - a).is_zero()
+        assert (-a).to_fraction() == -20
+
+    def test_ordering(self):
+        assert APFloat(1, 0) < APFloat(3, 0)
+        assert APFloat(-1, 100) < APFloat(1, -100)
+        assert APFloat(1, 1) <= APFloat(2, 0)
+
+    def test_eq_with_floats(self):
+        assert APFloat(3, -1) == 1.5
+        assert APFloat(1, 3000) != 1.5
+
+    def test_mul_exact(self):
+        a = APFloat(3, 100)
+        b = APFloat(-5, -300)
+        assert (a * b).to_fraction() == Fraction(-15) * Fraction(2) ** -200
+        assert (a * APFloat(0)).is_zero()
+
+    def test_abs(self):
+        assert abs(APFloat(-7, 3)) == APFloat(7, 3)
+
+    def test_mul_precision_grows(self):
+        big = APFloat((1 << 100) + 1, 0)
+        sq = big * big
+        assert sq.to_fraction() == (Fraction(2) ** 100 + 1) ** 2
+
+
+class TestRoundToPrecision:
+    def test_no_op_when_short(self):
+        a = APFloat(5, 0)
+        assert a.round_to_precision(10) is a
+
+    def test_ties_to_even(self):
+        # 0b11..1|1 exactly half: round to even
+        a = APFloat((1 << 10) + 1, 0)  # 1025, 11 bits
+        r = a.round_to_precision(10)
+        assert r.to_fraction() == 1024
+        b = APFloat((1 << 10) + 3, 0)  # 1027 -> 1028 at 10 bits
+        assert b.round_to_precision(10).to_fraction() == 1028
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError):
+            APFloat(1, 0).round_to_precision(0)
+
+    def test_quad_precision_target(self):
+        # t = 113 (binary128 significand): sum of widely spread values
+        vals = [APFloat(1, 0), APFloat(1, -100), APFloat(1, -300)]
+        r = round_apfloat_sum_to_float(vals, target_precision=113)
+        exact = sum((v.to_fraction() for v in vals), Fraction(0))
+        # the 2**-300 crumb is beyond 113 bits; the 2**-100 one is not
+        assert r.to_fraction() == Fraction(1) + Fraction(2) ** -100
+
+
+class TestSplitAndSum:
+    @pytest.mark.parametrize("w", [8, 30, 51])
+    def test_split_exact(self, w):
+        radix = RadixConfig(w)
+        vals = [
+            APFloat(1, 10**5),
+            APFloat(-(1 << 300) + 7, -(10**5)),
+            APFloat(12345, 17),
+        ]
+        for v in vals:
+            pairs = split_apfloat(v, radix)
+            total = sum(
+                (Fraction(d) * Fraction(2) ** (w * j) for j, d in pairs),
+                Fraction(0),
+            )
+            assert total == v.to_fraction()
+            for _, d in pairs:
+                assert -radix.alpha <= d <= radix.beta
+
+    def test_exact_sum_mixed_inputs(self):
+        vals = [APFloat(1, 500_000), 1.5, APFloat(-1, 500_000), 2.0**-700]
+        s = exact_sum_apfloat(vals)
+        assert s.to_fraction() == Fraction(3, 2) + Fraction(2) ** -700
+
+    def test_sparse_accumulator_handles_huge_gaps(self):
+        # exponent gap of a million bits: only the sparse representation
+        # is feasible (a dense accumulator would need ~33k limbs)
+        acc = accumulate_apfloats([APFloat(1, 1_000_000), APFloat(1, -1_000_000)])
+        assert acc.active_count <= 4
+        v = exact_sum_apfloat([APFloat(1, 1_000_000), APFloat(1, -1_000_000)])
+        assert v.to_fraction() == Fraction(2) ** 1_000_000 + Fraction(2) ** -1_000_000
+
+    def test_cancellation_across_precisions(self):
+        big = APFloat((1 << 400) + 1, -200)
+        s = exact_sum_apfloat([big, -APFloat(1 << 400, -200)])
+        assert s.to_fraction() == Fraction(2) ** -200

@@ -1,0 +1,79 @@
+"""Unit tests for compensated summation (Kahan / Neumaier / Klein)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.compensated import kahan_sum, klein_sum, neumaier_sum
+from tests.conftest import exact_fraction, random_hard_array
+
+
+ALL = [kahan_sum, neumaier_sum, klein_sum]
+
+
+class TestBasics:
+    @pytest.mark.parametrize("fn", ALL)
+    def test_empty_and_single(self, fn):
+        assert fn([]) == 0.0
+        assert fn([42.5]) == 42.5
+
+    @pytest.mark.parametrize("fn", ALL)
+    def test_exact_on_representable(self, fn):
+        assert fn([1.0, 2.0, 3.5]) == 6.5
+
+    @pytest.mark.parametrize("fn", ALL)
+    def test_handles_classic_drift(self, fn):
+        # sum of 0.1 ten times: compensated methods nail the rounded sum
+        got = fn([0.1] * 10)
+        exact = exact_fraction([0.1] * 10)
+        assert abs(exact_fraction([got]) - exact) <= exact_fraction([math.ulp(1.0)])
+
+
+class TestAccuracyLadder:
+    def test_kahan_known_failure_neumaier_fixes(self):
+        # big addend arrives after the total: Kahan drops the correction
+        data = [1.0, 1e100, 1.0, -1e100]
+        assert kahan_sum(data) != 2.0  # Kahan loses it
+        assert neumaier_sum(data) == 2.0
+        assert klein_sum(data) == 2.0
+
+    def test_neumaier_first_order_error(self, rng):
+        for _ in range(10):
+            x = rng.random(5000)
+            exact = exact_fraction(x)
+            err = abs(float(exact_fraction([neumaier_sum(x)]) - exact))
+            # error independent of n (few ulps of the result)
+            assert err <= 4 * math.ulp(float(exact))
+
+    def test_klein_beats_neumaier_under_cancellation(self, rng):
+        worse = 0
+        trials = 15
+        for _ in range(trials):
+            x = random_hard_array(rng, 400, emin=-30, emax=30)
+            exact = exact_fraction(x)
+            en = abs(exact_fraction([neumaier_sum(x)]) - exact)
+            ek = abs(exact_fraction([klein_sum(x)]) - exact)
+            if ek > en:
+                worse += 1
+        assert worse <= trials // 3  # second-order rarely loses
+
+    def test_all_defeated_by_extreme_condition(self):
+        # condition number ~ 1/u**3: even Klein cannot be exact
+        data = [1.0, 2.0**-53, 2.0**-106, 2.0**-159, -1.0]
+        exact = float(exact_fraction(data))
+        assert exact != 0.0
+        assert kahan_sum(data) != exact or klein_sum(data) != exact
+
+
+class TestAgainstRandomData:
+    @pytest.mark.parametrize("fn", [neumaier_sum, klein_sum])
+    def test_usually_correctly_rounded_on_mild_data(self, fn, rng):
+        hits = 0
+        for _ in range(20):
+            x = rng.random(300)
+            if fn(x) == math.fsum(x):
+                hits += 1
+        assert hits >= 15  # mild data: compensation nearly always exact

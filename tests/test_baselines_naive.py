@@ -1,0 +1,98 @@
+"""Unit tests for the inexact ordering baselines."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive import (
+    pairwise_sum,
+    recursive_sum,
+    sorted_sum,
+    worst_case_error_bound,
+)
+from tests.conftest import exact_fraction, random_hard_array
+
+
+class TestRecursiveSum:
+    def test_matches_builtin(self, rng):
+        x = rng.random(500)
+        assert recursive_sum(x) == float(sum(x.tolist()))
+
+    def test_empty(self):
+        assert recursive_sum([]) == 0.0
+
+    def test_loses_small_addend(self):
+        # the motivating failure: 1.0 vanishes into 1e16
+        assert recursive_sum([1e16, 1.0, -1e16]) == 0.0
+
+
+class TestPairwiseSum:
+    def test_exact_when_exactly_representable(self):
+        assert pairwise_sum([1.0, 2.0, 3.0, 4.0]) == 10.0
+
+    def test_within_tree_bound(self, rng):
+        x = rng.random(3000)
+        err = abs(exact_fraction(x) - exact_fraction([pairwise_sum(x)]))
+        assert float(err) <= worst_case_error_bound(x, tree_depth=True)
+
+    def test_better_than_recursive_on_average(self, rng):
+        # not guaranteed per-instance, so compare aggregate error
+        total_rec = 0.0
+        total_pair = 0.0
+        for _ in range(20):
+            x = rng.random(2000) * 1e8
+            exact = exact_fraction(x)
+            total_rec += abs(float(exact_fraction([recursive_sum(x)]) - exact))
+            total_pair += abs(float(exact_fraction([pairwise_sum(x)]) - exact))
+        assert total_pair <= total_rec
+
+    def test_odd_sizes_and_blocks(self, rng):
+        for n in (1, 2, 3, 127, 128, 129, 255):
+            x = rng.random(n)
+            got = pairwise_sum(x, block=16)
+            assert math.isfinite(got)
+            assert abs(got - math.fsum(x)) <= worst_case_error_bound(x)
+
+    def test_empty(self):
+        assert pairwise_sum([]) == 0.0
+
+
+class TestSortedSum:
+    def test_orders(self, rng):
+        x = random_hard_array(rng, 200)
+        for order in ("increasing_magnitude", "decreasing_magnitude", "ascending"):
+            got = sorted_sum(x, order=order)
+            assert math.isfinite(got)
+
+    def test_unknown_order(self):
+        with pytest.raises(ValueError):
+            sorted_sum([1.0], order="sideways")
+
+    def test_demmel_hida_accuracy(self, rng):
+        # decreasing-magnitude order is highly accurate relative to the
+        # magnitude sum (Demmel-Hida), though not faithfully rounded --
+        # exactly the caveat the paper cites.
+        x = np.concatenate([rng.random(500), -rng.random(500)])
+        got = sorted_sum(x, order="decreasing_magnitude")
+        exact = float(exact_fraction(x))
+        mag = float(np.sum(np.abs(x)))
+        assert abs(got - exact) <= 8 * math.ulp(mag)
+
+
+class TestErrorBound:
+    def test_zero_for_tiny_inputs(self):
+        assert worst_case_error_bound([]) == 0.0
+        assert worst_case_error_bound([5.0]) == 0.0
+
+    def test_monotone_in_n(self, rng):
+        x = rng.random(100)
+        assert worst_case_error_bound(x) >= worst_case_error_bound(x[:50])
+
+    def test_naive_errors_within_bound(self, rng):
+        for _ in range(10):
+            x = rng.random(int(rng.integers(2, 2000)))
+            err = abs(recursive_sum(x) - float(exact_fraction(x)))
+            assert err <= worst_case_error_bound(x)

@@ -1,0 +1,94 @@
+"""Unit tests for the reproducible binned summation baseline."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.baselines.binned import binned_sum
+from tests.conftest import exact_fraction, random_hard_array, ref_sum
+
+
+class TestReproducibility:
+    def test_permutation_invariant(self, rng):
+        x = random_hard_array(rng, 5000, emin=-40, emax=40)
+        base = binned_sum(x).value
+        for _ in range(5):
+            perm = rng.permutation(x.size)
+            assert binned_sum(x[perm]).value == base
+
+    def test_blocking_invariant(self, rng):
+        # the property parallel reductions need: split anywhere, same bits
+        x = random_hard_array(rng, 4000, emin=-30, emax=30)
+        whole = binned_sum(x)
+        # recompute with the data rotated (different chunk boundaries)
+        rolled = np.roll(x, 1234)
+        assert binned_sum(rolled).value == whole.value
+
+    def test_deterministic_across_calls(self, rng):
+        x = random_hard_array(rng, 1000)
+        assert binned_sum(x).value == binned_sum(x.copy()).value
+
+
+class TestAccuracy:
+    def test_within_error_bound(self, rng):
+        for _ in range(10):
+            x = random_hard_array(rng, int(rng.integers(10, 3000)), emin=-50, emax=50)
+            res = binned_sum(x)
+            err = abs(Fraction(res.value) - exact_fraction(x))
+            assert err <= Fraction(res.error_bound)
+
+    def test_more_folds_tighter(self, rng):
+        x = random_hard_array(rng, 2000, emin=-100, emax=100)
+        exact = exact_fraction(x)
+        e1 = abs(Fraction(binned_sum(x, fold=1).value) - exact)
+        e3 = abs(Fraction(binned_sum(x, fold=3).value) - exact)
+        assert e3 <= e1
+
+    def test_not_faithfully_rounded(self):
+        # the contrast with the paper's algorithms: a crumb far below
+        # the bins is dropped, producing a result that is NOT the
+        # faithful rounding of the true sum
+        x = np.array([1.0, 2.0**-53, 2.0**-54, 2.0**-54])
+        res = binned_sum(x, fold=1, width=20)
+        exact_rounded = ref_sum(x)  # 1 + 2**-52
+        assert exact_rounded != 1.0
+        assert res.value == 1.0  # binned sum loses the crumbs
+
+    def test_exact_when_everything_fits(self, rng):
+        # narrow data well inside one fold: result is the exact sum
+        x = rng.integers(-1000, 1000, 500).astype(np.float64)
+        res = binned_sum(x, fold=2, width=40)
+        assert res.value == ref_sum(x)
+
+
+class TestEdges:
+    def test_empty_and_zero(self):
+        assert binned_sum([]).value == 0.0
+        assert binned_sum([0.0, -0.0]).value == 0.0
+
+    def test_single(self):
+        res = binned_sum([3.25])
+        assert res.value == 3.25
+
+    def test_subnormal_clamp(self):
+        x = np.array([2.0**-1074, 2.0**-1070])
+        res = binned_sum(x, fold=3, width=40)
+        assert res.value == ref_sum(x)  # lattice clamps at 2**-1074
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            binned_sum([1.0], width=0)
+        with pytest.raises(ValueError):
+            binned_sum([1.0], width=51)
+        with pytest.raises(ValueError):
+            binned_sum([1.0], fold=0)
+
+    def test_nonfinite_rejected(self):
+        from repro.errors import NonFiniteInputError
+
+        with pytest.raises(NonFiniteInputError):
+            binned_sum([math.inf])

@@ -1,0 +1,133 @@
+"""Unit tests for the BSP substrate and exact allreduce."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bsp import BSPMachine, exact_allreduce_sum
+from repro.errors import ModelViolationError
+from tests.conftest import random_hard_array, ref_sum
+
+
+class TestBSPMachine:
+    def test_ping_pong(self):
+        machine = BSPMachine(2)
+
+        def prog(rank):
+            if rank.rank == 0:
+                rank.send(1, b"ping")
+            yield
+            got = rank.recv_all()
+            if rank.rank == 1:
+                assert got == [(0, b"ping")]
+                rank.send(0, b"pong")
+            yield
+            return rank.recv_all()
+
+        results = machine.run(prog)
+        assert results[0] == [(1, b"pong")]
+        assert machine.stats.messages == 2
+        assert machine.stats.bytes_sent == 8
+
+    def test_deterministic_delivery_order(self):
+        machine = BSPMachine(4)
+
+        def prog(rank):
+            if rank.rank != 3:
+                rank.send(3, bytes([rank.rank]))
+            yield
+            return [src for src, _ in rank.recv_all()]
+
+        results = machine.run(prog)
+        assert results[3] == [0, 1, 2]  # sender order, deterministic
+
+    def test_bad_destination(self):
+        machine = BSPMachine(2)
+
+        def prog(rank):
+            rank.send(5, b"x")
+            yield
+
+        with pytest.raises(ValueError):
+            machine.run(prog)
+
+    def test_non_bytes_payload_rejected(self):
+        machine = BSPMachine(1)
+
+        def prog(rank):
+            rank.send(0, 3.14)  # type: ignore[arg-type]
+            yield
+
+        with pytest.raises(TypeError):
+            machine.run(prog)
+
+    def test_runaway_program_detected(self):
+        machine = BSPMachine(1)
+
+        def prog(rank):
+            while True:
+                yield
+
+        with pytest.raises(ModelViolationError):
+            machine.run(prog)
+
+
+class TestExactAllreduce:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 7, 8, 16])
+    def test_all_ranks_identical_and_correct(self, p, rng):
+        data = random_hard_array(rng, 1000)
+        blocks = np.array_split(data, p)
+        res = exact_allreduce_sum(blocks)
+        want = ref_sum(data)
+        assert res.values == [want] * p
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 16, 32])
+    def test_log_p_supersteps(self, p, rng):
+        blocks = [rng.random(10) for _ in range(p)]
+        res = exact_allreduce_sum(blocks)
+        assert res.supersteps <= math.ceil(math.log2(p)) + 2
+
+    def test_schedule_independence(self, rng):
+        # the reproducibility claim: any partitioning, same bits
+        data = random_hard_array(rng, 2000)
+        outs = set()
+        for p in (1, 3, 4, 7, 16):
+            res = exact_allreduce_sum(np.array_split(data, p))
+            outs.update(res.values)
+        assert len(outs) == 1
+
+    def test_uneven_and_empty_blocks(self, rng):
+        blocks = [rng.random(100), np.empty(0), rng.random(3), np.empty(0)]
+        res = exact_allreduce_sum(blocks)
+        want = ref_sum(np.concatenate(blocks))
+        assert res.values == [want] * 4
+
+    def test_sum_zero_exact(self, rng):
+        x = rng.random(500)
+        data = np.concatenate([x, -x])
+        rng.shuffle(data)
+        res = exact_allreduce_sum(np.array_split(data, 6))
+        assert res.values == [0.0] * 6
+
+    def test_message_volume_p_log_p(self, rng):
+        p = 16
+        blocks = [rng.random(10) for _ in range(p)]
+        res = exact_allreduce_sum(blocks)
+        assert res.messages == p * math.ceil(math.log2(p))
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            exact_allreduce_sum([])
+
+    def test_directed_mode(self, rng):
+        from fractions import Fraction
+
+        from tests.conftest import exact_fraction
+
+        data = random_hard_array(rng, 300)
+        lo = exact_allreduce_sum(np.array_split(data, 4), mode="down").values[0]
+        hi = exact_allreduce_sum(np.array_split(data, 4), mode="up").values[0]
+        assert Fraction(lo) <= exact_fraction(data) <= Fraction(hi)

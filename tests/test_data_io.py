@@ -1,0 +1,72 @@
+"""Unit tests for dataset file I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.io import dataset_len, iter_blocks, read_dataset, write_dataset
+
+
+class TestRoundtrip:
+    def test_basic(self, tmp_path, rng):
+        p = tmp_path / "d.f64"
+        x = rng.random(1234)
+        assert write_dataset(p, x) == 1234
+        assert dataset_len(p) == 1234
+        assert (read_dataset(p) == x).all()
+
+    def test_preserves_bit_patterns(self, tmp_path):
+        p = tmp_path / "d.f64"
+        x = np.array([0.0, -0.0, 2.0**-1074, 1e308, -1.5])
+        write_dataset(p, x)
+        back = read_dataset(p)
+        assert (np.signbit(back) == np.signbit(x)).all()
+        assert (back == x).all()
+
+    def test_empty(self, tmp_path):
+        p = tmp_path / "d.f64"
+        write_dataset(p, [])
+        assert dataset_len(p) == 0
+        assert read_dataset(p).size == 0
+
+    def test_bad_magic(self, tmp_path):
+        p = tmp_path / "junk.f64"
+        p.write_bytes(b"NOPE" + b"\0" * 16)
+        with pytest.raises(ValueError):
+            read_dataset(p)
+
+
+class TestBlockIteration:
+    def test_blocks_cover_exactly(self, tmp_path, rng):
+        p = tmp_path / "d.f64"
+        x = rng.random(1000)
+        write_dataset(p, x)
+        blocks = list(iter_blocks(p, 333))
+        assert [b.size for b in blocks] == [333, 333, 333, 1]
+        assert (np.concatenate(blocks) == x).all()
+
+    def test_block_larger_than_file(self, tmp_path, rng):
+        p = tmp_path / "d.f64"
+        x = rng.random(10)
+        write_dataset(p, x)
+        blocks = list(iter_blocks(p, 1 << 20))
+        assert len(blocks) == 1 and (blocks[0] == x).all()
+
+    def test_bad_block_size(self, tmp_path, rng):
+        p = tmp_path / "d.f64"
+        write_dataset(p, rng.random(4))
+        with pytest.raises(ValueError):
+            list(iter_blocks(p, 0))
+
+    def test_streaming_sum_matches(self, tmp_path, rng):
+        from repro.baselines.hybridsum import HybridAccumulator
+        from tests.conftest import ref_sum
+
+        p = tmp_path / "d.f64"
+        x = (rng.random(5000) - 0.5) * 10.0 ** rng.integers(-50, 50, 5000)
+        write_dataset(p, x)
+        acc = HybridAccumulator()
+        for block in iter_blocks(p, 777):
+            acc.add_array(block)
+        assert acc.result() == ref_sum(x)

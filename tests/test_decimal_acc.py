@@ -1,0 +1,145 @@
+"""Unit tests for base-10 superaccumulators (footnote 1)."""
+
+from __future__ import annotations
+
+import random
+from decimal import Decimal, getcontext, localcontext
+from fractions import Fraction
+
+import pytest
+
+from repro.core.decimal_acc import (
+    DecimalRadix,
+    DecimalSuperaccumulator,
+    exact_decimal_sum,
+)
+from repro.errors import NonFiniteInputError
+
+
+def rand_decimals(seed, n, mag=20, exp=30):
+    rnd = random.Random(seed)
+    return [
+        Decimal(rnd.randint(-(10**mag), 10**mag)).scaleb(rnd.randint(-exp, exp))
+        for _ in range(n)
+    ]
+
+
+class TestRadix:
+    def test_default(self):
+        r = DecimalRadix()
+        assert r.R == 10**9
+        assert r.alpha == r.beta == 10**9 - 1
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            DecimalRadix(0)
+
+
+class TestConversion:
+    def test_from_decimal_exact(self):
+        for text in ("1", "-0.1", "1e100", "-3.14159", "7e-200", "0"):
+            acc = DecimalSuperaccumulator.from_decimal(Decimal(text))
+            assert acc.to_fraction() == Fraction(Decimal(text))
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(NonFiniteInputError):
+            DecimalSuperaccumulator.from_decimal(Decimal("NaN"))
+        with pytest.raises(NonFiniteInputError):
+            DecimalSuperaccumulator.from_decimal(Decimal("Infinity"))
+
+    @pytest.mark.parametrize("k", [1, 2, 5, 9, 18])
+    def test_any_radix_width(self, k):
+        vals = rand_decimals(k, 60)
+        acc = DecimalSuperaccumulator(DecimalRadix(k))
+        for v in vals:
+            acc = acc.add_decimal(v)
+        assert acc.to_fraction() == sum((Fraction(v) for v in vals), Fraction(0))
+
+
+class TestCarryFreeAdd:
+    def test_exact(self):
+        a_vals = rand_decimals(1, 40)
+        b_vals = rand_decimals(2, 40)
+        a = DecimalSuperaccumulator()
+        for v in a_vals:
+            a = a.add_decimal(v)
+        b = DecimalSuperaccumulator()
+        for v in b_vals:
+            b = b.add_decimal(v)
+        c = a.add(b)
+        assert c.to_fraction() == a.to_fraction() + b.to_fraction()
+
+    def test_lemma1_regularization_boundary(self):
+        # two maximal digits at one position: the Lemma 1 case in base 10
+        R = DecimalRadix().R
+        big = Decimal(R - 1)
+        acc = DecimalSuperaccumulator.from_decimal(big).add_decimal(big)
+        assert acc.to_fraction() == 2 * (R - 1)
+        # carry reached the adjacent position, digits stayed regularized
+        assert acc.active_count >= 2
+
+    def test_cancellation_keeps_active_zero(self):
+        acc = DecimalSuperaccumulator.from_decimal(Decimal(5)).add_decimal(
+            Decimal(-5)
+        )
+        assert acc.is_zero()
+        assert acc.active_count >= 1
+
+    def test_radix_mismatch(self):
+        a = DecimalSuperaccumulator(DecimalRadix(3))
+        b = DecimalSuperaccumulator(DecimalRadix(9))
+        with pytest.raises(ValueError):
+            a.add(b)
+
+
+class TestRounding:
+    def test_to_decimal_half_even(self):
+        # exact value 1.5 * 10**0 at precision 1 -> 2? no: half-even on
+        # significant digits: 15 -> '2E+1'? use a clean case instead:
+        acc = DecimalSuperaccumulator.from_decimal(Decimal("125"))
+        assert acc.to_decimal(precision=2) == Decimal("1.2E+2")  # half-even
+        acc2 = DecimalSuperaccumulator.from_decimal(Decimal("135"))
+        assert acc2.to_decimal(precision=2) == Decimal("1.4E+2")
+
+    def test_exact_decimal_sum_cancellation(self):
+        vals = [Decimal("1e30"), Decimal("1"), Decimal("-1e30")]
+        assert exact_decimal_sum(vals) == Decimal(1)
+
+    def test_beats_context_limited_sum(self):
+        vals = [Decimal("1e30"), Decimal("1"), Decimal("-1e30")]
+        with localcontext() as ctx:
+            ctx.prec = 10
+            naive = Decimal(0)
+            for v in vals:
+                naive += v
+        assert naive != Decimal(1)
+        assert exact_decimal_sum(vals, precision=10) == Decimal(1)
+
+    def test_random_against_fraction(self):
+        vals = rand_decimals(7, 200)
+        got = exact_decimal_sum(vals, precision=40)
+        ref = sum((Fraction(v) for v in vals), Fraction(0))
+        # 40 significant digits comfortably exceed the inputs' 21 digits
+        # only when no cancellation; compare exactly via Fraction of got
+        err = abs(Fraction(got) - ref)
+        assert err <= abs(ref) * Fraction(10) ** -39 or err == 0
+
+    def test_zero(self):
+        assert exact_decimal_sum([]) == Decimal(0)
+        assert exact_decimal_sum([Decimal("1"), Decimal("-1")]) == Decimal(0)
+
+
+class TestHousekeeping:
+    def test_copy_independent(self):
+        a = DecimalSuperaccumulator.from_decimal(Decimal(1))
+        b = a.copy()
+        b2 = b.add_decimal(Decimal(1))
+        assert a.to_fraction() == 1 and b2.to_fraction() == 2
+
+    def test_equality_by_value(self):
+        a = DecimalSuperaccumulator.from_decimal(Decimal("10"))
+        b = DecimalSuperaccumulator.from_decimal(Decimal("1e1"))
+        assert a == b and hash(a) == hash(b)
+
+    def test_repr(self):
+        assert "DecimalSuperaccumulator" in repr(DecimalSuperaccumulator())

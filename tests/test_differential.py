@@ -1,0 +1,154 @@
+"""Differential testing: every exact algorithm, every input family.
+
+A structured grid: each *input family* below is designed to stress one
+failure mode (cancellation depth, exponent spread, tie density,
+subnormals, duplicates, sign patterns), and every exact implementation
+in the repository must return the identical correctly rounded float on
+every instance. A disagreement pinpoints the broken implementation and
+the stressing family simultaneously.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+import numpy as np
+import pytest
+
+from repro.baselines import hybrid_sum, ifastsum
+from repro.core import exact_sum
+from repro.core.fixedpoint import FixedPointRegister
+from repro.pram import pram_exact_sum
+from tests.conftest import ref_sum
+
+
+def _fixedpoint_sum(x) -> float:
+    reg = FixedPointRegister()
+    reg.add_array(np.asarray(x, dtype=np.float64))
+    return reg.to_float()
+
+
+def _extmem_sum(x) -> float:
+    from repro.extmem import BlockDevice, ExtArray, extmem_sum_sorted
+
+    dev = BlockDevice(block_size=32, memory=32 * 8)
+    src = ExtArray.from_numpy(dev, "x", np.asarray(x, dtype=np.float64))
+    return extmem_sum_sorted(dev, src).value
+
+
+def _mapreduce_sum(x) -> float:
+    from repro.mapreduce import parallel_sum
+
+    return parallel_sum(np.asarray(x, dtype=np.float64), block_items=37)
+
+
+def _allreduce_sum(x) -> float:
+    from repro.bsp import exact_allreduce_sum
+
+    arr = np.asarray(x, dtype=np.float64)
+    return exact_allreduce_sum(np.array_split(arr, 3)).values[0]
+
+
+ALGORITHMS: Dict[str, Callable] = {
+    "sparse": lambda x: exact_sum(x, method="sparse"),
+    "small": lambda x: exact_sum(x, method="small"),
+    "dense": lambda x: exact_sum(x, method="dense"),
+    "ifastsum": ifastsum,
+    "hybrid": hybrid_sum,
+    "fixedpoint": _fixedpoint_sum,
+    "pram": lambda x: pram_exact_sum(x).value,
+    "extmem": _extmem_sum,
+    "mapreduce": _mapreduce_sum,
+    "allreduce": _allreduce_sum,
+}
+
+
+def _rng(seed):
+    return np.random.default_rng(seed)
+
+
+def fam_cancellation_tower(seed: int) -> np.ndarray:
+    """Nested cancellation: pairs at every scale, one survivor."""
+    r = _rng(seed)
+    parts = []
+    for e in range(-300, 301, 30):
+        v = float(np.ldexp(1.0 + r.random(), e))
+        parts += [v, -v]
+    parts.append(math.pi)
+    out = np.array(parts)
+    r.shuffle(out)
+    return out
+
+
+def fam_tie_dense(seed: int) -> np.ndarray:
+    """Many half-ulp ties layered on a unit base."""
+    r = _rng(seed)
+    crumbs = [2.0**-53, -(2.0**-53), 2.0**-54, 2.0**-105, -(2.0**-105)]
+    out = np.array([1.0] + [crumbs[i % len(crumbs)] for i in range(50)])
+    r.shuffle(out)
+    return out
+
+
+def fam_subnormal_swarm(seed: int) -> np.ndarray:
+    """Hundreds of subnormals plus one normal anchor."""
+    r = _rng(seed)
+    subs = r.integers(-(1 << 40), 1 << 40, 200).astype(np.float64) * 2.0**-1074
+    return np.concatenate([subs, np.array([2.0**-1000])])
+
+
+def fam_geometric_ladder(seed: int) -> np.ndarray:
+    """One value per binade over the full range (maximal sigma)."""
+    exps = np.arange(-1000, 1000, 13, dtype=np.int32)
+    r = _rng(seed)
+    mant = 1.0 + r.random(exps.size)
+    signs = r.choice([-1.0, 1.0], exps.size)
+    return np.ldexp(mant, exps) * signs
+
+
+def fam_duplicates(seed: int) -> np.ndarray:
+    """Few distinct values, many copies (reduceat/bincount stress)."""
+    r = _rng(seed)
+    pool = (r.random(7) - 0.5) * 10.0 ** r.integers(-10, 10, 7)
+    return r.choice(pool, 400)
+
+
+def fam_alternating_huge(seed: int) -> np.ndarray:
+    """Overflow-adjacent alternation with a tiny survivor."""
+    return np.array([1e308, -1e308] * 20 + [1e-8, 2.0**-1074])
+
+
+def fam_uniform_mixed(seed: int) -> np.ndarray:
+    r = _rng(seed)
+    return (r.random(500) - 0.5) * 10.0 ** r.integers(-250, 250, 500)
+
+
+FAMILIES = {
+    "cancellation_tower": fam_cancellation_tower,
+    "tie_dense": fam_tie_dense,
+    "subnormal_swarm": fam_subnormal_swarm,
+    "geometric_ladder": fam_geometric_ladder,
+    "duplicates": fam_duplicates,
+    "alternating_huge": fam_alternating_huge,
+    "uniform_mixed": fam_uniform_mixed,
+}
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("algo", sorted(ALGORITHMS))
+def test_grid(family, algo, subtests=None):
+    for seed in (0, 1, 2):
+        x = FAMILIES[family](seed)
+        want = ref_sum(x)
+        got = ALGORITHMS[algo](x)
+        assert got == want, (
+            f"{algo} disagrees on {family}[seed={seed}]: {got!r} != {want!r}"
+        )
+
+
+def test_all_algorithms_pairwise_identical(rng):
+    """One joint sweep: every algorithm, same instance, one voice."""
+    for seed in range(3):
+        x = fam_uniform_mixed(seed + 100)
+        results = {name: fn(x) for name, fn in ALGORITHMS.items()}
+        assert len(set(results.values())) == 1, results

@@ -1,0 +1,196 @@
+"""Unit tests for the radix/GSD digit machinery (Lemma 1 core)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.digits import (
+    DEFAULT_RADIX,
+    RadixConfig,
+    accumulate_digits,
+    check_regularized,
+    digits_to_int,
+    normalize_digit_array,
+    regularize_pair_vec,
+    split_float,
+    split_floats_vec,
+)
+from repro.errors import RepresentationError
+from tests.conftest import random_hard_array
+
+
+def digits_value(pairs, radix=DEFAULT_RADIX) -> Fraction:
+    return sum(
+        Fraction(d) * Fraction(2) ** (radix.w * j) for j, d in pairs
+    ) if pairs else Fraction(0)
+
+
+class TestRadixConfig:
+    def test_defaults(self):
+        assert DEFAULT_RADIX.w == 30
+        assert DEFAULT_RADIX.R == 1 << 30
+        assert DEFAULT_RADIX.alpha == DEFAULT_RADIX.beta == (1 << 30) - 1
+        assert DEFAULT_RADIX.supports_vectorized
+
+    def test_paper_radix_supported_scalar_only(self):
+        r51 = RadixConfig(w=51)  # the paper's R = 2**(t-1) for binary64
+        assert not r51.supports_vectorized
+        assert r51.R == 1 << 51
+
+    @pytest.mark.parametrize("w", [0, 1, 62, 100])
+    def test_rejects_bad_width(self, w):
+        with pytest.raises(ValueError):
+            RadixConfig(w=w)
+
+    @pytest.mark.parametrize("w,expected", [(30, 3), (26, 3), (16, 5), (8, 8)])
+    def test_digits_per_double(self, w, expected):
+        assert RadixConfig(w=w).digits_per_double == expected
+
+
+class TestSplitFloat:
+    @pytest.mark.parametrize("w", [4, 8, 16, 26, 30, 31, 51])
+    def test_value_preserved(self, w):
+        radix = RadixConfig(w=w)
+        for x in (1.0, -3.75, 1e308, 2.0**-1074, -1e-300, 0.1, 12345.678):
+            pairs = split_float(x, radix)
+            assert digits_value(pairs, radix) == Fraction(x)
+
+    def test_digits_share_sign_and_regularized(self):
+        for x in (-math_pi_ish() , 7.25e100):
+            pairs = split_float(x)
+            signs = {1 if d > 0 else -1 for _, d in pairs}
+            assert len(signs) == 1
+            for _, d in pairs:
+                assert -DEFAULT_RADIX.alpha <= d <= DEFAULT_RADIX.beta
+
+    def test_zero_splits_empty(self):
+        assert split_float(0.0) == []
+        assert split_float(-0.0) == []
+
+    def test_component_count_bounded(self):
+        for x in (1e308, 2.0**-1074, 1.0):
+            assert len(split_float(x)) <= DEFAULT_RADIX.digits_per_double
+
+
+def math_pi_ish() -> float:
+    return 3.141592653589793
+
+
+class TestSplitFloatsVec:
+    @pytest.mark.parametrize("w", [8, 16, 26, 30, 31])
+    def test_matches_scalar(self, w, rng):
+        radix = RadixConfig(w=w)
+        x = random_hard_array(rng, 300)
+        idx, dig = split_floats_vec(x, radix)
+        total = sum(
+            Fraction(int(d)) * Fraction(2) ** (w * int(j))
+            for j, d in zip(idx, dig)
+        )
+        assert total == sum(Fraction(float(v)) for v in x)
+
+    def test_rejects_wide_radix(self, rng):
+        with pytest.raises(ValueError):
+            split_floats_vec(rng.random(4), RadixConfig(w=40))
+
+    def test_no_zero_digits_emitted(self, rng):
+        idx, dig = split_floats_vec(random_hard_array(rng, 200))
+        assert (dig != 0).all()
+
+    def test_subnormals(self):
+        x = np.array([2.0**-1074, 3 * 2.0**-1074, -(2.0**-1060)])
+        idx, dig = split_floats_vec(x)
+        total = sum(
+            Fraction(int(d)) * Fraction(2) ** (30 * int(j))
+            for j, d in zip(idx, dig)
+        )
+        assert total == sum(Fraction(float(v)) for v in x)
+
+
+class TestRegularizePair:
+    def test_lemma1_ranges(self, rng):
+        R = DEFAULT_RADIX.R
+        # P in the full pairwise range [-(2R-2), 2R-2]
+        P = rng.integers(-(2 * R - 2), 2 * R - 1, size=5000).astype(np.int64)
+        S = regularize_pair_vec(P)
+        check_regularized(S)  # no exception
+        # value preserved
+        vp = digits_to_int(P, 0)
+        vs = digits_to_int(S, 0)
+        assert vp == vs
+
+    def test_boundary_values(self):
+        R = DEFAULT_RADIX.R
+        for p in (-(2 * R - 2), -(R - 1), -(R - 2), 0, R - 2, R - 1, 2 * R - 2):
+            S = regularize_pair_vec(np.array([p], dtype=np.int64))
+            check_regularized(S)
+            assert digits_to_int(S, 0)[0] == p
+
+    def test_carry_moves_one_position_only(self):
+        R = DEFAULT_RADIX.R
+        # max positive everywhere: all carries fire, none propagates past
+        P = np.full(20, 2 * R - 2, dtype=np.int64)
+        S = regularize_pair_vec(P)
+        check_regularized(S)
+        assert digits_to_int(S, 0)[0] == digits_to_int(P, 0)[0]
+
+
+class TestNormalizeDigitArray:
+    def test_random_raw_values(self, rng):
+        raw = rng.integers(-(1 << 60), 1 << 60, size=50).astype(np.int64)
+        out = normalize_digit_array(raw)
+        check_regularized(out)
+        assert digits_to_int(out, 0)[0] == digits_to_int(raw, 0)[0]
+
+    def test_negative_total_no_ripple_explosion(self):
+        raw = np.zeros(8, dtype=np.int64)
+        raw[0] = -1
+        out = normalize_digit_array(raw)
+        check_regularized(out)
+        assert digits_to_int(out, 0)[0] == -1
+
+    def test_empty(self):
+        out = normalize_digit_array(np.zeros(0, dtype=np.int64))
+        assert digits_to_int(out, 0)[0] == 0
+
+
+class TestAccumulateDigits:
+    def test_exact_scatter_sum(self, rng):
+        n = 20000
+        idx = rng.integers(0, 64, size=n).astype(np.int64)
+        dig = rng.integers(-(1 << 30), 1 << 30, size=n).astype(np.int64)
+        out = accumulate_digits(idx, dig, base_index=0, length=64)
+        ref = np.zeros(64, dtype=np.int64)
+        np.add.at(ref, idx, dig)
+        assert (out == ref).all()
+
+    def test_offset_base(self):
+        idx = np.array([-5, -5, -3], dtype=np.int64)
+        dig = np.array([7, 8, -2], dtype=np.int64)
+        out = accumulate_digits(idx, dig, base_index=-5, length=3)
+        assert (out == np.array([15, 0, -2])).all()
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            accumulate_digits(
+                np.array([5], dtype=np.int64),
+                np.array([1], dtype=np.int64),
+                base_index=0,
+                length=3,
+            )
+
+    def test_empty(self):
+        out = accumulate_digits(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+            base_index=0, length=4,
+        )
+        assert (out == 0).all()
+
+
+class TestCheckRegularized:
+    def test_raises_with_position(self):
+        bad = np.array([0, DEFAULT_RADIX.beta + 1], dtype=np.int64)
+        with pytest.raises(RepresentationError, match="offset 1"):
+            check_regularized(bad)

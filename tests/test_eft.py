@@ -1,0 +1,103 @@
+"""Unit tests for error-free transformations."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.eft import (
+    fast_two_sum,
+    fast_two_sum_vec,
+    split,
+    two_product,
+    two_sum,
+    two_sum_vec,
+)
+
+
+class TestTwoSum:
+    def test_identity(self):
+        s, e = two_sum(1.5, 2.25)
+        assert s == 3.75 and e == 0.0
+
+    def test_error_captured(self):
+        s, e = two_sum(1e16, 1.0)
+        assert s == 1e16
+        assert e == 1.0  # the lost addend reappears exactly
+
+    def test_exactness_property(self):
+        # s + e == x + y exactly, over a wide range of magnitudes.
+        rng = np.random.default_rng(1)
+        for _ in range(500):
+            x = float(np.ldexp(rng.random() - 0.5, int(rng.integers(-80, 80))))
+            y = float(np.ldexp(rng.random() - 0.5, int(rng.integers(-80, 80))))
+            s, e = two_sum(x, y)
+            assert Fraction(s) + Fraction(e) == Fraction(x) + Fraction(y)
+
+    def test_order_independent(self):
+        for x, y in [(1e300, 1e-300), (3.0, -7.25), (2.0**-1074, 1.0)]:
+            assert two_sum(x, y) == two_sum(y, x)
+
+    def test_zero_partner(self):
+        assert two_sum(0.0, 5.5) == (5.5, 0.0)
+        assert two_sum(-3.25, 0.0) == (-3.25, 0.0)
+
+    def test_subnormal_sum_is_exact(self):
+        # Hauser: additions landing in the subnormal range are exact.
+        s, e = two_sum(2.0**-1074, 3 * 2.0**-1074)
+        assert (s, e) == (4 * 2.0**-1074, 0.0)
+
+
+class TestFastTwoSum:
+    def test_matches_two_sum_when_ordered(self):
+        rng = np.random.default_rng(2)
+        for _ in range(300):
+            x = float(np.ldexp(rng.random() + 1.0, int(rng.integers(-40, 40))))
+            y = float(np.ldexp(rng.random(), int(rng.integers(-80, -41))))
+            assert fast_two_sum(x, y) == two_sum(x, y)
+
+    def test_negative_big_operand(self):
+        x, y = -1e20, 3.0
+        assert fast_two_sum(x, y) == two_sum(x, y)
+
+
+class TestVectorized:
+    def test_two_sum_vec_matches_scalar(self, rng):
+        x = rng.random(1000) * 10.0 ** rng.integers(-30, 30, 1000)
+        y = rng.random(1000) * 10.0 ** rng.integers(-30, 30, 1000)
+        s, e = two_sum_vec(x, y)
+        for i in range(0, 1000, 97):
+            ss, ee = two_sum(float(x[i]), float(y[i]))
+            assert s[i] == ss and e[i] == ee
+
+    def test_fast_two_sum_vec_ordered(self, rng):
+        x = rng.random(256) + 1.0
+        y = (rng.random(256) - 0.5) * 2.0**-30
+        s, e = fast_two_sum_vec(x, y)
+        sv, ev = two_sum_vec(x, y)
+        assert (s == sv).all() and (e == ev).all()
+
+
+class TestSplitAndProduct:
+    def test_split_reassembles(self):
+        for a in (1.0, math.pi, -1234.5678e15, 2.0**-500):
+            hi, lo = split(a)
+            assert hi + lo == a
+            # hi has at most 26 significant bits
+            m, _ = math.frexp(hi)
+            assert (abs(int(m * 2**53)) % (1 << 27)) == 0
+
+    def test_two_product_exact(self):
+        rng = np.random.default_rng(3)
+        for _ in range(300):
+            a = float(np.ldexp(rng.random() - 0.5, int(rng.integers(-40, 40))))
+            b = float(np.ldexp(rng.random() - 0.5, int(rng.integers(-40, 40))))
+            p, e = two_product(a, b)
+            assert Fraction(p) + Fraction(e) == Fraction(a) * Fraction(b)
+
+    def test_two_product_of_exact_product(self):
+        p, e = two_product(3.0, 0.5)
+        assert (p, e) == (1.5, 0.0)

@@ -1,0 +1,130 @@
+"""Unit tests for the high-level exact_sum / exact_dot API and
+condition numbers."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.condition import condition_number, condition_number_exact
+from repro.core.exact import exact_dot, exact_sum, exact_sum_fraction, exact_sum_scaled
+from repro.errors import NonFiniteInputError
+from tests.conftest import ADVERSARIAL_CASES, exact_fraction, random_hard_array, ref_sum
+
+
+class TestExactSum:
+    @pytest.mark.parametrize("method", ["sparse", "small", "dense", "auto"])
+    @pytest.mark.parametrize("case", ADVERSARIAL_CASES)
+    def test_all_methods_agree(self, method, case):
+        assert exact_sum(case, method=method) == ref_sum(case)
+
+    def test_methods_agree_random(self, rng):
+        x = random_hard_array(rng, 1000)
+        vals = {exact_sum(x, method=m) for m in ("sparse", "small", "dense")}
+        assert len(vals) == 1
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            exact_sum([1.0], method="magic")
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(NonFiniteInputError):
+            exact_sum([1.0, math.inf])
+
+    def test_accepts_lists_and_2d(self):
+        assert exact_sum([1.0, 2.0, 3.0]) == 6.0
+        assert exact_sum(np.ones((2, 3))) == 6.0
+
+    def test_scaled_and_fraction_consistent(self, rng):
+        x = random_hard_array(rng, 100)
+        v, s = exact_sum_scaled(x)
+        assert Fraction(v) * Fraction(2) ** s == exact_sum_fraction(x)
+        assert exact_sum_fraction(x) == exact_fraction(x)
+
+    def test_where_numpy_fails(self):
+        x = np.array([1e16, 1.0, -1e16])
+        assert float(np.sum(x)) != 1.0  # the motivating failure
+        assert exact_sum(x) == 1.0
+
+
+class TestExactDot:
+    def test_simple(self):
+        assert exact_dot([1.0, 2.0], [3.0, 4.0]) == 11.0
+
+    def test_catastrophic_cancellation(self):
+        # classic: naive dot is wildly wrong
+        x = np.array([1e150, 1.0, -1e150])
+        y = np.array([1e150, 1.0, 1e150])
+        assert exact_dot(x, y) == 1.0
+
+    def test_against_fraction(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(1, 100))
+            x = random_hard_array(rng, n, emin=-100, emax=100)
+            y = random_hard_array(rng, n, emin=-100, emax=100)
+            want = sum(
+                (Fraction(float(a)) * Fraction(float(b)) for a, b in zip(x, y)),
+                Fraction(0),
+            )
+            from tests.conftest import fraction_to_float
+
+            assert exact_dot(x, y) == fraction_to_float(want)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            exact_dot([1.0], [1.0, 2.0])
+
+    def test_product_overflow_rounds_to_inf(self):
+        # the exact dot is ~1e616: correctly rounded to binary64 = inf
+        assert exact_dot([1e308], [1e308]) == math.inf
+        assert exact_dot([1e308], [-1e308]) == -math.inf
+        # but a cancelling pair of huge products is finite and exact
+        assert exact_dot([1e308, 1e308], [1e308, -1e308]) == 0.0
+
+    def test_subnormal_products_exact(self):
+        # float products underflow; the exact dot does not
+        v = exact_dot([2.0**-600], [2.0**-600])
+        assert v == 0.0  # 2**-1200 rounds to zero in binary64 ...
+        from fractions import Fraction
+
+        from repro.stats import exact_dot_fraction
+
+        assert exact_dot_fraction([2.0**-600], [2.0**-600]) == Fraction(2) ** -1200
+
+    def test_input_nonfinite_rejected(self):
+        with pytest.raises(NonFiniteInputError):
+            exact_dot([math.inf], [1.0])
+
+
+class TestConditionNumber:
+    def test_positive_data_is_one(self, rng):
+        assert condition_number(rng.random(500)) == 1.0
+
+    def test_exact_zero_sum_is_inf(self, rng):
+        x = rng.random(100)
+        assert condition_number(np.concatenate([x, -x])) == math.inf
+
+    def test_empty_and_zeros(self):
+        assert condition_number([]) == 1.0
+        assert condition_number([0.0, 0.0]) == 1.0
+
+    def test_known_value(self):
+        # |1| + |-1| + |eps| over |eps|
+        eps = 2.0**-30
+        got = condition_number([1.0, -1.0, eps])
+        assert abs(got - (2.0 + eps) / eps) < 1e-3
+
+    def test_exact_pair(self, rng):
+        x = random_hard_array(rng, 200)
+        mag, total = condition_number_exact(x)
+        assert mag == exact_fraction(np.abs(x))
+        assert total == abs(exact_fraction(x))
+
+    def test_grows_with_cancellation(self, rng):
+        base = rng.random(100)
+        mild = condition_number(base)
+        harsh = condition_number(np.concatenate([base, -base + 1e-9]))
+        assert harsh > mild

@@ -1,0 +1,146 @@
+"""Exhaustive verification on the format's boundary regions.
+
+Random testing rarely lands on the exact boundaries where rounding
+logic branches (subnormal threshold, overflow threshold, tie points,
+digit-width seams). These tests enumerate those regions *densely* —
+every value in a window — so any off-by-one in a boundary comparison
+fails deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.digits import RadixConfig, split_float
+from repro.core.rounding import MAX_FINITE, round_scaled_int
+from repro.core.sparse import SparseSuperaccumulator
+from tests.conftest import fraction_to_float
+
+
+def ref(v: int, s: int) -> float:
+    try:
+        return float(Fraction(v) * Fraction(2) ** s)
+    except OverflowError:
+        return math.inf if v > 0 else -math.inf
+
+
+class TestSubnormalBoundaryExhaustive:
+    def test_every_value_near_the_floor(self):
+        # all integers scaled to straddle 2**-1074 ... 2**-1070
+        for v in range(-70, 71):
+            for s in (-1080, -1077, -1075, -1074, -1073, -1072):
+                assert round_scaled_int(v, s) == ref(v, s), (v, s)
+
+    def test_half_units_tie_to_even(self):
+        # v * 2**-1075: exactly half the smallest subnormal per odd v
+        for v in range(1, 64, 2):
+            got = round_scaled_int(v, -1075)
+            want = ref(v, -1075)
+            assert got == want, v
+
+    def test_normal_subnormal_seam(self):
+        # dense window around 2**-1022 where the lsb rule switches
+        base = 1 << 60
+        for dv in range(-40, 41):
+            v = base + dv
+            for s in (-1082, -1083, -1084):
+                assert round_scaled_int(v, s) == ref(v, s), (v, s)
+
+
+class TestOverflowBoundaryExhaustive:
+    def test_window_around_max_finite(self):
+        # values maxfinite + k * 2**970 for k in [-8, 8]: the overflow
+        # tie sits at k = +1/2 in these units
+        m = (1 << 53) - 1  # maxfinite mantissa at scale 2**971
+        for k in range(-16, 17):
+            v = (m << 1) + k  # scale 2**970
+            assert round_scaled_int(v, 970) == ref(v, 970), k
+
+    def test_directed_saturation_window(self):
+        m = (1 << 54) - 2  # maxfinite at scale 2**970
+        for k in range(0, 8):
+            v = m + k
+            down = round_scaled_int(v, 970, "down")
+            up = round_scaled_int(v, 970, "up")
+            assert down <= MAX_FINITE
+            if k > 0:
+                assert up == math.inf
+            else:
+                assert up == MAX_FINITE
+
+
+class TestTieExhaustive:
+    def test_all_53bit_ties(self):
+        # v = (2m+1) * 2**(cut-1): exact ties at several cut widths —
+        # result must always have an even mantissa
+        for mantissa in range((1 << 53) - 32, (1 << 53) + 32):
+            v = 2 * mantissa + 1  # odd low bit
+            got = round_scaled_int(v, 0)
+            assert got == ref(v, 0), mantissa
+            if mantissa < 1 << 53:
+                # 54-bit v, cut = 1, remainder exactly half: a genuine
+                # tie, so ties-to-even forces an even result mantissa
+                m53, _ = math.frexp(got)
+                assert int(m53 * (1 << 53)) % 2 == 0
+
+
+class TestDigitSeamExhaustive:
+    @pytest.mark.parametrize("w", [4, 8, 16, 26, 30, 31])
+    def test_exponents_across_every_seam(self, w):
+        # values 2**e for e crossing every digit-index boundary in a
+        # window: splitting must stay exact and regularized
+        radix = RadixConfig(w)
+        for e in range(-3 * w, 3 * w + 1):
+            x = math.ldexp(1.0 + 0.5, e)  # 1.5 * 2**e: two set bits
+            pairs = split_float(x, radix)
+            total = sum(
+                (Fraction(d) * Fraction(2) ** (w * j) for j, d in pairs),
+                Fraction(0),
+            )
+            assert total == Fraction(x), (w, e)
+            for _, d in pairs:
+                assert 0 < abs(d) <= radix.alpha
+
+    @pytest.mark.parametrize("w", [8, 30])
+    def test_accumulator_at_every_seam(self, w):
+        # sums that place the carry exactly on a digit boundary
+        radix = RadixConfig(w)
+        for j in range(-3, 4):
+            edge = math.ldexp(1.0, w * j)
+            below = math.ldexp(1.0, w * j - 1)
+            acc = SparseSuperaccumulator.from_floats(
+                np.array([below, below]), radix
+            )
+            assert acc.to_fraction() == Fraction(edge), (w, j)
+
+
+class TestUlpNeighborhoodSums:
+    def test_all_pairs_in_an_ulp_cloud(self):
+        # every ordered pair from a +-4-ulp cloud around 1.0 and 2**52:
+        # two_sum-based and superaccumulator sums must agree exactly
+        from repro.baselines import ifastsum
+
+        for center in (1.0, float(1 << 52)):
+            cloud = [center]
+            lo = hi = center
+            for _ in range(4):
+                lo = math.nextafter(lo, -math.inf)
+                hi = math.nextafter(hi, math.inf)
+                cloud += [lo, hi]
+            for a in cloud:
+                for b in cloud:
+                    data = [a, -b, b, -a, a]
+                    want = fraction_to_float(
+                        sum((Fraction(v) for v in data), Fraction(0))
+                    )
+                    assert ifastsum(data) == want
+                    assert (
+                        SparseSuperaccumulator.from_floats(
+                            np.array(data)
+                        ).to_float()
+                        == want
+                    )

@@ -1,0 +1,111 @@
+"""Unit tests for Shewchuk expansion arithmetic."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.baselines.expansion import (
+    compress,
+    expansion_from_values,
+    expansion_approx,
+    expansion_sum,
+    expansion_sum_value,
+    grow_expansion,
+)
+from tests.conftest import exact_fraction, random_hard_array, ref_sum
+
+
+def expansion_fraction(e) -> Fraction:
+    return sum((Fraction(v) for v in e), Fraction(0))
+
+
+def is_nonoverlapping(e) -> bool:
+    # components in increasing magnitude; each pair non-overlapping:
+    # |smaller| < ulp(larger) * 2**52 boundary check via exponents
+    for a, b in zip(e, e[1:]):
+        if a == 0.0 or b == 0.0:
+            return False
+        ea = math.frexp(a)[1]
+        mb, eb = math.frexp(b)
+        # lsb exponent of b must be >= msb exponent of a
+        lsb_b = eb - 53
+        while mb * 2 == int(mb * 2):  # crude trailing-zero scan
+            mb *= 2
+            lsb_b += 1
+            if mb == 0:
+                break
+        if lsb_b < ea:
+            return False
+    return True
+
+
+class TestGrowExpansion:
+    def test_exactness(self, rng):
+        e = []
+        total = Fraction(0)
+        for v in random_hard_array(rng, 50):
+            e = grow_expansion(e, float(v))
+            total += Fraction(float(v))
+            assert expansion_fraction(e) == total
+
+    def test_no_zero_components(self, rng):
+        e = expansion_from_values(random_hard_array(rng, 100))
+        assert all(v != 0.0 for v in e)
+
+    def test_cancel_to_empty(self):
+        e = grow_expansion([1.5], -1.5)
+        assert e == []
+
+
+class TestExpansionSum:
+    def test_exact(self, rng):
+        a = expansion_from_values(random_hard_array(rng, 30))
+        b = expansion_from_values(random_hard_array(rng, 30))
+        c = expansion_sum(a, b)
+        assert expansion_fraction(c) == expansion_fraction(a) + expansion_fraction(b)
+
+
+class TestCompress:
+    def test_value_preserved(self, rng):
+        for _ in range(30):
+            e = expansion_from_values(random_hard_array(rng, 40))
+            c = compress(e)
+            assert expansion_fraction(c) == expansion_fraction(e)
+
+    def test_never_longer(self, rng):
+        e = expansion_from_values(random_hard_array(rng, 60))
+        assert len(compress(e)) <= max(len(e), 1)
+
+    def test_empty(self):
+        assert compress([]) == []
+        assert compress([0.0, 0.0]) == []
+
+    def test_largest_component_approximates(self, rng):
+        e = compress(expansion_from_values(random_hard_array(rng, 40)))
+        if e:
+            total = float(expansion_fraction(e)) if abs(expansion_fraction(e)) < Fraction(10) ** 300 else None
+            if total is not None:
+                assert abs(e[-1] - total) <= math.ulp(e[-1]) * 2
+
+
+class TestExpansionSumValue:
+    def test_faithful(self, rng):
+        for _ in range(20):
+            x = random_hard_array(rng, int(rng.integers(1, 200)))
+            got = expansion_sum_value(x)
+            exact = exact_fraction(x)
+            nearest = ref_sum(x)
+            # faithful: within one ulp bracket of the exact value
+            lo = min(nearest, math.nextafter(nearest, -math.inf))
+            hi = max(nearest, math.nextafter(nearest, math.inf))
+            assert Fraction(lo) <= Fraction(got) <= Fraction(hi) or got == nearest
+
+    def test_cancellation(self):
+        assert expansion_sum_value([1e16, 1.0, -1e16]) == 1.0
+
+    def test_empty(self):
+        assert expansion_sum_value([]) == 0.0

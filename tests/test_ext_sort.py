@@ -1,0 +1,91 @@
+"""Unit tests for the external multiway merge sort."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.extmem.device import BlockDevice
+from repro.extmem.ext_array import ExtArray
+from repro.extmem.ext_sort import external_merge_sort
+from repro.extmem.io_model import sort_bound
+from repro.extmem.sum_sort import COMPONENT_DTYPE
+
+
+def make_records(rng, n, key_range=100):
+    rec = np.empty(n, dtype=COMPONENT_DTYPE)
+    rec["idx"] = rng.integers(-key_range, key_range, n)
+    rec["dig"] = rng.integers(-(1 << 40), 1 << 40, n)
+    return rec
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [0, 1, 7, 64, 500, 4096])
+    def test_sorted_output(self, n, rng):
+        dev = BlockDevice(block_size=16, memory=16 * 5)
+        rec = make_records(rng, n)
+        src = ExtArray.from_numpy(dev, "in", rec)
+        out = external_merge_sort(dev, src, key="idx", out_name="sorted")
+        got = out.to_numpy()
+        exp = rec[np.argsort(rec["idx"], kind="stable")]
+        if n:
+            assert (got["idx"] == exp["idx"]).all()
+            assert (got["dig"] == exp["dig"]).all()
+        else:
+            assert got.size == 0
+
+    def test_stability(self, rng):
+        # equal keys keep original relative order
+        dev = BlockDevice(block_size=8, memory=8 * 4)
+        rec = np.empty(40, dtype=COMPONENT_DTYPE)
+        rec["idx"] = 7
+        rec["dig"] = np.arange(40)
+        src = ExtArray.from_numpy(dev, "in", rec)
+        out = external_merge_sort(dev, src, key="idx", out_name="s")
+        assert (out.to_numpy()["dig"] == np.arange(40)).all()
+
+    def test_source_preserved(self, rng):
+        dev = BlockDevice(block_size=8, memory=64)
+        rec = make_records(rng, 50)
+        src = ExtArray.from_numpy(dev, "in", rec)
+        external_merge_sort(dev, src, key="idx", out_name="s")
+        assert (src.to_numpy() == rec).all()
+
+    def test_intermediate_runs_cleaned(self, rng):
+        dev = BlockDevice(block_size=8, memory=8 * 4)
+        src = ExtArray.from_numpy(dev, "in", make_records(rng, 600))
+        external_merge_sort(dev, src, key="idx", out_name="s")
+        assert set(dev.list_files()) == {"in", "s"}
+
+
+class TestIOBehaviour:
+    def test_io_near_bound(self, rng):
+        n = 8000
+        dev = BlockDevice(block_size=32, memory=32 * 8)
+        src = ExtArray.from_numpy(dev, "in", make_records(rng, n))
+        before = dev.stats.total
+        external_merge_sort(dev, src, key="idx", out_name="s")
+        used = dev.stats.total - before
+        bound = sort_bound(n, dev.memory, dev.block_size)
+        assert used <= 2 * bound  # constant-factor agreement
+
+    def test_more_memory_fewer_ios(self, rng):
+        n = 6000
+        ios = []
+        for mem_blocks in (4, 32):
+            dev = BlockDevice(block_size=16, memory=16 * mem_blocks)
+            src = ExtArray.from_numpy(dev, "in", make_records(rng, n))
+            before = dev.stats.total
+            external_merge_sort(dev, src, key="idx", out_name="s")
+            ios.append(dev.stats.total - before)
+        assert ios[1] < ios[0]
+
+    def test_single_run_case(self, rng):
+        # everything fits in memory: one run, no merge levels
+        n = 50
+        dev = BlockDevice(block_size=16, memory=16 * 8)
+        src = ExtArray.from_numpy(dev, "in", make_records(rng, n))
+        before = dev.stats.total
+        external_merge_sort(dev, src, key="idx", out_name="s")
+        used = dev.stats.total - before
+        assert used <= 2 * (-(-n // 16)) + 2

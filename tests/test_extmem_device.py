@@ -1,0 +1,120 @@
+"""Unit tests for the simulated block device and blocked arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelViolationError
+from repro.extmem.device import BlockDevice
+from repro.extmem.ext_array import ExtArray
+
+
+class TestDevice:
+    def test_requires_three_blocks_of_memory(self):
+        with pytest.raises(ValueError):
+            BlockDevice(block_size=64, memory=100)
+
+    def test_file_namespace(self):
+        dev = BlockDevice(block_size=4, memory=64)
+        dev.create("a")
+        assert dev.exists("a") and not dev.exists("b")
+        with pytest.raises(ValueError):
+            dev.create("a")
+        dev.rename("a", "b")
+        assert dev.exists("b") and not dev.exists("a")
+        dev.delete("b")
+        assert not dev.exists("b")
+
+    def test_io_counting(self):
+        dev = BlockDevice(block_size=4, memory=64)
+        dev.create("f")
+        dev.append_block("f", np.arange(4))
+        dev.append_block("f", np.arange(2))
+        assert dev.stats.writes == 2
+        dev.read_block("f", 0)
+        dev.read_block("f", 1)
+        dev.read_block("f", 0)
+        assert dev.stats.reads == 3
+        assert dev.stats.total == 5
+
+    def test_oversized_block_rejected(self):
+        dev = BlockDevice(block_size=4, memory=64)
+        dev.create("f")
+        with pytest.raises(ValueError):
+            dev.append_block("f", np.arange(5))
+
+    def test_empty_block_free(self):
+        dev = BlockDevice(block_size=4, memory=64)
+        dev.create("f")
+        dev.append_block("f", np.empty(0))
+        assert dev.stats.writes == 0
+
+    def test_memory_budget(self):
+        dev = BlockDevice(block_size=4, memory=16)
+        with dev.allocate(10):
+            with pytest.raises(ModelViolationError):
+                with dev.allocate(10):
+                    pass
+        # released on exit
+        with dev.allocate(16):
+            pass
+
+    def test_memory_enforcement_off(self):
+        dev = BlockDevice(block_size=4, memory=16, enforce_memory=False)
+        with dev.allocate(1000):
+            pass
+
+
+class TestExtArray:
+    def test_roundtrip(self, rng):
+        dev = BlockDevice(block_size=16, memory=256)
+        x = rng.random(100)
+        arr = ExtArray.from_numpy(dev, "x", x)
+        assert len(arr) == 100
+        assert arr.num_blocks == 7
+        assert (arr.to_numpy() == x).all()
+
+    def test_scan_costs_reads(self, rng):
+        dev = BlockDevice(block_size=8, memory=256)
+        arr = ExtArray.from_numpy(dev, "x", rng.random(64))
+        before = dev.stats.reads
+        list(arr.scan())
+        assert dev.stats.reads - before == 8
+
+    def test_reverse_scan(self, rng):
+        dev = BlockDevice(block_size=8, memory=256)
+        x = rng.random(20)
+        arr = ExtArray.from_numpy(dev, "x", x)
+        rev = np.concatenate(list(arr.scan(reverse=True)))
+        assert (rev[:4] == x[16:]).all()
+
+    def test_writer_blocks_and_tail(self, rng):
+        dev = BlockDevice(block_size=8, memory=256)
+        out = ExtArray(dev, "o")
+        with out.writer() as w:
+            w.write(rng.random(3))
+            w.write(rng.random(9))
+            w.write(rng.random(1))
+        assert len(out) == 13
+        assert out.num_blocks == 2  # 8 + 5
+
+    def test_writer_no_partial_flush_on_error(self, rng):
+        dev = BlockDevice(block_size=8, memory=256)
+        out = ExtArray(dev, "o")
+        try:
+            with out.writer() as w:
+                w.write(rng.random(3))
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert len(out) == 0  # partial data not committed
+
+    def test_structured_records(self):
+        dev = BlockDevice(block_size=4, memory=64)
+        dt = np.dtype([("idx", "<i8"), ("dig", "<i8")])
+        rec = np.zeros(6, dtype=dt)
+        rec["idx"] = np.arange(6)
+        arr = ExtArray.from_numpy(dev, "r", rec)
+        back = arr.to_numpy()
+        assert (back["idx"] == np.arange(6)).all()

@@ -1,0 +1,120 @@
+"""Unit tests for the Theorem 5 / Theorem 6 summation algorithms."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelViolationError
+from repro.extmem.device import BlockDevice
+from repro.extmem.ext_array import ExtArray
+from repro.extmem.io_model import scan_bound, sum_sorted_bound
+from repro.extmem.sum_scan import extmem_sum_scan
+from repro.extmem.sum_sort import extmem_sum_sorted
+from tests.conftest import ADVERSARIAL_CASES, random_hard_array, ref_sum
+
+
+def load(x, *, B=64, mem_blocks=8):
+    dev = BlockDevice(block_size=B, memory=B * mem_blocks)
+    return dev, ExtArray.from_numpy(dev, "input", np.asarray(x, dtype=np.float64))
+
+
+class TestTheorem5:
+    @pytest.mark.parametrize("case", ADVERSARIAL_CASES)
+    def test_adversarial(self, case):
+        # Theorem 5 needs ~6 blocks resident (input + 3x component
+        # expansion + writer + merge buffers); see extmem_sum_sorted.
+        dev, src = load(case, B=4, mem_blocks=8)
+        assert extmem_sum_sorted(dev, src).value == ref_sum(case)
+
+    def test_random(self, rng):
+        for _ in range(8):
+            x = random_hard_array(rng, int(rng.integers(1, 2000)))
+            dev, src = load(x)
+            assert extmem_sum_sorted(dev, src).value == ref_sum(x)
+
+    def test_io_within_sort_bound(self, rng):
+        n = 10_000
+        x = random_hard_array(rng, n)
+        dev, src = load(x, B=128, mem_blocks=10)
+        res = extmem_sum_sorted(dev, src)
+        assert res.io.total <= 2 * sum_sorted_bound(n, dev.memory, dev.block_size)
+
+    def test_scratch_cleaned(self, rng):
+        dev, src = load(random_hard_array(rng, 500))
+        extmem_sum_sorted(dev, src)
+        assert dev.list_files() == ["input"]
+
+    def test_sigma_reported(self, rng):
+        dev, src = load(random_hard_array(rng, 500))
+        res = extmem_sum_sorted(dev, src)
+        assert res.components > 0
+
+    def test_empty_file(self):
+        dev = BlockDevice(block_size=8, memory=64)
+        src = ExtArray(dev, "input")
+        assert extmem_sum_sorted(dev, src).value == 0.0
+
+    def test_sum_zero(self, rng):
+        x = rng.random(300)
+        data = np.concatenate([x, -x])
+        rng.shuffle(data)
+        dev, src = load(data)
+        assert extmem_sum_sorted(dev, src).value == 0.0
+
+    def test_directed_mode(self, rng):
+        from fractions import Fraction
+        from tests.conftest import exact_fraction
+
+        x = random_hard_array(rng, 200)
+        dev, src = load(x)
+        lo = extmem_sum_sorted(dev, src, mode="down", scratch_prefix="_d").value
+        hi = extmem_sum_sorted(dev, src, mode="up", scratch_prefix="_u").value
+        assert Fraction(lo) <= exact_fraction(x) <= Fraction(hi)
+
+
+class TestTheorem6:
+    @pytest.mark.parametrize("case", ADVERSARIAL_CASES)
+    def test_adversarial(self, case):
+        dev, src = load(case, B=4, mem_blocks=64)
+        assert extmem_sum_scan(dev, src).value == ref_sum(case)
+
+    def test_random(self, rng):
+        for _ in range(8):
+            x = random_hard_array(rng, int(rng.integers(1, 2000)))
+            dev, src = load(x, mem_blocks=16)
+            assert extmem_sum_scan(dev, src).value == ref_sum(x)
+
+    def test_exactly_scan_ios(self, rng):
+        n = 5000
+        x = random_hard_array(rng, n)
+        dev, src = load(x, B=64, mem_blocks=16)
+        res = extmem_sum_scan(dev, src)
+        assert res.io.total == scan_bound(n, 64)
+        assert res.io.writes == 0  # pure scan: no output spilling
+
+    def test_memory_violation_when_sigma_exceeds_m(self, rng):
+        # wide exponent range -> many active components; tiny M trips it
+        x = random_hard_array(rng, 2000, emin=-900, emax=900)
+        dev = BlockDevice(block_size=8, memory=30)
+        src = ExtArray.from_numpy(dev, "input", x)
+        with pytest.raises(ModelViolationError):
+            extmem_sum_scan(dev, src)
+
+    def test_agrees_with_theorem5(self, rng):
+        x = random_hard_array(rng, 3000)
+        dev, src = load(x, mem_blocks=16)
+        v6 = extmem_sum_scan(dev, src).value
+        dev2, src2 = load(x, mem_blocks=16)
+        v5 = extmem_sum_sorted(dev2, src2).value
+        assert v5 == v6
+
+    def test_fewer_ios_than_theorem5(self, rng):
+        x = random_hard_array(rng, 5000)
+        dev, src = load(x, mem_blocks=16)
+        r6 = extmem_sum_scan(dev, src)
+        dev2, src2 = load(x, mem_blocks=16)
+        r5 = extmem_sum_sorted(dev2, src2)
+        assert r6.io.total < r5.io.total

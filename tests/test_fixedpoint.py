@@ -1,0 +1,96 @@
+"""Unit tests for the §2 fixed-point register baseline."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.fixedpoint import FixedPointRegister, register_width
+from repro.core.fpinfo import BINARY32, BINARY64
+from repro.errors import RepresentationError
+from tests.conftest import ADVERSARIAL_CASES, random_hard_array, ref_sum
+
+
+class TestRegisterWidth:
+    def test_binary32_ballpark(self):
+        # the paper's "256-bit" figure for single precision (our
+        # accounting keeps every subnormal bit, landing slightly above)
+        w = register_width(BINARY32, log_n=2)
+        assert 250 <= w <= 350
+
+    def test_binary64(self):
+        assert register_width(BINARY64) > 2000
+
+
+class TestExactness:
+    @pytest.mark.parametrize("case", ADVERSARIAL_CASES)
+    def test_adversarial(self, case):
+        reg = FixedPointRegister()
+        reg.add_array(case)
+        assert reg.to_float() == ref_sum(case)
+
+    def test_random(self, rng):
+        for _ in range(10):
+            x = random_hard_array(rng, int(rng.integers(1, 300)))
+            reg = FixedPointRegister()
+            reg.add_array(x)
+            assert reg.to_float() == ref_sum(x)
+
+    def test_agrees_with_superaccumulator(self, rng):
+        from repro.core import SparseSuperaccumulator
+
+        x = random_hard_array(rng, 500)
+        reg = FixedPointRegister()
+        reg.add_array(x)
+        acc = SparseSuperaccumulator.from_floats(x)
+        v1, s1 = reg.to_scaled_int()
+        assert acc.to_fraction() == __import__("fractions").Fraction(v1) * (
+            __import__("fractions").Fraction(2) ** s1
+        )
+
+    def test_overflow_detected(self):
+        # a binary32-sized register cannot hold a binary64-scale value
+        reg = FixedPointRegister(BINARY32, log_n=2)
+        with pytest.raises(RepresentationError):
+            reg.add_float(1.7e308)
+
+
+class TestCarryAccounting:
+    def test_no_ripple_on_disjoint_adds(self):
+        reg = FixedPointRegister()
+        reg.add_float(1.0)
+        rep = reg.add_float(2.0**200)  # far above: no interaction
+        assert rep.carry_bits == 0
+
+    def test_long_ripple_constructed(self):
+        # the §2 worst case: (2**k - ulp) + ulp flips a k-bit chain
+        reg = FixedPointRegister()
+        almost = float(np.nextafter(2.0**60, 0.0))  # 2**60 - ulp
+        reg.add_float(almost)
+        rep = reg.add_float(math.ulp(almost))
+        assert rep.carry_bits >= 50  # a ~53-bit ripple
+        assert reg.max_carry_chain >= 50
+        assert reg.to_float() == 2.0**60
+
+    def test_superaccumulator_has_no_such_ripple(self):
+        # contrast: the carry-free representation absorbs the same pair
+        # with carries traveling at most one digit position
+        from repro.core import SparseSuperaccumulator
+
+        almost = float(np.nextafter(2.0**60, 0.0))
+        a = SparseSuperaccumulator.from_float(almost)
+        b = SparseSuperaccumulator.from_float(math.ulp(almost))
+        c = a.add(b)
+        assert c.to_float() == 2.0**60  # same exact answer, no chain
+
+    def test_ripple_grows_with_adversarial_stream(self, rng):
+        # repeated near-carry patterns keep the worst chain long
+        reg = FixedPointRegister()
+        vals = []
+        for k in range(20, 45):
+            vals.append(float(np.nextafter(2.0**k, 0.0)))
+            vals.append(math.ulp(2.0 ** (k - 1)))
+        reg.add_array(vals)
+        assert reg.max_carry_chain >= 40

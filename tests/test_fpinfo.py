@@ -1,0 +1,130 @@
+"""Unit tests for float-format introspection and decomposition."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.fpinfo import (
+    BINARY32,
+    BINARY64,
+    FloatFormat,
+    compose,
+    decompose,
+    decompose_vec,
+    exponent_of,
+    exponent_span,
+    ulp,
+)
+from repro.errors import NonFiniteInputError
+
+
+class TestFloatFormat:
+    def test_binary64_constants(self):
+        assert BINARY64.t == 52 and BINARY64.l == 11
+        assert BINARY64.precision == 53
+        assert BINARY64.bias == 1023
+        assert BINARY64.e_min == -1022 and BINARY64.e_max == 1023
+        assert BINARY64.min_subnormal_exponent == -1074
+        assert BINARY64.delta_max == 2046
+
+    def test_binary32_constants(self):
+        assert BINARY32.precision == 24
+        assert BINARY32.bias == 127
+        assert BINARY32.min_subnormal_exponent == -149
+
+    def test_custom_format(self):
+        quad = FloatFormat(t=112, l=15)
+        assert quad.bias == 16383
+
+    def test_index_of_exponent_vs_format(self):
+        # digit index mapping floors correctly for negative exponents
+        from repro.core.digits import RadixConfig
+
+        r = RadixConfig(w=30)
+        j, s = r.index_of_exponent(-1074)
+        assert j * 30 + s == -1074 and 0 <= s < 30
+
+
+class TestDecompose:
+    @pytest.mark.parametrize(
+        "x",
+        [1.0, -1.0, 0.5, math.pi, 1e308, -1e-308, 2.0**-1074, -(2.0**-1074),
+         5e-324, 1.7976931348623157e308],
+    )
+    def test_roundtrip(self, x):
+        m, e = decompose(x)
+        assert m * (2.0**e) == x or math.ldexp(float(m), e) == x
+        assert abs(m) < 1 << 53
+        assert compose(m, e) == x
+
+    def test_zero(self):
+        assert decompose(0.0) == (0, 0)
+        assert compose(0, 0) == 0.0
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(NonFiniteInputError):
+            decompose(math.inf)
+        with pytest.raises(NonFiniteInputError):
+            decompose(math.nan)
+
+    def test_compose_rounds_large_mantissa(self):
+        # 54-bit mantissa must round, not truncate
+        m = (1 << 53) + 1  # odd: ties-to-even drops the low bit
+        assert compose(m, 0) == float(1 << 53)
+        m = (1 << 53) + 3
+        assert compose(m, 0) == float((1 << 53) + 4)
+
+
+class TestDecomposeVec:
+    def test_matches_scalar(self, rng):
+        x = np.concatenate(
+            [
+                (rng.random(500) - 0.5) * 10.0 ** rng.integers(-300, 300, 500),
+                np.array([0.0, -0.0, 2.0**-1074, -(2.0**-1074), 1e308]),
+            ]
+        )
+        m, e = decompose_vec(x)
+        for i in range(x.size):
+            ms, es = decompose(float(x[i]))
+            # exponents may differ only for zeros (both canonical)
+            assert (ms, es) == (int(m[i]), int(e[i])) or (
+                x[i] == 0 and m[i] == 0
+            )
+
+    def test_reconstruction(self, rng):
+        x = (rng.random(1000) - 0.5) * 10.0 ** rng.integers(-100, 100, 1000)
+        m, e = decompose_vec(x)
+        back = np.ldexp(m.astype(np.float64), e.astype(np.int32))
+        assert (back == x).all()
+
+    def test_empty(self):
+        m, e = decompose_vec(np.empty(0))
+        assert m.size == 0 and e.size == 0
+
+
+class TestExponents:
+    def test_exponent_of(self):
+        assert exponent_of(1.0) == 0
+        assert exponent_of(1.5) == 0
+        assert exponent_of(2.0) == 1
+        assert exponent_of(0.75) == -1
+        assert exponent_of(2.0**-1074) == -1074
+
+    def test_exponent_of_rejects(self):
+        with pytest.raises(ValueError):
+            exponent_of(0.0)
+        with pytest.raises(ValueError):
+            exponent_of(math.inf)
+
+    def test_ulp_matches_math(self):
+        for x in (1.0, 1e300, 2.0**-1000, 3.14):
+            assert ulp(x) == math.ulp(x)
+
+    def test_exponent_span(self):
+        vals = np.array([1.0, 4.0, 0.0, 2.0**20])
+        assert exponent_span(vals) == 20
+        assert exponent_span(np.zeros(5)) == 0
+        assert exponent_span(np.array([3.0])) == 0

@@ -1,0 +1,95 @@
+"""Unit tests for the four experimental input distributions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import condition_number, exact_sum
+from repro.core.fpinfo import exponent_span
+from repro.data.generators import (
+    DISTRIBUTIONS,
+    PANEL_NAMES,
+    exponent_window,
+    generate,
+    generate_anderson,
+    generate_sum_zero,
+    generate_well_conditioned,
+)
+
+
+class TestCommon:
+    @pytest.mark.parametrize("dist", sorted(DISTRIBUTIONS))
+    def test_size_finite_deterministic(self, dist):
+        a = generate(dist, 1000, delta=300, seed=5)
+        b = generate(dist, 1000, delta=300, seed=5)
+        c = generate(dist, 1000, delta=300, seed=6)
+        assert a.size == 1000 and np.isfinite(a).all()
+        assert (a == b).all()
+        assert not (a == c).all()
+
+    @pytest.mark.parametrize("dist", sorted(DISTRIBUTIONS))
+    def test_delta_controls_spread(self, dist):
+        narrow = generate(dist, 5000, delta=10, seed=1)
+        wide = generate(dist, 5000, delta=1000, seed=1)
+        if dist == "anderson":
+            # mean subtraction collapses the range regardless of delta
+            assert exponent_span(wide) < 80
+        else:
+            assert exponent_span(narrow) <= 12
+            assert exponent_span(wide) > 500
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            generate("cauchy", 10)
+
+    def test_panel_names_cover_all(self):
+        assert set(PANEL_NAMES) == set(DISTRIBUTIONS)
+
+
+class TestExponentWindow:
+    def test_width(self):
+        lo, hi = exponent_window(100)
+        assert hi - lo + 1 == 100
+
+    def test_clipped_at_max_delta(self):
+        lo, hi = exponent_window(5000)
+        assert hi <= 969 and lo >= -1077
+
+    def test_delta_one(self):
+        lo, hi = exponent_window(1)
+        assert lo == hi
+
+
+class TestDistributionProperties:
+    def test_well_conditioned_is_positive_cond_one(self):
+        x = generate_well_conditioned(2000, delta=100, seed=2)
+        assert (x > 0).all()
+        assert condition_number(x) == 1.0
+
+    def test_random_has_both_signs(self):
+        x = generate("random", 2000, delta=100, seed=2)
+        assert (x > 0).any() and (x < 0).any()
+
+    def test_anderson_is_ill_conditioned(self):
+        x = generate_anderson(5000, delta=30, seed=3)
+        # heavy cancellation: C(X) far above 1
+        assert condition_number(x) > 100.0
+
+    def test_sum_zero_exact(self):
+        for n in (2, 100, 1001):
+            x = generate_sum_zero(n, delta=200, seed=4)
+            assert x.size == n
+            assert exact_sum(x) == 0.0
+
+    def test_sum_zero_condition_infinite(self):
+        x = generate_sum_zero(100, delta=50, seed=1)
+        assert condition_number(x) == math.inf
+
+    def test_large_delta_stays_finite_in_big_sums(self):
+        # the generator's exponent cap: a billion-scale positive sum of
+        # delta=2000 data must not overflow
+        x = generate_well_conditioned(10_000, delta=2000, seed=0)
+        assert math.isfinite(exact_sum(x))

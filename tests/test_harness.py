@@ -1,0 +1,65 @@
+"""Unit tests for the figure harness (benchmarks/harness.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks import harness
+
+
+class TestTableFormatting:
+    def test_print_table(self, capsys):
+        harness._print_table(
+            "demo", ["a", "bb"], [(1, 0.5), (22, 0.25)]
+        )
+        out = capsys.readouterr().out
+        assert "## demo" in out
+        assert "0.5000" in out and "22" in out
+
+    def test_fmt(self):
+        assert harness._fmt(0.123456) == "0.1235"
+        assert harness._fmt(7) == "7"
+        assert harness._fmt("x") == "x"
+
+
+class TestCommands:
+    def test_main_requires_command(self):
+        with pytest.raises(SystemExit):
+            harness.main([])
+
+    def test_main_unknown(self):
+        with pytest.raises(SystemExit):
+            harness.main(["fig9"])
+
+    def test_thm2_quick(self, capsys):
+        assert harness.main(["thm2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 2" in out and "rounds" in out
+
+    def test_thm5_quick(self, capsys):
+        assert harness.main(["thm5", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "thm5 IOs" in out and "scan(n)" in out
+
+    def test_thm4_quick(self, capsys):
+        assert harness.main(["thm4", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "condition-sensitive" in out
+        assert "C=inf" in out
+
+
+class TestSeriesShapes:
+    """Light-weight shape checks on tiny sweeps (the full ones are in
+    EXPERIMENTS.md); these guard the harness plumbing, not timing."""
+
+    def test_fig2_quick_runs(self, capsys):
+        assert harness.main(["fig2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        for panel in ("C(X)=1", "Random", "Anderson's", "Sum=Zero"):
+            assert f"Figure 2 panel: {panel}" in out
+
+    def test_fig3_quick_runs(self, capsys):
+        assert harness.main(["fig3", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "workers" in out
+        assert "Figure 3 panel: Sum=Zero" in out

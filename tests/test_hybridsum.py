@@ -1,0 +1,84 @@
+"""Unit tests for the HybridSum baseline (exponent bucketing)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.hybridsum import HybridAccumulator, hybrid_sum
+from repro.errors import NonFiniteInputError
+from tests.conftest import ADVERSARIAL_CASES, random_hard_array, ref_sum
+
+
+class TestHybridSum:
+    def test_empty_and_single(self):
+        assert hybrid_sum([]) == 0.0
+        assert hybrid_sum([7.5]) == 7.5
+
+    @pytest.mark.parametrize("case", ADVERSARIAL_CASES)
+    def test_adversarial(self, case):
+        assert hybrid_sum(case) == ref_sum(case)
+
+    def test_random_wide_range(self, rng):
+        for _ in range(40):
+            n = int(rng.integers(1, 600))
+            x = random_hard_array(rng, n)
+            assert hybrid_sum(x) == ref_sum(x)
+
+    def test_matches_fsum_bulk(self, rng):
+        x = random_hard_array(rng, 50_000, emin=-200, emax=200)
+        assert hybrid_sum(x) == math.fsum(x)
+
+    def test_sum_zero(self, rng):
+        x = rng.random(1000)
+        data = np.concatenate([x, -x])
+        rng.shuffle(data)
+        assert hybrid_sum(data) == 0.0
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(NonFiniteInputError):
+            hybrid_sum([math.inf])
+
+
+class TestStreamingAccumulator:
+    def test_incremental_equals_oneshot(self, rng):
+        x = random_hard_array(rng, 3000)
+        acc = HybridAccumulator()
+        for start in range(0, x.size, 757):
+            acc.add_array(x[start : start + 757])
+        assert acc.result() == hybrid_sum(x)
+
+    def test_result_nondestructive(self, rng):
+        x = random_hard_array(rng, 500)
+        acc = HybridAccumulator()
+        acc.add_array(x)
+        first = acc.result()
+        assert acc.result() == first
+        acc.add_array(np.array([0.0]))
+        assert acc.result() == first
+
+    def test_flush_preserves_value(self, rng):
+        x = random_hard_array(rng, 2000)
+        acc = HybridAccumulator()
+        acc.add_array(x)
+        before = acc.result()
+        acc._flush()
+        assert acc.result() == before
+        # post-flush buckets are within the canonical range
+        assert (np.abs(acc._hi) <= 1 << 25).all()
+        assert (np.abs(acc._lo) <= 1 << 25).all()
+
+    def test_subnormal_buckets(self, rng):
+        x = (rng.integers(-1000, 1000, 300)).astype(np.float64) * 2.0**-1074
+        assert hybrid_sum(x) == ref_sum(x)
+
+    def test_exact_integer_fallback_near_overflow(self):
+        # bucket totals beyond the float range: aggregated magnitude
+        # tops 2**1024 but the true sum is finite
+        data = [1e308] * 64 + [-1e308] * 64 + [1.5]
+        assert hybrid_sum(data) == 1.5
+
+    def test_overflowing_total(self):
+        assert hybrid_sum([1e308] * 4) == math.inf

@@ -1,0 +1,94 @@
+"""Unit tests for the iFastSum baseline (Zhu & Hayes distillation)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.ifastsum import ifastsum, round_three_exact
+from repro.errors import NonFiniteInputError
+from tests.conftest import ADVERSARIAL_CASES, random_hard_array, ref_sum
+
+
+class TestRoundThreeExact:
+    def test_simple(self):
+        assert round_three_exact(1.0, 2.0, 3.0) == 6.0
+        assert round_three_exact(0.0, 0.0, 0.0) == 0.0
+
+    def test_cancellation(self):
+        assert round_three_exact(1e16, 1.0, -1e16) == 1.0
+
+    def test_tie(self):
+        # 1 + 2**-53 is an exact tie -> even
+        assert round_three_exact(1.0, 2.0**-53, 0.0) == 1.0
+        # crumb breaks it upward
+        assert round_three_exact(1.0, 2.0**-53, 2.0**-105) == 1.0 + 2.0**-52
+
+    def test_random_vs_reference(self, rng):
+        for _ in range(300):
+            a, b, c = (random_hard_array(rng, 3)).tolist()
+            assert round_three_exact(a, b, c) == ref_sum([a, b, c])
+
+    def test_directed(self):
+        got = round_three_exact(1.0, 2.0**-60, 0.0, mode="up")
+        assert got == 1.0 + 2.0**-52
+        got = round_three_exact(1.0, 2.0**-60, 0.0, mode="down")
+        assert got == 1.0
+
+
+class TestIFastSum:
+    def test_empty_and_single(self):
+        assert ifastsum([]) == 0.0
+        assert ifastsum([-2.5]) == -2.5
+
+    @pytest.mark.parametrize("case", ADVERSARIAL_CASES)
+    def test_adversarial(self, case):
+        assert ifastsum(case) == ref_sum(case)
+
+    def test_random_wide_range(self, rng):
+        for _ in range(40):
+            n = int(rng.integers(1, 500))
+            x = random_hard_array(rng, n)
+            assert ifastsum(x) == ref_sum(x)
+
+    def test_sum_zero_instances(self, rng):
+        x = rng.random(500)
+        data = np.concatenate([x, -x])
+        rng.shuffle(data)
+        assert ifastsum(data) == 0.0
+
+    def test_near_tie_resolution(self):
+        # engineered half-way cases that require the recursion/fallback
+        cases = [
+            [1.0, 2.0**-53, 2.0**-108, -(2.0**-108), 2.0**-140],
+            [2.0**52, 0.5, 2.0**-60],
+            [2.0**52, 0.5, -(2.0**-60)],
+            [1.0] + [2.0**-55] * 4,          # 4 * 2**-55 = half ulp: tie
+            [1.0] + [2.0**-55] * 4 + [2.0**-200],
+        ]
+        for c in cases:
+            assert ifastsum(c) == ref_sum(c), c
+
+    def test_prefix_overflow_fallback(self):
+        data = [1e308, 1e308, -1e308, -1e308, 3.25]
+        assert ifastsum(data) == 3.25
+
+    def test_overflowing_total(self):
+        assert ifastsum([1e308, 1e308]) == math.inf
+        assert ifastsum([-1e308, -1e308]) == -math.inf
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(NonFiniteInputError):
+            ifastsum([1.0, math.nan])
+
+    def test_input_not_modified(self, rng):
+        x = rng.random(100)
+        before = x.copy()
+        ifastsum(x)
+        assert (x == before).all()
+
+    def test_subnormal_only_data(self, rng):
+        x = (rng.integers(-100, 100, 50)).astype(np.float64) * 2.0**-1074
+        assert ifastsum(x) == ref_sum(x)

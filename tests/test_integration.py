@@ -1,0 +1,123 @@
+"""Cross-module integration tests.
+
+Every parallel algorithm in the repository must produce the identical
+correctly rounded float for the same input — across the PRAM tree, the
+external-memory pipelines, the MapReduce jobs, the sequential
+superaccumulators, and the sequential baselines — on all four
+experimental distributions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import hybrid_sum, ifastsum
+from repro.core import SmallSuperaccumulator, exact_sum
+from repro.data import generate
+from repro.extmem import BlockDevice, ExtArray, extmem_sum_scan, extmem_sum_sorted
+from repro.mapreduce import parallel_sum
+from repro.pram import condition_sensitive_sum, pram_exact_sum
+from tests.conftest import ref_sum
+
+
+ALL_DISTS = ["well", "random", "anderson", "sumzero"]
+
+
+def all_algorithm_results(x: np.ndarray) -> dict:
+    dev, src = _load(x)
+    dev2, src2 = _load(x)
+    return {
+        "exact_sum.sparse": exact_sum(x, method="sparse"),
+        "exact_sum.small": exact_sum(x, method="small"),
+        "exact_sum.dense": exact_sum(x, method="dense"),
+        "ifastsum": ifastsum(x),
+        "hybrid_sum": hybrid_sum(x),
+        "pram": pram_exact_sum(x).value,
+        "extmem.sorted": extmem_sum_sorted(dev, src).value,
+        "extmem.scan": extmem_sum_scan(dev2, src2).value,
+        "mapreduce.sparse": parallel_sum(x, method="sparse", block_items=257),
+        "mapreduce.small": parallel_sum(x, method="small", block_items=257),
+    }
+
+
+def _load(x):
+    dev = BlockDevice(block_size=128, memory=128 * 16)
+    return dev, ExtArray.from_numpy(dev, "input", np.asarray(x, dtype=np.float64))
+
+
+class TestAllAlgorithmsAgree:
+    @pytest.mark.parametrize("dist", ALL_DISTS)
+    @pytest.mark.parametrize("delta", [10, 400])
+    def test_on_paper_distributions(self, dist, delta):
+        x = generate(dist, 1500, delta=delta, seed=99)
+        results = all_algorithm_results(x)
+        want = ref_sum(x)
+        for name, got in results.items():
+            assert got == want, f"{name}: {got!r} != {want!r}"
+
+    def test_on_wide_random(self, rng):
+        x = (rng.random(2000) - 0.5) * 10.0 ** rng.integers(-250, 250, 2000)
+        results = all_algorithm_results(x)
+        want = ref_sum(x)
+        for name, got in results.items():
+            assert got == want, name
+
+    def test_sumzero_all_return_exact_zero(self):
+        x = generate("sumzero", 2000, delta=800, seed=1)
+        for name, got in all_algorithm_results(x).items():
+            assert got == 0.0, name
+
+
+class TestConditionSensitiveIsFaithful:
+    @pytest.mark.parametrize("dist", ALL_DISTS)
+    def test_faithful_on_distributions(self, dist):
+        from fractions import Fraction
+
+        from tests.conftest import exact_fraction
+
+        x = generate(dist, 800, delta=200, seed=7)
+        res = condition_sensitive_sum(x)
+        exact = exact_fraction(x)
+        nearest = ref_sum(x)
+        lo = min(res.value, nearest)
+        hi = max(res.value, nearest)
+        assert Fraction(lo) <= exact <= Fraction(hi) or res.value == nearest
+
+
+class TestStreamingPipeline:
+    def test_file_to_every_backend(self, tmp_path, rng):
+        """Dataset file -> extmem device AND mapreduce blocks -> same sum."""
+        from repro.data import iter_blocks, write_dataset
+
+        x = generate("random", 3000, delta=150, seed=3)
+        path = tmp_path / "ds.f64"
+        write_dataset(path, x)
+
+        # MapReduce over file blocks
+        from repro.mapreduce import SparseSuperaccumulatorJob, run_job
+
+        blocks = list(iter_blocks(path, 500))
+        mr = run_job(SparseSuperaccumulatorJob(), blocks, reducers=3).value
+
+        # Sequential streaming over the same blocks
+        small = SmallSuperaccumulator()
+        for b in iter_blocks(path, 500):
+            small.add_array(b)
+
+        assert mr == small.to_float() == ref_sum(x)
+
+    def test_huge_magnitude_spread_pipeline(self):
+        # one value at each extreme of the format plus noise
+        x = np.concatenate(
+            [
+                np.array([1e308, -1e308, 2.0**-1074, 1.5e-300]),
+                np.linspace(-1.0, 1.0, 101),
+            ]
+        )
+        results = all_algorithm_results(x)
+        want = ref_sum(x)
+        for name, got in results.items():
+            assert got == want, name

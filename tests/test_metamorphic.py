@@ -1,0 +1,128 @@
+"""Metamorphic tests: algebraic laws the exact machinery must satisfy.
+
+Instead of comparing against a reference value, these check relations
+between outputs on *transformed* inputs — permutation, partitioning,
+negation, scaling by powers of two, concatenation — which exact
+arithmetic must preserve identically and float arithmetic does not.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import SparseSuperaccumulator, exact_sum
+from tests.conftest import random_hard_array
+
+
+class TestSumLaws:
+    def test_permutation_invariance(self, rng):
+        x = random_hard_array(rng, 800)
+        base = exact_sum(x)
+        for _ in range(5):
+            assert exact_sum(rng.permutation(x)) == base
+
+    def test_partition_invariance(self, rng):
+        # sum of exact partial states == exact sum of the whole
+        x = random_hard_array(rng, 700)
+        whole = SparseSuperaccumulator.from_floats(x)
+        for k in (2, 3, 7, 50):
+            parts = [
+                SparseSuperaccumulator.from_floats(c) for c in np.array_split(x, k)
+            ]
+            assert SparseSuperaccumulator.sum_many(parts) == whole
+
+    def test_negation_antisymmetry(self, rng):
+        x = random_hard_array(rng, 300)
+        assert exact_sum(-x) == -exact_sum(x)
+
+    def test_power_of_two_scaling_commutes(self, rng):
+        # 2^k * sum(x) == sum(2^k * x) exactly while no over/underflow
+        x = random_hard_array(rng, 200, emin=-100, emax=100)
+        s = exact_sum(x)
+        for k in (-40, -3, 1, 17):
+            scaled = np.ldexp(x, k)
+            assert exact_sum(scaled) == math.ldexp(s, k) or (
+                # rounding happens at different absolute positions only
+                # when the scaled sum leaves the normal range
+                not math.isfinite(math.ldexp(s, k))
+            )
+
+    def test_concatenation_additivity(self, rng):
+        x = random_hard_array(rng, 150)
+        y = random_hard_array(rng, 150)
+        a = SparseSuperaccumulator.from_floats(x)
+        b = SparseSuperaccumulator.from_floats(y)
+        both = SparseSuperaccumulator.from_floats(np.concatenate([x, y]))
+        assert a.add(b) == both
+
+    def test_zero_padding_invariance(self, rng):
+        x = random_hard_array(rng, 100)
+        padded = np.concatenate([x, np.zeros(500), [-0.0] * 3])
+        assert exact_sum(padded) == exact_sum(x)
+
+    def test_pairing_cancellation(self, rng):
+        # appending {v, -v} pairs never changes the exact sum
+        x = random_hard_array(rng, 100)
+        noise = random_hard_array(rng, 50)
+        padded = np.concatenate([x, noise, -noise])
+        rng.shuffle(padded)
+        assert exact_sum(padded) == exact_sum(x)
+
+
+class TestAddAlgebra:
+    def test_associativity(self, rng):
+        a = SparseSuperaccumulator.from_floats(random_hard_array(rng, 60))
+        b = SparseSuperaccumulator.from_floats(random_hard_array(rng, 60))
+        c = SparseSuperaccumulator.from_floats(random_hard_array(rng, 60))
+        assert a.add(b).add(c) == a.add(b.add(c))
+
+    def test_inverse(self, rng):
+        x = random_hard_array(rng, 80)
+        a = SparseSuperaccumulator.from_floats(x)
+        neg = SparseSuperaccumulator.from_floats(-x)
+        assert a.add(neg).is_zero()
+
+    def test_idempotent_doubling(self, rng):
+        x = random_hard_array(rng, 80)
+        a = SparseSuperaccumulator.from_floats(x)
+        doubled = a.add(a)
+        direct = SparseSuperaccumulator.from_floats(np.concatenate([x, x]))
+        assert doubled == direct
+
+
+class TestCrossModelLaws:
+    def test_mapreduce_equals_streaming_equals_batch(self, rng):
+        from repro.mapreduce import parallel_sum
+        from repro.streaming import ExactRunningSum
+
+        x = random_hard_array(rng, 2000)
+        batch = exact_sum(x)
+        rs = ExactRunningSum()
+        for chunk in np.array_split(x, 13):
+            rs.add_array(chunk)
+        assert rs.value() == batch
+        assert parallel_sum(x, block_items=173) == batch
+
+    def test_extmem_block_size_invariance(self, rng):
+        from repro.extmem import BlockDevice, ExtArray, extmem_sum_sorted
+
+        x = random_hard_array(rng, 1500)
+        results = set()
+        for B in (16, 64, 256):
+            dev = BlockDevice(block_size=B, memory=B * 10)
+            src = ExtArray.from_numpy(dev, "x", x)
+            results.add(extmem_sum_sorted(dev, src).value)
+        assert len(results) == 1
+
+    def test_allreduce_rank_count_invariance(self, rng):
+        from repro.bsp import exact_allreduce_sum
+
+        x = random_hard_array(rng, 900)
+        outs = {
+            exact_allreduce_sum(np.array_split(x, p)).values[0]
+            for p in (1, 2, 5, 9)
+        }
+        assert outs == {exact_sum(x)}

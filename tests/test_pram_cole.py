@@ -1,0 +1,87 @@
+"""Unit tests for the Cole-style pipelined merge sort."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelViolationError
+from repro.pram.cole import cole_merge_sort
+from repro.pram.machine import PRAM
+from repro.pram.primitives import parallel_merge_sort
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 5, 16, 17, 100, 1024, 1025])
+    def test_sorts(self, n, rng):
+        keys = rng.random(n)
+        out, _ = cole_merge_sort(PRAM(), keys)
+        assert (out == np.sort(keys)).all()
+
+    def test_duplicates(self, rng):
+        keys = rng.integers(0, 5, 500).astype(np.float64)
+        out, stats = cole_merge_sort(PRAM(), keys)
+        assert (out == np.sort(keys)).all()
+
+    def test_presorted_and_reversed(self, rng):
+        keys = np.sort(rng.random(300))
+        out, _ = cole_merge_sort(PRAM(), keys)
+        assert (out == keys).all()
+        out2, _ = cole_merge_sort(PRAM(), keys[::-1])
+        assert (out2 == keys).all()
+
+    def test_negative_and_special_values(self):
+        keys = np.array([-1e300, 0.0, -0.0, 1e-300, -5.0, 2.0**-1074])
+        out, _ = cole_merge_sort(PRAM(), keys)
+        assert (out == np.sort(keys)).all()
+
+
+class TestPipelineProperties:
+    def test_stages_linear_in_log_n(self, rng):
+        for n in (64, 1024, 4096):
+            _, stats = cole_merge_sort(PRAM(), rng.random(n))
+            logn = math.ceil(math.log2(n))
+            # the schedule fills one level every ~4 stages
+            assert stats.stages <= 4 * logn + 6
+
+    def test_rounds_beat_level_by_level_asymptotically(self, rng):
+        n = 4096
+        m_cole = PRAM()
+        cole_merge_sort(m_cole, rng.random(n))
+        m_level = PRAM()
+        parallel_merge_sort(m_level, rng.random(n))
+        # O(log n) vs O(log^2 n): at n = 4096 the gap is already visible
+        assert m_cole.stats.rounds < m_level.stats.rounds
+
+    def test_work_n_log_n(self, rng):
+        _, s1 = cole_merge_sort(PRAM(), rng.random(512))
+        _, s2 = cole_merge_sort(PRAM(), rng.random(4096))
+        ratio = s2.total_items_processed / s1.total_items_processed
+        assert 6 <= ratio <= 16  # 8x elements, ~n log n growth
+
+    def test_cover_property_holds(self, rng):
+        # the invariant justifying O(1) rounds per stage: bounded
+        # interleaving between successive lists at every node
+        for seed in range(5):
+            keys = np.random.default_rng(seed).random(2000)
+            _, stats = cole_merge_sort(PRAM(), keys, check_cover=True)
+            assert stats.max_cover_gap <= 6
+
+    def test_cover_check_can_trip(self, rng):
+        # sanity that the checker is live: an absurd bound of 0 trips
+        with pytest.raises(ModelViolationError):
+            cole_merge_sort(PRAM(), rng.random(64), cover_bound=0)
+
+    def test_adversarial_orders_keep_cover(self, rng):
+        n = 1024
+        for keys in (
+            np.arange(n, dtype=np.float64),
+            np.arange(n, dtype=np.float64)[::-1].copy(),
+            np.tile([1.0, -1.0], n // 2),
+            np.repeat(rng.random(8), n // 8),
+        ):
+            _, stats = cole_merge_sort(PRAM(), keys, check_cover=True)
+            assert stats.max_cover_gap <= 6
+            assert (cole_merge_sort(PRAM(), keys)[0] == np.sort(keys)).all()

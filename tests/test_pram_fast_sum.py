@@ -1,0 +1,112 @@
+"""Unit tests for the fast PRAM summation algorithm (§3, Theorem 2)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.digits import DEFAULT_RADIX, digits_to_int
+from repro.core.rounding import to_nonoverlapping
+from repro.pram.fast_sum import pram_carry_propagate, pram_exact_sum
+from repro.pram.machine import PRAM
+from tests.conftest import ADVERSARIAL_CASES, random_hard_array, ref_sum
+
+
+class TestCarryPropagate:
+    def test_matches_sequential(self, rng):
+        R = DEFAULT_RADIX.R
+        for _ in range(40):
+            d = rng.integers(-(R - 1), R, size=int(rng.integers(1, 50))).astype(
+                np.int64
+            )
+            par = pram_carry_propagate(PRAM(check_erew=True), d)
+            seq = to_nonoverlapping(d)
+            assert digits_to_int(par, 0)[0] == digits_to_int(seq, 0)[0]
+            # balanced non-redundant digits
+            assert (par >= -(R // 2)).all() and (par < R // 2).all()
+
+    def test_log_rounds(self, rng):
+        R = DEFAULT_RADIX.R
+        m = PRAM()
+        d = rng.integers(-(R - 1), R, size=256).astype(np.int64)
+        pram_carry_propagate(m, d)
+        assert m.stats.rounds <= 2 * 9 + 6
+
+    def test_empty(self):
+        out = pram_carry_propagate(PRAM(), np.empty(0, dtype=np.int64))
+        assert (out == 0).all()
+
+
+class TestPRAMExactSum:
+    @pytest.mark.parametrize("case", ADVERSARIAL_CASES)
+    def test_adversarial(self, case):
+        res = pram_exact_sum(case)
+        assert res.value == ref_sum(case)
+
+    def test_random(self, rng):
+        for _ in range(15):
+            x = random_hard_array(rng, int(rng.integers(1, 300)))
+            assert pram_exact_sum(x).value == ref_sum(x)
+
+    def test_empty(self):
+        assert pram_exact_sum([]).value == 0.0
+
+    def test_rounds_scale_as_log_squared(self, rng):
+        rounds = []
+        for n in (256, 1024, 4096):
+            res = pram_exact_sum(rng.random(n))
+            rounds.append(res.stats.rounds)
+        # doubling log n should far less than double rounds beyond log^2
+        r256, r1024, r4096 = rounds
+        assert r1024 < r256 * 3 and r4096 < r1024 * 3
+        # and rounds are polylog: tiny versus n
+        assert r4096 < 4096 // 4
+
+    def test_work_scales_n_log_n(self, rng):
+        res1 = pram_exact_sum(random_hard_array(rng, 512))
+        res2 = pram_exact_sum(random_hard_array(rng, 4096))
+        # 8x elements, log factor 12/9 -> work ratio well under 8 * 2
+        assert res2.stats.work < res1.stats.work * 16
+        assert res2.stats.work > res1.stats.work * 4
+
+    def test_reports_sigma(self, rng):
+        res = pram_exact_sum(random_hard_array(rng, 200))
+        assert res.root_active > 0
+
+    def test_directed_mode(self, rng):
+        x = random_hard_array(rng, 100)
+        lo = pram_exact_sum(x, mode="down").value
+        hi = pram_exact_sum(x, mode="up").value
+        assert lo <= ref_sum(x) <= hi
+
+    def test_uses_supplied_machine(self):
+        m = PRAM()
+        pram_exact_sum([1.0, 2.0], machine=m)
+        assert m.stats.rounds > 0
+
+
+class TestCascadeMode:
+    def test_same_value_as_level_by_level(self, rng):
+        for _ in range(8):
+            x = random_hard_array(rng, int(rng.integers(2, 400)))
+            assert (
+                pram_exact_sum(x, cascade=True).value
+                == pram_exact_sum(x).value
+                == ref_sum(x)
+            )
+
+    def test_rounds_linear_in_log_n(self, rng):
+        import math
+
+        rounds = []
+        for n in (256, 4096):
+            x = random_hard_array(rng, n)
+            rounds.append(pram_exact_sum(x, cascade=True).stats.rounds)
+        # +4 levels of log n: increments stay bounded (linear in log n)
+        assert rounds[1] - rounds[0] <= 8 * (math.log2(4096) - math.log2(256))
+
+    def test_empty_and_single(self):
+        assert pram_exact_sum([], cascade=True).value == 0.0
+        assert pram_exact_sum([3.5], cascade=True).value == 3.5

@@ -1,0 +1,86 @@
+"""Unit tests for the Theorem 2 set-equality reduction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pram.lower_bound import (
+    set_equality_instance,
+    sets_equal_by_summation,
+    tau_for,
+)
+
+
+class TestTau:
+    def test_values(self):
+        assert tau_for(1) == 1
+        assert tau_for(2) == 2
+        assert tau_for(3) == 2
+        assert tau_for(4) == 4   # log2(4)=2 -> smallest power of two > 2
+        assert tau_for(16) == 8
+        assert tau_for(1000) == 16
+
+    def test_strictly_exceeds_log(self):
+        import math
+
+        for n in (2, 5, 100, 10_000):
+            assert tau_for(n) > math.log2(n)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            tau_for(0)
+
+
+class TestInstance:
+    def test_shapes_and_signs(self):
+        vals, tau = set_equality_instance([1, 2], [2, 3])
+        assert vals.size == 4
+        assert (vals[:2] < 0).all() and (vals[2:] > 0).all()
+
+    def test_exponent_gap(self):
+        vals, tau = set_equality_instance([0, 1, 2], [0, 1, 2])
+        mags = np.unique(np.abs(vals))
+        ratios = mags[1:] / mags[:-1]
+        assert (ratios >= 2.0**tau).all()
+
+    def test_universe_too_large(self):
+        with pytest.raises(ValueError, match="universe"):
+            set_equality_instance([600], [600])  # tau=2, 2*600 > 1023
+
+    def test_negative_elements_rejected(self):
+        with pytest.raises(ValueError):
+            set_equality_instance([-1], [1])
+
+
+class TestReduction:
+    def test_equal_multisets(self):
+        assert sets_equal_by_summation([1, 2, 3], [3, 2, 1])
+        assert sets_equal_by_summation([5, 5, 2], [2, 5, 5])
+        assert sets_equal_by_summation([], [])
+        assert sets_equal_by_summation([7], [7])
+
+    def test_unequal(self):
+        assert not sets_equal_by_summation([1, 2, 3], [1, 2, 4])
+        assert not sets_equal_by_summation([5, 5, 2], [5, 2, 2])
+        assert not sets_equal_by_summation([1], [1, 1])  # different sizes
+
+    def test_multiplicity_matters(self):
+        assert not sets_equal_by_summation([1, 1, 2], [1, 2, 2])
+
+    def test_random_permutations(self, rng):
+        for _ in range(20):
+            c = rng.integers(0, 30, size=12).tolist()
+            d = list(c)
+            rng.shuffle(d)
+            assert sets_equal_by_summation(c, d)
+            d[0] = (d[0] + 1) % 30
+            same = sorted(c) == sorted(d)
+            assert sets_equal_by_summation(c, d) == same
+
+    def test_cancellation_cannot_fool_it(self):
+        # n copies of a smaller exponent cannot pile up into a larger
+        # one: the tau gap guarantees it
+        c = [0] * 8
+        d = [1] + [0] * 7
+        assert not sets_equal_by_summation(c, d)

@@ -1,0 +1,67 @@
+"""Unit tests for the PRAM cost accountant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelViolationError
+from repro.pram.machine import PRAM, PRAMStats
+
+
+class TestCharging:
+    def test_accumulates(self):
+        m = PRAM()
+        m.charge(rounds=2, work=10, processors=5)
+        m.charge(rounds=1, work=3, processors=2)
+        assert m.stats.rounds == 3
+        assert m.stats.work == 13
+        assert m.stats.max_processors == 5
+
+    def test_charge_parallel(self):
+        m = PRAM()
+        m.charge_parallel(100)
+        assert m.stats == PRAMStats(rounds=1, work=100, max_processors=100)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PRAM().charge(rounds=-1)
+
+
+class TestEREWChecking:
+    def test_disabled_by_default(self):
+        m = PRAM()
+        m.access(reads=np.array([1, 1, 1]))  # no error when disabled
+
+    def test_duplicate_read_detected(self):
+        m = PRAM(check_erew=True)
+        with pytest.raises(ModelViolationError, match="read"):
+            m.access(reads=np.array([3, 5, 3]))
+
+    def test_duplicate_write_detected(self):
+        m = PRAM(check_erew=True)
+        with pytest.raises(ModelViolationError, match="write"):
+            m.access(writes=np.array([0, 0]))
+
+    def test_exclusive_ok(self):
+        m = PRAM(check_erew=True)
+        m.access(reads=np.arange(100), writes=np.arange(100, 200))
+
+
+class TestForkJoin:
+    def test_sequential_composition(self):
+        m = PRAM()
+        child = m.fork()
+        child.charge(rounds=5, work=50, processors=10)
+        m.join(child)
+        assert m.stats.rounds == 5 and m.stats.work == 50
+
+    def test_fork_inherits_checking(self):
+        m = PRAM(check_erew=True)
+        assert m.fork().check_erew
+
+    def test_stats_merge_takes_processor_max(self):
+        a = PRAMStats(rounds=1, work=2, max_processors=10)
+        b = PRAMStats(rounds=3, work=4, max_processors=7)
+        a.merge(b)
+        assert a == PRAMStats(rounds=4, work=6, max_processors=10)

@@ -1,0 +1,121 @@
+"""Unit tests for PRAM primitives: scan, reduce, merge, sort."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.pram.machine import PRAM
+from repro.pram.primitives import (
+    parallel_compact,
+    parallel_merge,
+    parallel_merge_sort,
+    parallel_prefix,
+    parallel_reduce,
+)
+
+
+class TestParallelPrefix:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 100, 1023])
+    def test_inclusive_matches_cumsum(self, n, rng):
+        a = rng.integers(-50, 50, n)
+        got = parallel_prefix(PRAM(check_erew=True), a)
+        assert (got == np.cumsum(a)).all()
+
+    @pytest.mark.parametrize("n", [1, 5, 64, 257])
+    def test_exclusive(self, n, rng):
+        a = rng.integers(0, 9, n)
+        got = parallel_prefix(PRAM(), a, inclusive=False)
+        assert (got == np.cumsum(a) - a).all()
+
+    def test_logarithmic_rounds(self, rng):
+        m = PRAM()
+        parallel_prefix(m, rng.integers(0, 5, 1024))
+        # Blelloch: 2 log n sweeps + final combine
+        assert m.stats.rounds <= 2 * 10 + 2
+
+    def test_linear_work(self, rng):
+        m = PRAM()
+        n = 4096
+        parallel_prefix(m, rng.integers(0, 5, n))
+        assert m.stats.work <= 4 * n  # O(n), small constant
+
+    def test_empty(self):
+        out = parallel_prefix(PRAM(), np.empty(0, dtype=np.int64))
+        assert out.size == 0
+
+    def test_custom_op_requires_identity(self):
+        with pytest.raises(ValueError):
+            parallel_prefix(PRAM(), np.arange(4), op=np.maximum)
+
+
+class TestParallelReduce:
+    def test_matches_sum(self, rng):
+        a = rng.integers(-100, 100, 333)
+        assert parallel_reduce(PRAM(), a) == a.sum()
+
+    def test_single(self):
+        assert parallel_reduce(PRAM(), np.array([42])) == 42
+
+    def test_log_rounds(self, rng):
+        m = PRAM()
+        parallel_reduce(m, rng.integers(0, 5, 1 << 12))
+        assert m.stats.rounds <= 13
+
+
+class TestParallelCompact:
+    def test_matches_boolean_indexing(self, rng):
+        a = rng.integers(0, 100, 200)
+        keep = a % 3 == 0
+        got = parallel_compact(PRAM(check_erew=True), a, keep)
+        assert (got == a[keep]).all()
+
+    def test_all_and_none(self, rng):
+        a = rng.integers(0, 10, 50)
+        assert (parallel_compact(PRAM(), a, np.ones(50, bool)) == a).all()
+        assert parallel_compact(PRAM(), a, np.zeros(50, bool)).size == 0
+
+
+class TestParallelMerge:
+    def test_merges_sorted(self, rng):
+        for _ in range(20):
+            a = np.sort(rng.random(int(rng.integers(0, 40))))
+            b = np.sort(rng.random(int(rng.integers(1, 40))))
+            merged, pos_a, pos_b = parallel_merge(PRAM(check_erew=True), a, b)
+            assert (merged == np.sort(np.concatenate([a, b]))).all()
+            # cross-links point at the right slots
+            assert (merged[pos_a] == a).all()
+            assert (merged[pos_b] == b).all()
+
+    def test_duplicates_stable(self):
+        a = np.array([1.0, 2.0, 2.0])
+        b = np.array([2.0, 3.0])
+        merged, pos_a, pos_b = parallel_merge(PRAM(check_erew=True), a, b)
+        assert (merged == np.array([1.0, 2.0, 2.0, 2.0, 3.0])).all()
+        # positions are unique (EREW-safe scatter)
+        allpos = np.concatenate([pos_a, pos_b])
+        assert np.unique(allpos).size == allpos.size
+
+
+class TestParallelMergeSort:
+    @pytest.mark.parametrize("n", [0, 1, 2, 10, 64, 100, 255])
+    def test_sorts(self, n, rng):
+        keys = rng.random(n)
+        got = parallel_merge_sort(PRAM(), keys)
+        assert (got == np.sort(keys)).all()
+
+    def test_round_bound_log_squared(self, rng):
+        n = 1024
+        m = PRAM()
+        parallel_merge_sort(m, rng.random(n))
+        logn = math.ceil(math.log2(n))
+        assert m.stats.rounds <= 3 * logn * logn
+
+    def test_work_bound_n_log_n(self, rng):
+        n = 2048
+        m = PRAM()
+        parallel_merge_sort(m, rng.random(n))
+        logn = math.ceil(math.log2(n))
+        assert m.stats.work <= 4 * n * logn * logn  # merge charges m*log m per level

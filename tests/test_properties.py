@@ -1,0 +1,197 @@
+"""Property-based tests (Hypothesis) on the core invariants.
+
+These attack the exactness claims with adversarially generated floats:
+full exponent range, subnormals, signed zeros, and weird mixtures the
+unit tests wouldn't think of.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.baselines.hybridsum import hybrid_sum
+from repro.baselines.ifastsum import ifastsum
+from repro.core.digits import (
+    DEFAULT_RADIX,
+    RadixConfig,
+    digits_to_int,
+    normalize_digit_array,
+    regularize_pair_vec,
+    split_float,
+)
+from repro.core.eft import two_sum
+from repro.core.rounding import round_scaled_int, to_nonoverlapping
+from repro.core.sparse import SparseSuperaccumulator
+from repro.core.superaccumulator import SmallSuperaccumulator
+from tests.conftest import exact_fraction, fraction_to_float
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, allow_subnormal=True, width=64
+)
+
+float_lists = st.lists(finite_floats, min_size=0, max_size=60)
+
+digit_widths = st.sampled_from([4, 8, 16, 26, 30, 31])
+
+
+@given(x=finite_floats, y=finite_floats)
+def test_two_sum_error_free(x, y):
+    s, e = two_sum(x, y)
+    assume(math.isfinite(s))  # past-overflow TwoSum is out of contract
+    assert Fraction(s) + Fraction(e) == Fraction(x) + Fraction(y)
+
+
+@given(x=finite_floats, w=digit_widths)
+def test_split_float_exact(x, w):
+    radix = RadixConfig(w)
+    pairs = split_float(x, radix)
+    total = sum(
+        (Fraction(d) * Fraction(2) ** (w * j) for j, d in pairs), Fraction(0)
+    )
+    assert total == Fraction(x)
+    for _, d in pairs:
+        assert -radix.alpha <= d <= radix.beta and d != 0
+
+
+@given(values=float_lists)
+@settings(max_examples=150)
+def test_sparse_superaccumulator_exact(values):
+    acc = SparseSuperaccumulator.from_floats(np.array(values, dtype=np.float64))
+    assert acc.to_fraction() == exact_fraction(values)
+
+
+@given(values=float_lists)
+@settings(max_examples=100)
+def test_sparse_rounding_correct(values):
+    acc = SparseSuperaccumulator.from_floats(np.array(values, dtype=np.float64))
+    assert acc.to_float() == fraction_to_float(exact_fraction(values))
+
+
+@given(values=float_lists)
+@settings(max_examples=100)
+def test_small_superaccumulator_matches_sparse(values):
+    arr = np.array(values, dtype=np.float64)
+    small = SmallSuperaccumulator()
+    small.add_array(arr)
+    sparse = SparseSuperaccumulator.from_floats(arr)
+    assert small.to_fraction() == sparse.to_fraction()
+
+
+@given(values=st.lists(finite_floats, min_size=0, max_size=25))
+@settings(max_examples=80)
+def test_ifastsum_correctly_rounded(values):
+    # guard: distillation contract needs finite prefixes OR the exact
+    # fallback, both of which must yield the correct rounding
+    got = ifastsum(values)
+    want = fraction_to_float(exact_fraction(values))
+    assert got == want
+
+
+@given(values=st.lists(finite_floats, min_size=0, max_size=40))
+@settings(max_examples=80)
+def test_hybrid_sum_correctly_rounded(values):
+    assert hybrid_sum(values) == fraction_to_float(exact_fraction(values))
+
+
+@given(
+    a=float_lists,
+    b=float_lists,
+)
+@settings(max_examples=100)
+def test_carry_free_add_is_exact_and_regularized(a, b):
+    x = SparseSuperaccumulator.from_floats(np.array(a, dtype=np.float64))
+    y = SparseSuperaccumulator.from_floats(np.array(b, dtype=np.float64))
+    z = x.add(y)
+    assert z.to_fraction() == x.to_fraction() + y.to_fraction()
+    assert (np.abs(z.digits) <= DEFAULT_RADIX.alpha).all()
+
+
+@given(
+    digits=st.lists(
+        st.integers(min_value=-(2**35), max_value=2**35), min_size=1, max_size=30
+    )
+)
+def test_normalize_preserves_value(digits):
+    raw = np.array(digits, dtype=np.int64)
+    out = normalize_digit_array(raw)
+    assert digits_to_int(out, 0)[0] == digits_to_int(raw, 0)[0]
+    assert (np.abs(out) <= DEFAULT_RADIX.alpha).all()
+
+
+@given(
+    pair_sums=st.lists(
+        st.integers(
+            min_value=-(2 * DEFAULT_RADIX.R - 2), max_value=2 * DEFAULT_RADIX.R - 2
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_lemma1_regularize(pair_sums):
+    P = np.array(pair_sums, dtype=np.int64)
+    S = regularize_pair_vec(P)
+    assert digits_to_int(S, 0)[0] == digits_to_int(P, 0)[0]
+    assert (np.abs(S) <= DEFAULT_RADIX.alpha).all()
+
+
+@given(
+    digits=st.lists(
+        st.integers(min_value=-(DEFAULT_RADIX.R - 1), max_value=DEFAULT_RADIX.R - 1),
+        min_size=1,
+        max_size=25,
+    )
+)
+def test_nonoverlapping_unique_balanced(digits):
+    d = np.array(digits, dtype=np.int64)
+    out = to_nonoverlapping(d)
+    half = DEFAULT_RADIX.R // 2
+    assert (out >= -half).all() and (out < half).all()
+    assert digits_to_int(out, 0)[0] == digits_to_int(d, 0)[0]
+
+
+@given(
+    v=st.integers(min_value=-(2**220), max_value=2**220),
+    s=st.integers(min_value=-1200, max_value=1100),
+)
+@settings(max_examples=300)
+def test_round_scaled_int_vs_fraction(v, s):
+    got = round_scaled_int(v, s)
+    try:
+        want = float(Fraction(v) * Fraction(2) ** s)
+    except OverflowError:
+        want = math.inf if v > 0 else -math.inf
+    assert got == want
+
+
+@given(values=float_lists, seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=60)
+def test_order_independence(values, seed):
+    arr = np.array(values, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(arr.size)
+    a = SparseSuperaccumulator.from_floats(arr)
+    b = SparseSuperaccumulator.from_floats(arr[perm])
+    assert a.to_fraction() == b.to_fraction()
+
+
+@given(values=float_lists)
+@settings(max_examples=60)
+def test_serialization_roundtrip(values):
+    a = SparseSuperaccumulator.from_floats(np.array(values, dtype=np.float64))
+    b = SparseSuperaccumulator.from_bytes(a.to_bytes())
+    assert a == b
+
+
+@given(values=float_lists)
+@settings(max_examples=60)
+def test_faithful_bracket_directed(values):
+    acc = SparseSuperaccumulator.from_floats(np.array(values, dtype=np.float64))
+    lo, hi = acc.to_float("down"), acc.to_float("up")
+    exact = exact_fraction(values)
+    assert Fraction(lo) <= exact if math.isfinite(lo) else True
+    assert exact <= Fraction(hi) if math.isfinite(hi) else True
+    assert acc.to_float("nearest") in (lo, hi)

@@ -1,0 +1,104 @@
+"""Hypothesis properties for the machine-model substrates.
+
+Random operation sequences against the block device, block store and
+BSP machine: invariants must hold for *any* usage pattern, not just the
+ones the algorithms happen to exercise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.extmem.device import BlockDevice
+from repro.extmem.ext_array import ExtArray
+from repro.mapreduce.hdfs import BlockStore
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=0, max_value=40), min_size=0, max_size=12),
+    block_size=st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=80)
+def test_ext_array_writer_preserves_content(sizes, block_size):
+    dev = BlockDevice(block_size=block_size, memory=block_size * 4)
+    out = ExtArray(dev, "f")
+    rng = np.random.default_rng(sum(sizes) + block_size)
+    chunks = [rng.random(s) for s in sizes]
+    with out.writer() as w:
+        for c in chunks:
+            w.write(c)
+    expect = np.concatenate(chunks) if chunks else np.empty(0)
+    got = out.to_numpy()
+    assert got.shape == expect.shape and (got == expect).all()
+    # every block except possibly the last is exactly full
+    for i in range(out.num_blocks - 1):
+        assert dev.read_block("f", i).shape[0] == block_size
+
+
+@given(
+    n=st.integers(min_value=0, max_value=200),
+    block_items=st.integers(min_value=1, max_value=50),
+    nodes=st.integers(min_value=1, max_value=7),
+)
+@settings(max_examples=80)
+def test_block_store_partition_covers_exactly(n, block_items, nodes):
+    store = BlockStore(nodes=nodes, block_items=block_items)
+    data = np.arange(n, dtype=np.float64)
+    blocks = store.put("d", data)
+    back = np.concatenate([b.data for b in blocks]) if blocks else np.empty(0)
+    assert (back == data).all()
+    # round-robin placement
+    for i, b in enumerate(blocks):
+        assert b.node == i % nodes
+    # locality views partition the block set
+    total = sum(len(store.blocks_on_node("d", k)) for k in range(nodes))
+    assert total == len(blocks)
+
+
+@given(
+    io_ops=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=5)),
+        min_size=0,
+        max_size=30,
+    )
+)
+@settings(max_examples=60)
+def test_device_counters_monotone(io_ops):
+    dev = BlockDevice(block_size=4, memory=16)
+    dev.create("f")
+    for _ in range(6):
+        dev.append_block("f", np.zeros(4))
+    prev = 0
+    for is_read, idx in io_ops:
+        if is_read:
+            dev.read_block("f", idx)
+        else:
+            dev.append_block("f", np.zeros(2))
+        assert dev.stats.total > prev
+        prev = dev.stats.total
+
+
+@given(
+    payload_sizes=st.lists(
+        st.integers(min_value=0, max_value=64), min_size=1, max_size=10
+    ),
+    p=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=60)
+def test_bsp_byte_accounting(payload_sizes, p):
+    from repro.bsp.simulator import BSPMachine
+
+    machine = BSPMachine(p)
+
+    def prog(rank):
+        if rank.rank == 0:
+            for i, size in enumerate(payload_sizes):
+                rank.send(i % rank.size, b"x" * size)
+        yield
+        return len(rank.recv_all())
+
+    received = machine.run(prog)
+    assert sum(received) == len(payload_sizes)
+    assert machine.stats.bytes_sent == sum(payload_sizes)
+    assert machine.stats.messages == len(payload_sizes)

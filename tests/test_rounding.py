@@ -1,0 +1,216 @@
+"""Unit tests for carry propagation and float conversion."""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.digits import DEFAULT_RADIX, RadixConfig, digits_to_int
+from repro.core.rounding import (
+    MAX_FINITE,
+    canonicalize_sign,
+    round_digits,
+    round_scaled_int,
+    round_windowed,
+    to_nonoverlapping,
+    window_size,
+)
+from tests.conftest import fraction_to_float
+
+
+def ref_round(v: int, s: int) -> float:
+    try:
+        return float(Fraction(v) * Fraction(2) ** s)
+    except OverflowError:
+        return math.inf if v > 0 else -math.inf
+
+
+class TestRoundScaledInt:
+    def test_random_against_fraction(self):
+        rnd = random.Random(42)
+        for _ in range(4000):
+            bits = rnd.randint(1, 220)
+            v = rnd.getrandbits(bits) - rnd.getrandbits(rnd.randint(1, 220))
+            s = rnd.randint(-1200, 1100)
+            assert round_scaled_int(v, s) == ref_round(v, s), (v, s)
+
+    def test_exact_values(self):
+        assert round_scaled_int(3, 0) == 3.0
+        assert round_scaled_int(1, -1074) == 2.0**-1074
+        assert round_scaled_int(-5, 100) == -5.0 * 2.0**100
+        assert round_scaled_int(0, 12345) == 0.0
+
+    def test_ties_to_even(self):
+        # 2**53 + 1 is a tie between 2**53 and 2**53 + 2 -> even wins
+        assert round_scaled_int((1 << 53) + 1, 0) == float(1 << 53)
+        assert round_scaled_int((1 << 53) + 3, 0) == float((1 << 53) + 4)
+        assert round_scaled_int(-((1 << 53) + 1), 0) == -float(1 << 53)
+
+    def test_subnormal_boundary(self):
+        # Exactly half the smallest subnormal rounds to zero (tie, even)
+        assert round_scaled_int(1, -1075) == 0.0
+        # Just above half rounds up to the smallest subnormal
+        assert round_scaled_int(3, -1076) == 2.0**-1074
+        # Deep underflow
+        assert round_scaled_int(1, -3000) == 0.0
+        assert round_scaled_int(-1, -3000) == -0.0
+
+    def test_overflow_nearest(self):
+        assert round_scaled_int(1, 1024) == math.inf
+        assert round_scaled_int(-1, 1024) == -math.inf
+        # a value just below the overflow tie still rounds to MAX_FINITE
+        below = (1 << 55) - 3  # = 2**1024 - 3*2**969 < 2**1024 - 2**970
+        assert round_scaled_int(below, 969) == MAX_FINITE
+
+    def test_overflow_tie_goes_to_inf(self):
+        # 2**1024 - 2**970 is the round-to-nearest overflow threshold
+        v = (1 << 54) - 1  # = 2**1024 - 2**970 at shift 970... (tie)
+        tie = (1 << 1024) - (1 << 970)
+        assert round_scaled_int(tie, 0) == math.inf
+
+    def test_directed_modes_bracket(self):
+        rnd = random.Random(7)
+        for _ in range(500):
+            v = rnd.getrandbits(120) - rnd.getrandbits(120)
+            s = rnd.randint(-400, 300)
+            lo = round_scaled_int(v, s, "down")
+            hi = round_scaled_int(v, s, "up")
+            near = round_scaled_int(v, s, "nearest")
+            exact = Fraction(v) * Fraction(2) ** s
+            assert Fraction(lo) <= exact <= Fraction(hi)
+            assert near in (lo, hi)
+            tz = round_scaled_int(v, s, "zero")
+            assert abs(Fraction(tz)) <= abs(exact)
+
+    def test_directed_overflow_saturation(self):
+        assert round_scaled_int(1, 2000, "zero") == MAX_FINITE
+        assert round_scaled_int(1, 2000, "down") == MAX_FINITE
+        assert round_scaled_int(1, 2000, "up") == math.inf
+        assert round_scaled_int(-1, 2000, "down") == -math.inf
+        assert round_scaled_int(-1, 2000, "up") == -MAX_FINITE
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            round_scaled_int(1, 0, "sideways")
+
+
+class TestToNonoverlapping:
+    def test_value_preserved_balanced_range(self, rng):
+        R = DEFAULT_RADIX.R
+        for _ in range(50):
+            d = rng.integers(-(R - 1), R, size=int(rng.integers(1, 30))).astype(
+                np.int64
+            )
+            out = to_nonoverlapping(d)
+            assert (out[:-1] >= -(R // 2)).all() and (out[:-1] < R // 2).all()
+            assert digits_to_int(out, 0)[0] == digits_to_int(d, 0)[0]
+
+    def test_leading_digit_gives_sign(self, rng):
+        R = DEFAULT_RADIX.R
+        for _ in range(100):
+            d = rng.integers(-(R - 1), R, size=10).astype(np.int64)
+            out = to_nonoverlapping(d)
+            v = digits_to_int(out, 0)[0]
+            nz = np.flatnonzero(out)
+            if v != 0:
+                assert (v > 0) == (out[nz[-1]] > 0)
+            else:
+                assert nz.size == 0
+
+
+class TestCanonicalizeSign:
+    def test_nonnegative_digits(self, rng):
+        R = DEFAULT_RADIX.R
+        for _ in range(60):
+            d = rng.integers(-(R - 1), R, size=12).astype(np.int64)
+            sign, mag = canonicalize_sign(d)
+            assert (mag >= 0).all() and (mag < R).all()
+            v = digits_to_int(d, 0)[0]
+            vm = digits_to_int(mag, 0)[0]
+            assert sign * vm == v
+            assert sign in (-1, 0, 1)
+            assert (sign == 0) == (v == 0)
+
+    def test_zero(self):
+        sign, mag = canonicalize_sign(np.zeros(5, dtype=np.int64))
+        assert sign == 0
+
+
+class TestRoundDigits:
+    @pytest.mark.parametrize("w", [8, 16, 30])
+    def test_against_big_int(self, w, rng):
+        radix = RadixConfig(w=w)
+        for _ in range(100):
+            size = int(rng.integers(1, 20))
+            d = rng.integers(-radix.alpha, radix.beta + 1, size=size).astype(np.int64)
+            base = int(rng.integers(-30, 10))
+            got = round_digits(d, base, radix)
+            v, s = digits_to_int(d, base, radix)
+            assert got == round_scaled_int(v, s)
+
+    def test_sticky_cases(self):
+        # Construct: big digit + a crumb far below the 53-bit window;
+        # without the sticky it would tie to even incorrectly.
+        radix = DEFAULT_RADIX
+        d = np.zeros(6, dtype=np.int64)
+        d[5] = 1          # leading: 2**150
+        d[3] = 1 << 7     # 2**97 = exactly half ulp of 2**150's mantissa? -> craft tie
+        # exact tie: value = 2**150 + 2**97 (97 = 150 - 53)
+        got = round_digits(d, 0, radix)
+        v, s = digits_to_int(d, 0, radix)
+        assert got == round_scaled_int(v, s)
+        # now add a crumb below: tie broken upward
+        d[0] = 1
+        got2 = round_digits(d, 0, radix)
+        v2, s2 = digits_to_int(d, 0, radix)
+        assert got2 == round_scaled_int(v2, s2)
+        assert got2 != got  # the crumb must matter
+
+    def test_directed_modes(self, rng):
+        radix = DEFAULT_RADIX
+        for _ in range(40):
+            d = rng.integers(-radix.alpha, radix.beta + 1, size=8).astype(np.int64)
+            v, s = digits_to_int(d, -4, radix)
+            for mode in ("down", "up", "zero"):
+                assert round_digits(d, -4, radix, mode) == round_scaled_int(v, s, mode)
+
+
+class TestRoundWindowed:
+    def test_zero_tail_matches_full(self, rng):
+        radix = DEFAULT_RADIX
+        K = window_size(radix)
+        d = rng.integers(-radix.alpha, radix.beta + 1, size=K).astype(np.int64)
+        assert round_windowed(d, 3, 0, radix) == round_digits(d, 3, radix)
+
+    def test_tail_sign_decides_like_true_tail(self, rng):
+        radix = DEFAULT_RADIX
+        K = window_size(radix)
+        for sign in (-1, 1):
+            for _ in range(40):
+                win = rng.integers(
+                    -(radix.R // 2), radix.R // 2, size=K
+                ).astype(np.int64)
+                win[-1] = max(win[-1], 1)  # ensure a leading digit
+                base = int(rng.integers(-10, 10))
+                # true value: window + a tiny tail of the given sign
+                v, s = digits_to_int(win, base, radix)
+                tail = sign  # one unit at position base-3 (well below R**base)
+                v_true = (v << (3 * radix.w)) + tail
+                s_true = s - 3 * radix.w
+                assert round_windowed(win, base, sign, radix) == round_scaled_int(
+                    v_true, s_true
+                )
+
+    def test_short_window_with_tail_rejected(self):
+        from repro.errors import RepresentationError
+
+        with pytest.raises(RepresentationError):
+            round_windowed([1], 0, 1)
+
+    def test_bad_tail_sign(self):
+        with pytest.raises(ValueError):
+            round_windowed([1, 2, 3, 4, 5], 0, 2)

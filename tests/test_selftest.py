@@ -1,0 +1,33 @@
+"""Unit tests for the installation self-check."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.selftest import run_selftest
+
+
+def test_selftest_passes_quietly():
+    assert run_selftest(verbose=False) is True
+
+
+def test_selftest_cli(capsys):
+    assert main(["selftest"]) == 0
+    out = capsys.readouterr().out
+    assert "selftest: PASS" in out
+    assert "BSP allreduce" in out
+
+
+def test_selftest_reports_failure(monkeypatch, capsys):
+    import repro.selftest as st
+
+    def broken():
+        raise AssertionError("injected")
+
+    monkeypatch.setattr(
+        st, "_CHECKS", [("injected check", broken)] + list(st._CHECKS[:1])
+    )
+    assert run_selftest() is False
+    out = capsys.readouterr().out
+    assert "FAIL (injected)" in out

@@ -1,0 +1,201 @@
+"""Unit tests for the sparse (alpha, beta)-regularized superaccumulator."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.digits import DEFAULT_RADIX, RadixConfig
+from repro.core.sparse import SparseSuperaccumulator
+from repro.errors import RepresentationError
+from tests.conftest import ADVERSARIAL_CASES, exact_fraction, random_hard_array, ref_sum
+
+
+class TestConstruction:
+    def test_zero(self):
+        z = SparseSuperaccumulator.zero()
+        assert z.is_zero() and z.active_count == 0
+        assert z.to_float() == 0.0
+
+    def test_from_float_value(self):
+        for x in (1.0, -0.1, 1e300, 2.0**-1074, 12345.6789):
+            acc = SparseSuperaccumulator.from_float(x)
+            assert acc.to_fraction() == Fraction(x)
+            assert acc.to_float() == x
+
+    def test_from_float_component_bound(self):
+        # O(1) components per leaf (§3 step 2)
+        for x in (1e308, -1e-308, math.pi):
+            assert SparseSuperaccumulator.from_float(x).active_count <= 3
+
+    def test_from_floats_bulk(self, rng):
+        x = random_hard_array(rng, 2000)
+        acc = SparseSuperaccumulator.from_floats(x)
+        assert acc.to_fraction() == exact_fraction(x)
+
+    def test_invariant_validation(self):
+        with pytest.raises(RepresentationError):
+            SparseSuperaccumulator(
+                DEFAULT_RADIX,
+                np.array([0], dtype=np.int64),
+                np.array([DEFAULT_RADIX.R], dtype=np.int64),  # out of range
+            )
+        with pytest.raises(RepresentationError):
+            SparseSuperaccumulator(
+                DEFAULT_RADIX,
+                np.array([3, 1], dtype=np.int64),  # not increasing
+                np.array([1, 1], dtype=np.int64),
+            )
+
+
+class TestCarryFreeAdd:
+    def test_add_is_exact(self, rng):
+        for _ in range(50):
+            x = random_hard_array(rng, 60)
+            y = random_hard_array(rng, 60)
+            a = SparseSuperaccumulator.from_floats(x)
+            b = SparseSuperaccumulator.from_floats(y)
+            c = a.add(b)
+            assert c.to_fraction() == a.to_fraction() + b.to_fraction()
+
+    def test_result_regularized(self, rng):
+        # the post-add invariant check runs in the constructor; also
+        # verify digits stay within [-alpha, beta] explicitly.
+        x = random_hard_array(rng, 100)
+        a = SparseSuperaccumulator.from_floats(x)
+        b = SparseSuperaccumulator.from_floats(-x * 0.5)
+        c = a.add(b)
+        assert (np.abs(c.digits) <= DEFAULT_RADIX.alpha).all()
+
+    def test_cancellation_keeps_active_zeros(self):
+        a = SparseSuperaccumulator.from_float(1.0)
+        b = SparseSuperaccumulator.from_float(-1.0)
+        c = a.add(b)
+        assert c.is_zero()
+        # the position stays active even though its digit cancelled
+        assert c.active_count >= 1
+
+    def test_carry_activates_adjacent_gap(self):
+        # two near-max digits at the same position force a carry into a
+        # previously inactive position
+        radix = DEFAULT_RADIX
+        a = SparseSuperaccumulator(
+            radix, np.array([0], dtype=np.int64),
+            np.array([radix.beta], dtype=np.int64),
+        )
+        b = SparseSuperaccumulator(
+            radix, np.array([0], dtype=np.int64),
+            np.array([radix.beta], dtype=np.int64),
+        )
+        c = a.add(b)
+        assert 1 in c.indices  # the carry target became active
+        assert c.to_fraction() == 2 * Fraction(radix.beta)
+
+    def test_add_identity(self, rng):
+        x = random_hard_array(rng, 50)
+        a = SparseSuperaccumulator.from_floats(x)
+        z = SparseSuperaccumulator.zero()
+        assert a.add(z) == a
+        assert z.add(a) == a
+
+    def test_add_commutative(self, rng):
+        x = random_hard_array(rng, 40)
+        y = random_hard_array(rng, 40)
+        a = SparseSuperaccumulator.from_floats(x)
+        b = SparseSuperaccumulator.from_floats(y)
+        assert a.add(b) == b.add(a)
+
+    def test_radix_mismatch_rejected(self):
+        a = SparseSuperaccumulator.zero(RadixConfig(16))
+        b = SparseSuperaccumulator.zero(RadixConfig(30))
+        with pytest.raises(ValueError):
+            a.add(b)
+
+    def test_add_float_chain(self, rng):
+        vals = random_hard_array(rng, 150)
+        acc = SparseSuperaccumulator.zero()
+        for v in vals:
+            acc = acc.add_float(float(v))
+        assert acc.to_float() == ref_sum(vals)
+
+    def test_sum_many(self, rng):
+        parts = [SparseSuperaccumulator.from_floats(random_hard_array(rng, 30))
+                 for _ in range(11)]
+        total = SparseSuperaccumulator.sum_many(parts)
+        assert total.to_fraction() == sum(p.to_fraction() for p in parts)
+
+
+class TestRounding:
+    @pytest.mark.parametrize("case", ADVERSARIAL_CASES)
+    def test_adversarial(self, case):
+        acc = SparseSuperaccumulator.from_floats(np.array(case))
+        assert acc.to_float() == ref_sum(case)
+
+    def test_faithful_bracket(self, rng):
+        x = random_hard_array(rng, 200)
+        acc = SparseSuperaccumulator.from_floats(x)
+        lo, hi = acc.to_float("down"), acc.to_float("up")
+        exact = exact_fraction(x)
+        assert Fraction(lo) <= exact <= Fraction(hi)
+        assert acc.to_float() in (lo, hi)
+
+    def test_matches_fsum(self, rng):
+        for _ in range(30):
+            x = random_hard_array(rng, int(rng.integers(1, 400)))
+            assert SparseSuperaccumulator.from_floats(x).to_float() == math.fsum(x)
+
+
+class TestSparsity:
+    def test_active_count_tracks_exponent_spread(self, rng):
+        narrow = rng.random(1000)  # exponents within ~1 binade
+        wide = random_hard_array(rng, 1000, emin=-400, emax=400)
+        a = SparseSuperaccumulator.from_floats(narrow)
+        b = SparseSuperaccumulator.from_floats(wide)
+        assert a.active_count < b.active_count
+
+    def test_dense_digits_roundtrip(self, rng):
+        x = random_hard_array(rng, 100)
+        acc = SparseSuperaccumulator.from_floats(x)
+        dense, base = acc.to_dense_digits()
+        from repro.core.digits import digits_to_int
+
+        v, s = digits_to_int(dense, base)
+        assert Fraction(v) * Fraction(2) ** s == acc.to_fraction()
+
+
+class TestSerialization:
+    def test_roundtrip(self, rng):
+        x = random_hard_array(rng, 300)
+        a = SparseSuperaccumulator.from_floats(x)
+        b = SparseSuperaccumulator.from_bytes(a.to_bytes())
+        assert a == b
+        assert (a.indices == b.indices).all()
+        assert (a.digits == b.digits).all()
+
+    def test_zero_roundtrip(self):
+        z = SparseSuperaccumulator.zero()
+        assert SparseSuperaccumulator.from_bytes(z.to_bytes()).is_zero()
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            SparseSuperaccumulator.from_bytes(b"ZZZZ" + b"\0" * 9)
+
+
+class TestAlternateRadix:
+    @pytest.mark.parametrize("w", [8, 16, 26, 31])
+    def test_exactness_across_radices(self, w, rng):
+        radix = RadixConfig(w)
+        x = random_hard_array(rng, 300)
+        acc = SparseSuperaccumulator.from_floats(x, radix)
+        assert acc.to_float() == ref_sum(x)
+
+    def test_scalar_paper_radix(self):
+        # the paper's R = 2**51: scalar path only
+        radix = RadixConfig(51)
+        acc = SparseSuperaccumulator.zero(radix)
+        for v in [1e16, 1.0, -1e16, 0.5]:
+            acc = acc.add_float(v)
+        assert acc.to_float() == 1.5

@@ -1,0 +1,142 @@
+"""Unit tests for streaming exact aggregation."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.stats import round_fraction
+from repro.streaming import (
+    ExactRunningSum,
+    RunningStats,
+    SlidingWindowSum,
+    exact_cumsum,
+)
+from tests.conftest import exact_fraction, random_hard_array, ref_sum
+
+
+class TestExactRunningSum:
+    def test_mixed_updates(self, rng):
+        x = random_hard_array(rng, 500)
+        rs = ExactRunningSum()
+        for v in x[:100]:
+            rs.add(float(v))
+        rs.add_array(x[100:])
+        assert rs.value() == ref_sum(x)
+        assert rs.count == 500
+
+    def test_merge_matches_serial(self, rng):
+        x = random_hard_array(rng, 400)
+        a = ExactRunningSum()
+        a.add_array(x[:250])
+        b = ExactRunningSum()
+        b.add_array(x[250:])
+        a.merge(b)
+        assert a.value() == ref_sum(x)
+        assert a.count == 400
+
+    def test_checkpoint_roundtrip(self, rng):
+        from repro.core.sparse import SparseSuperaccumulator
+
+        x = random_hard_array(rng, 100)
+        rs = ExactRunningSum()
+        rs.add_array(x)
+        state = rs.exact_state().to_bytes()
+        back = SparseSuperaccumulator.from_bytes(state)
+        assert back.to_float() == rs.value()
+
+
+class TestSlidingWindow:
+    def test_window_matches_brute_force(self, rng):
+        x = random_hard_array(rng, 300, emin=-40, emax=40)
+        win = SlidingWindowSum(17)
+        for i, v in enumerate(x):
+            got = win.push(float(v))
+            lo = max(0, i - 16)
+            assert got == ref_sum(x[lo : i + 1]), i
+
+    def test_no_drift_after_many_updates(self, rng):
+        # the float ring-buffer failure: repeated add/subtract drifts
+        win = SlidingWindowSum(4)
+        drift_values = [1e16, 1.0, -1e16, 2.0] * 500
+        for v in drift_values:
+            win.push(v)
+        assert win.value() == ref_sum(drift_values[-4:])
+
+    def test_partial_window(self):
+        win = SlidingWindowSum(10)
+        win.push(1.5)
+        win.push(2.5)
+        assert win.value() == 4.0 and len(win) == 2
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            SlidingWindowSum(0)
+
+
+class TestRunningStats:
+    def test_matches_batch_stats(self, rng):
+        from repro.stats import exact_mean, exact_variance
+
+        x = random_hard_array(rng, 300, emin=-20, emax=20)
+        st = RunningStats()
+        st.add_array(x[:120])
+        st.add_array(x[120:])
+        assert st.count == 300
+        assert st.sum() == ref_sum(x)
+        assert st.mean() == exact_mean(x)
+        assert st.variance() == exact_variance(x)
+        assert st.variance(ddof=1) == exact_variance(x, ddof=1)
+
+    def test_merge_bit_identical_to_serial(self, rng):
+        x = random_hard_array(rng, 400, emin=-20, emax=20)
+        serial = RunningStats()
+        serial.add_array(x)
+        shards = [RunningStats() for _ in range(4)]
+        for shard, chunk in zip(shards, np.array_split(x, 4)):
+            shard.add_array(chunk)
+        merged = shards[0]
+        for s in shards[1:]:
+            merged.merge(s)
+        assert merged.mean() == serial.mean()
+        assert merged.variance() == serial.variance()
+
+    def test_offset_variance(self):
+        st = RunningStats()
+        st.add_array(np.array([1e8 + 1, 1e8 + 2, 1e8 + 3, 1e8 + 4]))
+        assert st.variance() == 1.25
+
+    def test_empty_guards(self):
+        st = RunningStats()
+        with pytest.raises(ValueError):
+            st.mean()
+        with pytest.raises(ValueError):
+            st.variance()
+
+
+class TestExactCumsum:
+    def test_every_prefix_correct(self, rng):
+        x = random_hard_array(rng, 120)
+        out = exact_cumsum(x)
+        for i in range(x.size):
+            assert out[i] == ref_sum(x[: i + 1]), i
+
+    def test_differs_from_numpy_on_hard_input(self):
+        x = np.array([1e16, 1.0, -1e16, 1.0])
+        ours = exact_cumsum(x)
+        assert ours[3] == 2.0
+        assert float(np.cumsum(x)[3]) != 2.0  # numpy lost the 1.0
+
+    def test_empty(self):
+        assert exact_cumsum([]).size == 0
+
+    def test_directed(self, rng):
+        x = random_hard_array(rng, 40)
+        lo = exact_cumsum(x, mode="down")
+        hi = exact_cumsum(x, mode="up")
+        for i in range(x.size):
+            exact = exact_fraction(x[: i + 1])
+            assert Fraction(lo[i]) <= exact <= Fraction(hi[i])

@@ -1,0 +1,133 @@
+"""Unit tests for the dense and small superaccumulators."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.digits import RadixConfig
+from repro.core.superaccumulator import DenseSuperaccumulator, SmallSuperaccumulator
+from repro.errors import NonFiniteInputError
+from tests.conftest import ADVERSARIAL_CASES, exact_fraction, random_hard_array, ref_sum
+
+
+class TestDenseBasics:
+    def test_empty_is_zero(self):
+        acc = DenseSuperaccumulator()
+        assert acc.is_zero()
+        assert acc.to_float() == 0.0
+        assert acc.to_fraction() == 0
+
+    def test_single_value_roundtrip(self):
+        for x in (1.0, -math.pi, 1e308, 2.0**-1074):
+            acc = DenseSuperaccumulator()
+            acc.add_float(x)
+            assert acc.to_float() == x
+            assert acc.to_fraction() == Fraction(x)
+
+    def test_full_range_bounds_cover_binary64(self):
+        base, n = DenseSuperaccumulator.full_range_bounds(RadixConfig(30))
+        assert base * 30 <= -1074
+        assert (base + n) * 30 >= 1024
+
+    def test_scalar_and_vector_paths_agree(self, rng):
+        x = random_hard_array(rng, 200)
+        a = DenseSuperaccumulator()
+        a.add_array(x)
+        b = DenseSuperaccumulator()
+        for v in x:
+            b.add_float(float(v))
+        assert a == b
+
+    def test_add_accumulator(self, rng):
+        x = random_hard_array(rng, 300)
+        a = DenseSuperaccumulator.from_array(x[:100])
+        b = DenseSuperaccumulator.from_array(x[100:])
+        a.add_accumulator(b)
+        assert a.to_fraction() == exact_fraction(x)
+
+    def test_copy_independent(self):
+        a = DenseSuperaccumulator.from_array([1.0, 2.0])
+        b = a.copy()
+        b.add_float(5.0)
+        assert a.to_float() == 3.0 and b.to_float() == 8.0
+
+    def test_nonfinite_rejected(self):
+        acc = DenseSuperaccumulator()
+        with pytest.raises(NonFiniteInputError):
+            acc.add_array(np.array([1.0, np.inf]))
+
+
+class TestDenseExactness:
+    @pytest.mark.parametrize("case", ADVERSARIAL_CASES)
+    def test_adversarial(self, case):
+        acc = DenseSuperaccumulator.from_array(np.array(case))
+        assert acc.to_float() == ref_sum(case)
+
+    def test_order_independence(self, rng):
+        x = random_hard_array(rng, 500)
+        a = DenseSuperaccumulator.from_array(x)
+        perm = rng.permutation(x.size)
+        b = DenseSuperaccumulator.from_array(x[perm])
+        assert a == b
+
+    def test_many_renormalizations(self, rng):
+        # force deposits past the renorm budget through repeated adds
+        acc = DenseSuperaccumulator()
+        total = Fraction(0)
+        chunk = rng.random(1000)
+        for _ in range(20):
+            acc.add_array(chunk)
+            total += exact_fraction(chunk)
+        acc.renormalize()
+        assert acc.to_fraction() == total
+
+
+class TestDenseSerialization:
+    def test_roundtrip(self, rng):
+        x = random_hard_array(rng, 200)
+        a = DenseSuperaccumulator.from_array(x)
+        b = DenseSuperaccumulator.from_bytes(a.to_bytes())
+        assert a == b
+        assert b.to_float() == ref_sum(x)
+
+    def test_bad_payload(self):
+        with pytest.raises(ValueError):
+            DenseSuperaccumulator.from_bytes(b"XXXX" + b"\0" * 64)
+
+
+class TestSmallSuperaccumulator:
+    def test_sum_classmethod(self, rng):
+        x = random_hard_array(rng, 400)
+        assert SmallSuperaccumulator.sum(x) == ref_sum(x)
+
+    @pytest.mark.parametrize("case", ADVERSARIAL_CASES)
+    def test_adversarial(self, case):
+        assert SmallSuperaccumulator.sum(np.array(case)) == ref_sum(case)
+
+    def test_fixed_limb_count(self):
+        # the defining property: size independent of data
+        a = SmallSuperaccumulator()
+        b = SmallSuperaccumulator()
+        a.add_array(np.array([1e-300, 1e300]))
+        b.add_array(np.array([1.0, 2.0]))
+        assert len(a.limbs) == len(b.limbs)
+
+    def test_against_fsum_random(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(1, 500))
+            x = random_hard_array(rng, n)
+            assert SmallSuperaccumulator.sum(x) == math.fsum(x)
+
+    def test_rounding_modes(self, rng):
+        x = random_hard_array(rng, 100)
+        acc = SmallSuperaccumulator()
+        acc.add_array(x)
+        lo = acc.to_float("down")
+        hi = acc.to_float("up")
+        exact = exact_fraction(x)
+        assert Fraction(lo) <= exact <= Fraction(hi)
+        assert acc.to_float("nearest") in (lo, hi)

@@ -1,0 +1,85 @@
+"""Unit tests for shared utilities."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import NonFiniteInputError
+from repro.util.bits import bit_length, floor_div, floor_mod, trailing_zeros
+from repro.util.timing import Timer
+from repro.util.validation import (
+    check_finite_array,
+    check_positive_int,
+    ensure_float64_array,
+)
+
+
+class TestBits:
+    def test_bit_length(self):
+        assert bit_length(0) == 0
+        assert bit_length(1) == 1
+        assert bit_length(-8) == 4
+        assert bit_length(255) == 8
+
+    def test_floor_semantics_match_numpy(self):
+        for a in (-7, -1, 0, 5, 13):
+            for b in (3, -3, 2):
+                assert floor_div(a, b) == np.int64(a) // np.int64(b)
+                assert floor_mod(a, b) == np.int64(a) % np.int64(b)
+
+    def test_trailing_zeros(self):
+        assert trailing_zeros(1) == 0
+        assert trailing_zeros(8) == 3
+        assert trailing_zeros(-12) == 2
+        assert trailing_zeros(3 << 20) == 20
+
+    def test_trailing_zeros_of_zero(self):
+        with pytest.raises(ValueError):
+            trailing_zeros(0)
+
+
+class TestValidation:
+    def test_ensure_float64(self):
+        out = ensure_float64_array([1, 2, 3])
+        assert out.dtype == np.float64 and out.shape == (3,)
+        # 2-D flattens
+        assert ensure_float64_array(np.ones((2, 2))).shape == (4,)
+        # existing float64 1-D passes through without copy
+        x = np.zeros(4)
+        assert ensure_float64_array(x) is x or (ensure_float64_array(x) == x).all()
+
+    def test_check_finite(self):
+        check_finite_array(np.array([1.0, -0.0, 1e308]))
+        with pytest.raises(NonFiniteInputError, match="index 1"):
+            check_finite_array(np.array([0.0, np.nan]))
+        check_finite_array(np.empty(0))  # empty is fine
+
+    def test_check_positive_int(self):
+        assert check_positive_int(5, name="n") == 5
+        assert check_positive_int(3.0, name="n") == 3
+        with pytest.raises(ValueError, match="workers"):
+            check_positive_int(0, name="workers")
+        with pytest.raises(ValueError):
+            check_positive_int(-1, name="n")
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        first = t.elapsed
+        assert first >= 0.009
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed > first
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
