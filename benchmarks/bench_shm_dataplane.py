@@ -1,0 +1,161 @@
+"""SHM — shared-memory data plane vs pickled-block dispatch.
+
+Measures what the zero-copy data plane buys on the process-pool path:
+the pickled-block baseline serializes every input block into each task
+message, so dispatch bytes scale with ``n``; the shared-memory path
+ships 100-ish-byte :class:`BlockRef` descriptors and workers resolve
+them as in-place views, so dispatch bytes scale with the block *count*.
+Both paths produce bit-identical, correctly rounded sums — this
+benchmark is about wall-clock and bytes moved, never accuracy.
+
+Usage::
+
+    python benchmarks/bench_shm_dataplane.py               # full sweep
+    python benchmarks/bench_shm_dataplane.py --quick       # CI smoke
+    python benchmarks/bench_shm_dataplane.py -o out.json   # custom output
+
+Writes a JSON record (default ``BENCH_shm_dataplane.json`` in the repo
+root) with one row per (n, workers, variant): combine/total seconds,
+dispatch bytes, copies avoided, and combine throughput.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data import generate
+from repro.mapreduce import parallel_sum, shutdown_shared_executors
+
+BLOCK_ITEMS = 1 << 17
+
+
+def run_case(
+    x: np.ndarray, workers: int, *, zero_copy: bool, repeats: int
+) -> Dict[str, Any]:
+    """Best-of-``repeats`` timing for one (input, workers, variant) cell."""
+    best: Optional[Dict[str, Any]] = None
+    for _ in range(repeats):
+        res = parallel_sum(
+            x,
+            method="sparse",
+            workers=workers,
+            executor="process",
+            zero_copy=zero_copy,
+            block_items=BLOCK_ITEMS,
+            report=True,
+        )
+        row = {
+            "variant": "shm" if zero_copy else "pickled",
+            "n": int(x.size),
+            "workers": workers,
+            "value": res.value,
+            "combine_seconds": res.phase_seconds.get("combine", 0.0),
+            "total_seconds": res.total_seconds,
+            "dispatch_bytes": res.dispatch_bytes,
+            "copies_avoided_bytes": res.copies_avoided_bytes,
+            "shuffle_bytes": res.shuffle_bytes,
+            "combine_items_per_second": res.phase_throughput("combine"),
+            "blocks": res.blocks,
+        }
+        if best is None or row["combine_seconds"] < best["combine_seconds"]:
+            best = row
+    assert best is not None
+    return best
+
+
+def sweep(sizes: Sequence[int], workers: Sequence[int], repeats: int) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    for n in sizes:
+        x = generate("random", n, delta=500, seed=42)
+        for p in workers:
+            cells = [
+                run_case(x, p, zero_copy=False, repeats=repeats),
+                run_case(x, p, zero_copy=True, repeats=repeats),
+            ]
+            if cells[0]["value"] != cells[1]["value"]:
+                raise AssertionError(
+                    f"paths disagree at n={n}, workers={p}: "
+                    f"{cells[0]['value']!r} != {cells[1]['value']!r}"
+                )
+            rows.extend(cells)
+            speedup = cells[0]["combine_seconds"] / max(
+                cells[1]["combine_seconds"], 1e-12
+            )
+            print(
+                f"n=2^{int(math.log2(n)):<2d} workers={p}  "
+                f"combine pickled={cells[0]['combine_seconds']:.3f}s "
+                f"shm={cells[1]['combine_seconds']:.3f}s "
+                f"({speedup:.2f}x)  "
+                f"dispatch {cells[0]['dispatch_bytes']:>12,}B -> "
+                f"{cells[1]['dispatch_bytes']:>8,}B",
+                flush=True,
+            )
+        # fresh pools per input size so one size's warm state can't
+        # subsidize the next
+        shutdown_shared_executors()
+    return rows
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small smoke sweep for CI")
+    parser.add_argument("-o", "--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_shm_dataplane.json")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        sizes, workers, repeats = [1 << 18], [2], 1
+    else:
+        sizes, workers, repeats = [1 << 20, 1 << 22], [1, 2, 4], 2
+
+    rows = sweep(sizes, workers, repeats)
+
+    record = {
+        "benchmark": "shm_dataplane",
+        "quick": args.quick,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": __import__("os").cpu_count(),
+        },
+        "config": {
+            "block_items": BLOCK_ITEMS,
+            "sizes": [int(n) for n in sizes],
+            "workers": list(workers),
+            "repeats": repeats,
+            "method": "sparse",
+            "distribution": "random delta=500 seed=42",
+        },
+        "rows": rows,
+    }
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    # headline: does shm beat pickled dispatch at the biggest sweep cell?
+    if not args.quick:
+        top_n, top_p = max(sizes), max(workers)
+        pick = {r["variant"]: r for r in rows
+                if r["n"] == top_n and r["workers"] == top_p}
+        ok = pick["shm"]["combine_seconds"] <= pick["pickled"]["combine_seconds"]
+        print(
+            f"headline (n={top_n}, workers={top_p}): "
+            f"shm {'beats' if ok else 'DOES NOT beat'} pickled on combine "
+            f"({pick['shm']['combine_seconds']:.3f}s vs "
+            f"{pick['pickled']['combine_seconds']:.3f}s)"
+        )
+        return 0 if ok else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -336,17 +336,44 @@ class SparseSuperaccumulator:
 
     @staticmethod
     def from_bytes(payload: bytes) -> "SparseSuperaccumulator":
-        """Inverse of :meth:`to_bytes`."""
+        """Inverse of :meth:`to_bytes`.
+
+        Raises:
+            ValueError: on malformed payloads — wrong magic, truncated
+                or oversized body, invalid digit width, or decoded
+                components violating the regularized representation.
+                Shuffle payloads cross process boundaries, so
+                corruption must surface as a clean error, never a raw
+                ``struct``/``frombuffer`` one.
+        """
+        if len(payload) < _HEADER.size:
+            raise ValueError(
+                f"SparseSuperaccumulator payload truncated: "
+                f"{len(payload)} bytes < {_HEADER.size}-byte header"
+            )
         magic, w, count = _HEADER.unpack_from(payload, 0)
         if magic != _MAGIC:
             raise ValueError("not a SparseSuperaccumulator payload")
+        if count < 0:
+            raise ValueError(f"corrupt header: negative component count {count}")
+        expected = _HEADER.size + 16 * count
+        if len(payload) != expected:
+            raise ValueError(
+                f"SparseSuperaccumulator payload length mismatch: "
+                f"expected {expected} bytes for {count} components, "
+                f"got {len(payload)}"
+            )
+        try:
+            radix = RadixConfig(w)
+        except ValueError as exc:
+            raise ValueError(f"corrupt header: {exc}") from exc
         off = _HEADER.size
         idx = np.frombuffer(payload, dtype="<i8", count=count, offset=off)
         off += 8 * count
         dig = np.frombuffer(payload, dtype="<i8", count=count, offset=off)
+        # Full structural validation (sorted indices, regularized
+        # digits): RepresentationError is a ValueError subclass, so
+        # corrupted bodies fail as cleanly as corrupted headers.
         return SparseSuperaccumulator(
-            RadixConfig(w),
-            idx.astype(np.int64),
-            dig.astype(np.int64),
-            _validated=True,
+            radix, idx.astype(np.int64), dig.astype(np.int64)
         )

@@ -156,11 +156,19 @@ class DenseSuperaccumulator:
             or len(other.limbs) != len(self.limbs)
         ):
             raise ValueError("accumulator ranges differ; renormalize/rebase first")
+        # Two distinct overflow hazards guard the raw limb addition:
+        # the *combined* deposit count must stay under the budget so
+        # int64 limbs keep headroom for the next chunk.
         if self._deposits + other._deposits + 2 >= _NORM_BUDGET:
+            # Self-overflow: our own raw limbs carry most of the count;
+            # renormalizing in place resets our contribution to 1.
             self.renormalize()
-        if other._deposits + self._deposits + 2 >= _NORM_BUDGET:
-            other = other.copy()
-            other.renormalize()
+            if self._deposits + other._deposits + 2 >= _NORM_BUDGET:
+                # Other-overflow: ``other`` alone nearly exhausts the
+                # budget (deposits >= budget - 3). Renormalize a private
+                # copy — the argument must never be mutated.
+                other = other.copy()
+                other.renormalize()
         self.limbs += other.limbs
         self._deposits += other._deposits + 1
 
@@ -237,11 +245,37 @@ class DenseSuperaccumulator:
 
     @staticmethod
     def from_bytes(payload: bytes) -> "DenseSuperaccumulator":
-        """Inverse of :meth:`to_bytes` (always a dense accumulator)."""
+        """Inverse of :meth:`to_bytes` (always a dense accumulator).
+
+        Raises:
+            ValueError: on payloads that are not a well-formed wire
+                format — wrong magic, truncated or oversized body, or
+                an invalid digit width. Shuffle payloads cross process
+                boundaries, so corruption must surface as a clean
+                error, never a raw ``struct``/``frombuffer`` one.
+        """
+        if len(payload) < _HEADER.size:
+            raise ValueError(
+                f"DenseSuperaccumulator payload truncated: "
+                f"{len(payload)} bytes < {_HEADER.size}-byte header"
+            )
         magic, w, base, nlimbs, _count = _HEADER.unpack_from(payload, 0)
         if magic != _MAGIC:
             raise ValueError("not a DenseSuperaccumulator payload")
-        acc = DenseSuperaccumulator(RadixConfig(w), base_index=base, nlimbs=nlimbs)
+        if nlimbs < 0:
+            raise ValueError(f"corrupt header: negative limb count {nlimbs}")
+        expected = _HEADER.size + 8 * nlimbs
+        if len(payload) != expected:
+            raise ValueError(
+                f"DenseSuperaccumulator payload length mismatch: "
+                f"expected {expected} bytes for {nlimbs} limbs, "
+                f"got {len(payload)}"
+            )
+        try:
+            radix = RadixConfig(w)
+        except ValueError as exc:
+            raise ValueError(f"corrupt header: {exc}") from exc
+        acc = DenseSuperaccumulator(radix, base_index=base, nlimbs=nlimbs)
         acc.limbs[:] = np.frombuffer(
             payload, dtype="<i8", count=nlimbs, offset=_HEADER.size
         )

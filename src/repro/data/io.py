@@ -6,19 +6,33 @@ one after another." These helpers provide that shared on-disk format:
 a tiny header plus raw little-endian float64, streamable in blocks so
 both the external-memory loader and the HDFS-style loader ingest the
 same files.
+
+For the zero-copy data plane, :func:`map_dataset` opens the payload as
+a memory-mapped view (no read-and-copy) and
+:func:`dataset_block_refs` tiles it into
+:class:`~repro.mapreduce.dataplane.BlockRef` descriptors that feed the
+MapReduce combine phase directly — workers mmap the file themselves,
+so a dataset larger than RAM never materializes anywhere.
 """
 
 from __future__ import annotations
 
 import struct
 from pathlib import Path
-from typing import Iterator, Union
+from typing import Iterator, List, Union
 
 import numpy as np
 
 from repro.util.validation import ensure_float64_array
 
-__all__ = ["write_dataset", "read_dataset", "iter_blocks", "dataset_len"]
+__all__ = [
+    "write_dataset",
+    "read_dataset",
+    "iter_blocks",
+    "dataset_len",
+    "map_dataset",
+    "dataset_block_refs",
+]
 
 _HEADER = struct.Struct("<4sq")
 _MAGIC = b"F64D"
@@ -54,6 +68,49 @@ def read_dataset(path: Union[str, Path]) -> np.ndarray:
         count = _read_header(fh)
         data = np.frombuffer(fh.read(8 * count), dtype="<f8", count=count)
     return data.astype(np.float64)
+
+
+def map_dataset(path: Union[str, Path]) -> np.ndarray:
+    """Memory-mapped read-only view of a dataset's payload (zero-copy).
+
+    Pages fault in on access instead of being read up front, so this is
+    the right entry point for block-wise consumers of datasets that may
+    not fit in memory.
+    """
+    path = Path(path)
+    count = dataset_len(path)
+    return np.memmap(path, dtype="<f8", mode="r", offset=_HEADER.size, shape=(count,))
+
+
+def dataset_block_refs(
+    path: Union[str, Path], block_items: int = 1 << 17
+) -> List["BlockRef"]:
+    """Zero-copy block descriptors over an on-disk dataset.
+
+    The returned refs dispatch to MapReduce workers as ~100-byte
+    payloads; each worker mmaps the file once and views its blocks in
+    place — the on-disk analogue of the shared-memory plane.
+    """
+    from repro.mapreduce.dataplane import BlockRef
+
+    if block_items < 1:
+        raise ValueError("block_items must be >= 1")
+    path = Path(path)
+    count = dataset_len(path)
+    refs: List[BlockRef] = []
+    for start in range(0, max(count, 1), block_items):
+        length = min(block_items, count - start) if count else 0
+        refs.append(
+            BlockRef(
+                kind="mmap",
+                segment=str(path),
+                offset=_HEADER.size + start * 8,
+                length=length,
+            )
+        )
+        if count == 0:
+            break
+    return refs
 
 
 def iter_blocks(

@@ -5,11 +5,13 @@
 * :func:`extmem_sum_sorted` — Theorem 5 (``O(sort(n))`` I/Os);
 * :func:`extmem_sum_scan` — Theorem 6 (``O(scan(n))`` I/Os when the
   superaccumulator fits in internal memory);
+* :class:`MappedExtArray` — the same scan interface over a real
+  on-disk dataset via mmap, feeding the MapReduce data plane;
 * :mod:`repro.extmem.io_model` — closed-form bounds for the benches.
 """
 
 from repro.extmem.device import BlockDevice, IOStats
-from repro.extmem.ext_array import BlockWriter, ExtArray
+from repro.extmem.ext_array import BlockWriter, ExtArray, MappedExtArray
 from repro.extmem.ext_sort import external_merge_sort
 from repro.extmem.io_model import (
     scan_bound,
@@ -25,6 +27,7 @@ __all__ = [
     "IOStats",
     "BlockWriter",
     "ExtArray",
+    "MappedExtArray",
     "external_merge_sort",
     "scan_bound",
     "sort_bound",

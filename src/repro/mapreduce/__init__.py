@@ -2,12 +2,15 @@
 
 * :class:`BlockStore` — simulated HDFS block placement;
 * :func:`run_job` + executors — the single-round engine;
+* :class:`BlockRef` / :class:`ShmDataPlane` — the zero-copy
+  shared-memory data plane blocks travel on;
 * :class:`SparseSuperaccumulatorJob` / :class:`SmallSuperaccumulatorJob`
   — the two exact jobs of Figures 1-3 (:class:`NaiveSumJob` is the
   inexact control);
 * :func:`parallel_sum` — the one-call driver.
 """
 
+from repro.mapreduce.dataplane import BlockRef, ShmDataPlane, resolve_block
 from repro.mapreduce.driver import parallel_sum
 from repro.mapreduce.hdfs import Block, BlockStore
 from repro.mapreduce.partitioner import (
@@ -20,7 +23,11 @@ from repro.mapreduce.runtime import (
     MapReduceJob,
     MultiprocessExecutor,
     SerialExecutor,
+    SimulatedClusterExecutor,
+    pick_start_method,
     run_job,
+    shared_process_executor,
+    shutdown_shared_executors,
 )
 from repro.mapreduce.sum_job import (
     NaiveSumJob,
@@ -33,6 +40,13 @@ __all__ = [
     "parallel_sum",
     "Block",
     "BlockStore",
+    "BlockRef",
+    "ShmDataPlane",
+    "resolve_block",
+    "SimulatedClusterExecutor",
+    "pick_start_method",
+    "shared_process_executor",
+    "shutdown_shared_executors",
     "Partitioner",
     "RandomPartitioner",
     "RoundRobinPartitioner",

@@ -19,18 +19,35 @@ tests and as the 1-worker baseline); :class:`MultiprocessExecutor` uses
 a ``multiprocessing`` pool, standing in for the paper's 32-core Spark
 workers. Values crossing the executor boundary are ``bytes`` (each
 job's ``encode``/``decode``), mirroring real shuffle serialization.
+
+Dispatch volume is what the zero-copy data plane
+(:mod:`repro.mapreduce.dataplane`) minimizes: combine items may be
+:class:`~repro.mapreduce.dataplane.BlockRef` descriptors instead of
+ndarrays, the job is installed once per worker by the pool initializer,
+and :class:`JobResult` accounts for the bytes that did — and did not —
+cross the boundary.
 """
 
 from __future__ import annotations
 
+import atexit
+import pickle
+import secrets
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from multiprocessing import get_context
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from multiprocessing import get_all_start_methods, get_context
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.mapreduce.dataplane import (
+    BlockRef,
+    ResolvingCombine,
+    resolve_block,
+    run_phase_task,
+    worker_initializer,
+)
 from repro.mapreduce.partitioner import Partitioner, RoundRobinPartitioner
 from repro.util.validation import check_positive_int
 
@@ -41,6 +58,9 @@ __all__ = [
     "MultiprocessExecutor",
     "SimulatedClusterExecutor",
     "run_job",
+    "pick_start_method",
+    "shared_process_executor",
+    "shutdown_shared_executors",
 ]
 
 
@@ -77,6 +97,16 @@ class JobResult:
         shuffle_bytes: total bytes crossing the shuffle.
         blocks: number of input blocks combined.
         reducers: reducer count ``p``.
+        input_items: total items across all combined blocks.
+        input_bytes: total payload bytes of the input blocks.
+        dispatch_bytes: bytes pickled to workers to *dispatch* the
+            combine phase (descriptors under the zero-copy plane, full
+            block payloads on the legacy path, 0 in-process).
+        copies_avoided_bytes: payload bytes that would have crossed the
+            process boundary per task but did not, thanks to shared
+            memory (0 when no boundary exists or nothing was saved).
+        executor_kind: "serial", "process" or "simulated".
+        zero_copy: whether combine consumed block descriptors.
     """
 
     value: float
@@ -84,11 +114,33 @@ class JobResult:
     shuffle_bytes: int = 0
     blocks: int = 0
     reducers: int = 0
+    input_items: int = 0
+    input_bytes: int = 0
+    dispatch_bytes: int = 0
+    copies_avoided_bytes: int = 0
+    executor_kind: str = "serial"
+    zero_copy: bool = False
 
     @property
     def total_seconds(self) -> float:
         """End-to-end job time."""
         return sum(self.phase_seconds.values())
+
+    def phase_throughput(self, phase: str = "combine") -> float:
+        """Items per second through a phase (0.0 if the phase is
+        untimed or instantaneous). Combine consumes ``input_items``;
+        reduce and postprocess consume the shuffled accumulators."""
+        seconds = self.phase_seconds.get(phase, 0.0)
+        if seconds <= 0.0:
+            return 0.0
+        items = self.input_items if phase == "combine" else self.blocks
+        return items / seconds
+
+    @property
+    def combine_bytes_per_second(self) -> float:
+        """Input bytes per second through the combine phase."""
+        seconds = self.phase_seconds.get("combine", 0.0)
+        return self.input_bytes / seconds if seconds > 0.0 else 0.0
 
 
 class SerialExecutor:
@@ -109,22 +161,131 @@ def _invoke(args):
     return fn(item)
 
 
+def _ensure_resource_tracker() -> None:
+    """Start the POSIX resource tracker before the pool forks.
+
+    Workers inherit the tracker connection that exists at fork time.
+    If the pool forks first and a shared-memory segment is created
+    later, every worker spawns a *private* tracker on attach; those
+    trackers only ever see the attach-side register and warn about
+    "leaked" segments at exit even though the owner unlinked them.
+    Pre-starting the tracker keeps the whole pool tree on one tracker,
+    whose set-based cache balances attach registers against the
+    owner's single unlink.
+    """
+    try:
+        from multiprocessing import resource_tracker
+    except ImportError:  # non-POSIX: no tracker, nothing to pre-start
+        return
+    resource_tracker.ensure_running()
+
+
+def pick_start_method(preferred: Optional[str] = None) -> str:
+    """Select a ``multiprocessing`` start method for the executor.
+
+    ``fork`` when the platform offers it (cheapest: workers inherit the
+    parent image, no re-import), otherwise ``spawn`` — viable for the
+    engine because the initializer-based dispatch re-installs the job
+    in freshly spawned interpreters. An explicit ``preferred`` must be
+    one the platform supports.
+    """
+    available = get_all_start_methods()
+    if preferred is not None:
+        if preferred not in available:
+            raise ValueError(
+                f"start method {preferred!r} unavailable on this platform "
+                f"(have {available})"
+            )
+        return preferred
+    return "fork" if "fork" in available else "spawn"
+
+
 class MultiprocessExecutor:
     """``multiprocessing`` pool executor (the paper's worker cluster).
+
+    Two dispatch protocols:
+
+    * legacy ``map(fn, items)`` — pickles ``(fn, item)`` per task;
+      kept for arbitrary callables and as the retry fallback;
+    * installed-job ``run_phase(phase, items)`` — the job is pickled
+      **once per worker** by the pool initializer
+      (:func:`~repro.mapreduce.dataplane.worker_initializer`); tasks
+      carry only a phase name and an item, which for combine is a
+      ~100-byte :class:`~repro.mapreduce.dataplane.BlockRef` resolved
+      in-worker to a zero-copy view.
+
+    Installing a job (re)builds the pool only when the job's pickled
+    form differs from the currently installed one, so repeated runs of
+    an equivalent job — the ``parallel_sum`` steady state — reuse both
+    the worker processes and the installed job.
 
     Args:
         workers: pool size; plays the role of cluster cores in Fig. 3.
         chunksize: items per task handed to a worker.
+        start_method: ``"fork"`` / ``"spawn"`` / ``"forkserver"``;
+            default picks fork when available, spawn otherwise.
     """
 
-    def __init__(self, workers: int, *, chunksize: int = 1) -> None:
+    supports_job_install = True
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        chunksize: int = 1,
+        start_method: Optional[str] = None,
+    ) -> None:
         self.workers = check_positive_int(workers, name="workers")
         self._chunksize = check_positive_int(chunksize, name="chunksize")
-        self._pool = get_context("fork").Pool(self.workers)
+        self.start_method = pick_start_method(start_method)
+        self._ctx = get_context(self.start_method)
+        self._pool = None  # created lazily: plain for map(), with the
+        self._closed = False  # job initializer for run_phase()
+        self._job_payload: Optional[bytes] = None
+        self._job_token: Optional[str] = None
 
-    def map(self, fn: Callable[[Any], bytes], items: Sequence[Any]) -> List[bytes]:
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("executor is closed")
+
+    def install_job(self, job: "MapReduceJob") -> None:
+        """Install ``job`` in every worker (no-op if already installed).
+
+        A changed job rebuilds the pool so the initializer delivers the
+        new payload exactly once per worker.
+        """
+        self._check_open()
+        payload = pickle.dumps(job)
+        if payload == self._job_payload and self._pool is not None:
+            return
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+        self._job_payload = payload
+        self._job_token = secrets.token_hex(8)
+        _ensure_resource_tracker()
+        self._pool = self._ctx.Pool(
+            self.workers,
+            initializer=worker_initializer,
+            initargs=(payload, self._job_token),
+        )
+
+    def run_phase(self, phase: str, items: Sequence[Any]) -> List[bytes]:
+        """Map one job phase over ``items`` via the installed job."""
+        if self._job_token is None:
+            raise RuntimeError("run_phase requires install_job first")
         if not items:
             return []
+        tasks = [(self._job_token, phase, item) for item in items]
+        return self._pool.map(run_phase_task, tasks, chunksize=self._chunksize)
+
+    def map(self, fn: Callable[[Any], bytes], items: Sequence[Any]) -> List[bytes]:
+        self._check_open()
+        if not items:
+            return []
+        if self._pool is None:
+            _ensure_resource_tracker()
+            self._pool = self._ctx.Pool(self.workers)
         return self._pool.map(
             _invoke, [(fn, item) for item in items], chunksize=self._chunksize
         )
@@ -135,12 +296,54 @@ class MultiprocessExecutor:
             self._pool.close()
             self._pool.join()
             self._pool = None
+        self._closed = True
+        self._job_payload = None
+        self._job_token = None
 
     def __enter__(self) -> "MultiprocessExecutor":
         return self
 
     def __exit__(self, *exc: object) -> None:
         self.close()
+
+
+# ----------------------------------------------------------------------
+# persistent executors: amortize pool spin-up across driver calls
+# ----------------------------------------------------------------------
+
+_SHARED_EXECUTORS: Dict[Tuple[int, str], MultiprocessExecutor] = {}
+
+
+def shared_process_executor(
+    workers: int, *, start_method: Optional[str] = None
+) -> MultiprocessExecutor:
+    """A process-wide :class:`MultiprocessExecutor`, created on first use.
+
+    Keyed by ``(workers, start_method)``; repeated ``parallel_sum``
+    calls with the same worker count reuse the same pool (and, via
+    :meth:`MultiprocessExecutor.install_job`, the same installed job),
+    so pool spin-up and per-worker job delivery are one-time costs.
+    Do **not** ``close()`` the returned executor — call
+    :func:`shutdown_shared_executors` instead (also run at interpreter
+    exit).
+    """
+    method = pick_start_method(start_method)
+    key = (check_positive_int(workers, name="workers"), method)
+    exe = _SHARED_EXECUTORS.get(key)
+    if exe is None or exe._closed:
+        exe = MultiprocessExecutor(workers, start_method=method)
+        _SHARED_EXECUTORS[key] = exe
+    return exe
+
+
+def shutdown_shared_executors() -> None:
+    """Close every pooled executor created by :func:`shared_process_executor`."""
+    for exe in _SHARED_EXECUTORS.values():
+        exe.close()
+    _SHARED_EXECUTORS.clear()
+
+
+atexit.register(shutdown_shared_executors)
 
 
 class SimulatedClusterExecutor:
@@ -187,17 +390,40 @@ class _RetryingMap:
     is always safe).
 
     Retries run in-process (the failure already consumed the executor's
-    attempt); exceeding the budget re-raises the last error.
+    attempt); exceeding the budget re-raises the last error. The
+    installed-job protocol is passed through; its in-process retry path
+    resolves block descriptors locally, so a worker-side failure never
+    strands data in shared memory.
     """
 
-    def __init__(self, exe, max_retries: int) -> None:
+    def __init__(self, exe, max_retries: int, job: Optional["MapReduceJob"] = None) -> None:
         self._exe = exe
         self._max_retries = max_retries
+        self._job = job
+
+    @property
+    def supports_job_install(self) -> bool:
+        return bool(getattr(self._exe, "supports_job_install", False))
+
+    def install_job(self, job: "MapReduceJob") -> None:
+        self._job = job
+        self._exe.install_job(job)
 
     @property
     def last_makespan(self):
         """Pass through the wrapped executor's simulated makespan."""
         return getattr(self._exe, "last_makespan", None)
+
+    def run_phase(self, phase: str, items: Sequence[Any]) -> List[bytes]:
+        try:
+            return self._exe.run_phase(phase, items)
+        except Exception:
+            if self._max_retries <= 0:
+                raise
+        fn = getattr(self._job, phase)
+        if phase == "combine":
+            return self._retry_each(lambda item: fn(resolve_block(item)), items)
+        return self._retry_each(fn, items)
 
     def map(self, fn: Callable[[Any], bytes], items: Sequence[Any]) -> List[bytes]:
         try:
@@ -205,6 +431,11 @@ class _RetryingMap:
         except Exception:
             if self._max_retries <= 0:
                 raise
+        return self._retry_each(fn, items)
+
+    def _retry_each(
+        self, fn: Callable[[Any], bytes], items: Sequence[Any]
+    ) -> List[bytes]:
         out: List[bytes] = []
         for item in items:
             attempt = 0
@@ -219,9 +450,38 @@ class _RetryingMap:
         return out
 
 
+def _executor_kind(exe) -> str:
+    """Classify an executor for :attr:`JobResult.executor_kind`."""
+    if isinstance(exe, MultiprocessExecutor):
+        return "process"
+    if isinstance(exe, SimulatedClusterExecutor):
+        return "simulated"
+    return "serial"
+
+
+def _item_items(item) -> int:
+    return item.length if isinstance(item, BlockRef) else int(np.asarray(item).size)
+
+
+def _item_bytes(item) -> int:
+    return item.nbytes if isinstance(item, BlockRef) else int(np.asarray(item).nbytes)
+
+
+#: Estimated pickle overhead beyond the raw buffer when an ndarray
+#: block is dispatched to a pool worker (frame, dtype, shape).
+_NDARRAY_PICKLE_OVERHEAD = 160
+
+
+def _dispatch_size(item) -> int:
+    """Approximate bytes pickled to dispatch one combine task."""
+    if isinstance(item, BlockRef):
+        return len(pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL))
+    return _item_bytes(item) + _NDARRAY_PICKLE_OVERHEAD
+
+
 def run_job(
     job: MapReduceJob,
-    blocks: Sequence[np.ndarray],
+    blocks: Sequence[Any],
     *,
     reducers: int,
     executor: Optional[SerialExecutor] = None,
@@ -232,22 +492,47 @@ def run_job(
 
     Args:
         job: the job definition (combine/reduce/postprocess).
-        blocks: input blocks (NumPy float arrays; typically
-            ``[b.data for b in store.blocks(name)]``).
+        blocks: input blocks — NumPy float arrays (typically
+            ``[b.data for b in store.blocks(name)]``) and/or zero-copy
+            :class:`~repro.mapreduce.dataplane.BlockRef` descriptors
+            (``store.block_refs(name)`` on a shared-memory store).
         reducers: the ``p`` of the paper's analysis.
-        executor: defaults to :class:`SerialExecutor`.
+        executor: defaults to :class:`SerialExecutor`. Executors with
+            ``supports_job_install`` receive the job once per worker
+            and dispatch phases by name; others get per-task callables.
         partitioner: reducer assignment; defaults to round-robin.
         max_retries: per-task retry budget for transient failures (0 =
             fail fast). Deterministic jobs make retries exactly safe.
     """
     p = check_positive_int(reducers, name="reducers")
     base_exe = executor if executor is not None else SerialExecutor()
-    exe = _RetryingMap(base_exe, max_retries) if max_retries else base_exe
+    exe = _RetryingMap(base_exe, max_retries, job) if max_retries else base_exe
     part = partitioner if partitioner is not None else RoundRobinPartitioner()
-    result = JobResult(value=0.0, blocks=len(blocks), reducers=p)
+    items = list(blocks)
+
+    result = JobResult(value=0.0, blocks=len(items), reducers=p)
+    result.executor_kind = _executor_kind(base_exe)
+    result.zero_copy = any(isinstance(it, BlockRef) for it in items)
+    result.input_items = sum(_item_items(it) for it in items)
+    result.input_bytes = sum(_item_bytes(it) for it in items)
+
+    installed = bool(getattr(exe, "supports_job_install", False))
+    if installed:
+        exe.install_job(job)
+    crosses_boundary = result.executor_kind == "process"
+    if crosses_boundary:
+        result.dispatch_bytes = sum(_dispatch_size(it) for it in items)
+        result.copies_avoided_bytes = sum(
+            it.nbytes for it in items if isinstance(it, BlockRef)
+        )
 
     t0 = time.perf_counter()
-    combined = exe.map(job.combine, list(blocks))
+    if installed:
+        combined = exe.run_phase("combine", items)
+    elif result.zero_copy:
+        combined = exe.map(ResolvingCombine(job), items)
+    else:
+        combined = exe.map(job.combine, items)
     t1 = time.perf_counter()
     result.phase_seconds["combine"] = getattr(exe, "last_makespan", None) or (t1 - t0)
 
@@ -259,7 +544,10 @@ def run_job(
     t2 = time.perf_counter()
     result.phase_seconds["shuffle"] = t2 - t1
 
-    reduced = exe.map(job.reduce, occupied)
+    if installed:
+        reduced = exe.run_phase("reduce", occupied)
+    else:
+        reduced = exe.map(job.reduce, occupied)
     t3 = time.perf_counter()
     result.phase_seconds["reduce"] = getattr(exe, "last_makespan", None) or (t3 - t2)
 

@@ -131,3 +131,64 @@ class TestSmallSuperaccumulator:
         exact = exact_fraction(x)
         assert Fraction(lo) <= exact <= Fraction(hi)
         assert acc.to_float("nearest") in (lo, hi)
+
+
+class TestRenormalizationGuards:
+    """Regression tests for the two add_accumulator overflow guards
+    (self-overflow vs other-overflow) near the deferred-carry budget."""
+
+    def _make(self, rng, n=50):
+        acc = DenseSuperaccumulator()
+        acc.add_array(random_hard_array(rng, n))
+        return acc
+
+    def test_self_overflow_renormalizes_self(self, rng):
+        from repro.core.superaccumulator import _NORM_BUDGET
+
+        a = self._make(rng)
+        b = self._make(rng)
+        expect = a.to_fraction() + b.to_fraction()
+        a._deposits = _NORM_BUDGET - 1  # simulate a near-budget history
+        a.add_accumulator(b)
+        # the guard must renormalize a (deposits reset), keep b intact,
+        # and preserve exactness
+        assert a._deposits < _NORM_BUDGET
+        assert a.to_fraction() == expect
+
+    def test_other_overflow_renormalizes_copy(self, rng):
+        from repro.core.superaccumulator import _NORM_BUDGET
+
+        a = self._make(rng)
+        b = self._make(rng)
+        expect = a.to_fraction() + b.to_fraction()
+        b_value = b.to_fraction()
+        a._deposits = _NORM_BUDGET // 2
+        b._deposits = _NORM_BUDGET - 1  # other alone nearly exhausts it
+        a.add_accumulator(b)
+        assert a.to_fraction() == expect
+        # the argument is renormalized via a private copy, never mutated
+        assert b._deposits == _NORM_BUDGET - 1
+        assert b.to_fraction() == b_value
+        assert a._deposits < _NORM_BUDGET
+
+    def test_both_near_budget(self, rng):
+        from repro.core.superaccumulator import _NORM_BUDGET
+
+        a = self._make(rng)
+        b = self._make(rng)
+        expect = a.to_fraction() + b.to_fraction()
+        a._deposits = _NORM_BUDGET - 1
+        b._deposits = _NORM_BUDGET - 1
+        a.add_accumulator(b)
+        assert a.to_fraction() == expect
+        assert a._deposits < _NORM_BUDGET
+
+    def test_below_budget_defers(self, rng):
+        a = self._make(rng)
+        b = self._make(rng)
+        expect = a.to_fraction() + b.to_fraction()
+        deposits_before = a._deposits
+        a.add_accumulator(b)
+        # no guard fires: deposits accumulate instead of resetting
+        assert a._deposits == deposits_before + b._deposits + 1
+        assert a.to_fraction() == expect

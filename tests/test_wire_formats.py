@@ -1,0 +1,121 @@
+"""Hardening tests for the superaccumulator shuffle wire formats.
+
+Shuffle payloads cross process boundaries, so ``from_bytes`` must treat
+its input as untrusted: truncated, oversized, or bit-flipped payloads
+raise a clean :class:`ValueError` (never a raw ``struct.error`` or a
+silent mis-decode), and well-formed payloads round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.digits import RadixConfig
+from repro.core.sparse import SparseSuperaccumulator
+from repro.core.superaccumulator import DenseSuperaccumulator, SmallSuperaccumulator
+
+finite_floats = st.floats(
+    allow_nan=False, allow_infinity=False, allow_subnormal=True, width=64
+)
+
+
+class TestSparseRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(finite_floats, max_size=40))
+    def test_round_trip_exact(self, values):
+        acc = SparseSuperaccumulator.from_floats(np.array(values, dtype=np.float64))
+        back = SparseSuperaccumulator.from_bytes(acc.to_bytes())
+        assert back.to_fraction() == acc.to_fraction()
+        assert np.array_equal(back.indices, acc.indices)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(finite_floats, min_size=1, max_size=20), st.data())
+    def test_truncation_raises_cleanly(self, values, data):
+        payload = SparseSuperaccumulator.from_floats(
+            np.array(values, dtype=np.float64)
+        ).to_bytes()
+        cut = data.draw(st.integers(min_value=0, max_value=len(payload) - 1))
+        with pytest.raises(ValueError):
+            SparseSuperaccumulator.from_bytes(payload[:cut])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(finite_floats, max_size=20), st.binary(min_size=1, max_size=64))
+    def test_trailing_garbage_raises(self, values, junk):
+        payload = SparseSuperaccumulator.from_floats(
+            np.array(values, dtype=np.float64)
+        ).to_bytes()
+        with pytest.raises(ValueError):
+            SparseSuperaccumulator.from_bytes(payload + junk)
+
+    def test_bad_magic(self):
+        payload = SparseSuperaccumulator.zero().to_bytes()
+        with pytest.raises(ValueError, match="not a SparseSuperaccumulator"):
+            SparseSuperaccumulator.from_bytes(b"XXXX" + payload[4:])
+
+    def test_bad_width(self):
+        payload = bytearray(SparseSuperaccumulator.zero().to_bytes())
+        payload[4] = 255  # w field: out of [2, 61]
+        with pytest.raises(ValueError, match="corrupt header"):
+            SparseSuperaccumulator.from_bytes(bytes(payload))
+
+    def test_unregularized_body_rejected(self):
+        # a digit outside [-alpha, beta] would silently break exactness
+        acc = SparseSuperaccumulator.from_floats(np.array([1.0, 2.0**-40]))
+        payload = bytearray(acc.to_bytes())
+        payload[-8:] = (int(acc.radix.R) + 5).to_bytes(8, "little", signed=True)
+        with pytest.raises(ValueError):
+            SparseSuperaccumulator.from_bytes(bytes(payload))
+
+    def test_empty_payload(self):
+        with pytest.raises(ValueError, match="truncated"):
+            SparseSuperaccumulator.from_bytes(b"")
+
+
+class TestDenseRoundTrip:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(finite_floats, max_size=40))
+    def test_round_trip_exact(self, values):
+        acc = SmallSuperaccumulator()
+        acc.add_array(np.array(values, dtype=np.float64))
+        back = DenseSuperaccumulator.from_bytes(acc.to_bytes())
+        assert back.to_fraction() == acc.to_fraction()
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(finite_floats, max_size=10), st.data())
+    def test_truncation_raises_cleanly(self, values, data):
+        acc = SmallSuperaccumulator()
+        acc.add_array(np.array(values, dtype=np.float64))
+        payload = acc.to_bytes()
+        cut = data.draw(st.integers(min_value=0, max_value=len(payload) - 1))
+        with pytest.raises(ValueError):
+            DenseSuperaccumulator.from_bytes(payload[:cut])
+
+    def test_oversized_raises(self):
+        payload = SmallSuperaccumulator().to_bytes()
+        with pytest.raises(ValueError, match="length mismatch"):
+            DenseSuperaccumulator.from_bytes(payload + b"\x00" * 8)
+
+    def test_bad_magic(self):
+        payload = SmallSuperaccumulator().to_bytes()
+        with pytest.raises(ValueError, match="not a DenseSuperaccumulator"):
+            DenseSuperaccumulator.from_bytes(b"YYYY" + payload[4:])
+
+    def test_bad_width(self):
+        payload = bytearray(SmallSuperaccumulator().to_bytes())
+        payload[4] = 0  # w field below the valid range
+        with pytest.raises(ValueError, match="corrupt header"):
+            DenseSuperaccumulator.from_bytes(bytes(payload))
+
+    def test_negative_limb_count(self):
+        import struct
+
+        header = struct.pack("<4sBqqq", b"DSUP", 30, 0, -4, 1)
+        with pytest.raises(ValueError, match="negative limb count"):
+            DenseSuperaccumulator.from_bytes(header)
+
+    def test_empty_payload(self):
+        with pytest.raises(ValueError, match="truncated"):
+            DenseSuperaccumulator.from_bytes(b"")
