@@ -1,0 +1,197 @@
+"""SERVE — microbatched service ingest vs one-request-per-add.
+
+Stands up the real TCP stack (server + pipelined clients over
+loopback) and measures sustained ingest throughput as a function of
+request batch size and shard count. The baseline is one ``add``
+request per value — the naive client every RPC framework produces —
+against ``add_array`` batches, which the service's per-shard
+microbatcher folds with one superaccumulator operation per coalesced
+run. Every cell also asserts the service's rounded ``value()`` is
+bit-identical to ``core.exact_sum`` of everything it ingested: this
+benchmark may never trade exactness for speed.
+
+Usage::
+
+    python benchmarks/bench_serve.py               # full sweep
+    python benchmarks/bench_serve.py --quick       # CI smoke
+    python benchmarks/bench_serve.py -o out.json   # custom output
+
+Writes a JSON record (default ``BENCH_serve.json`` in the repo root)
+with one row per (batch_size, shards, clients) cell: wall seconds,
+requests/s, values/s, and server-side fold statistics. The headline
+checks the acceptance bar: batch-256 ingest sustaining >= 5x the
+values/s of per-add ingest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from repro.core import exact_sum
+from repro.data import generate
+from repro.serve import ReproServeClient, ReproServer, ReproService, ServeConfig
+
+
+async def run_cell(
+    data: np.ndarray,
+    *,
+    batch_size: int,
+    shards: int,
+    clients: int,
+) -> Dict[str, Any]:
+    """One measurement: ingest ``data`` fully, then verify exactness."""
+    service = ReproService(ServeConfig(shards=shards, queue_depth=1024))
+    await service.start()
+    server = ReproServer(service, port=0)
+    await server.start()
+    stream = "bench"
+    parts = np.array_split(data, clients)
+
+    async def producer(chunk: np.ndarray) -> int:
+        client = await ReproServeClient.connect(port=server.port)
+        sent = 0
+        if batch_size == 1:
+            for v in chunk:
+                sent += await client.add(stream, float(v))
+        else:
+            for lo in range(0, chunk.size, batch_size):
+                sent += await client.add_array(stream, chunk[lo : lo + batch_size])
+        await client.close()
+        return sent
+
+    t0 = time.perf_counter()
+    sent = sum(await asyncio.gather(*(producer(p) for p in parts)))
+    elapsed = time.perf_counter() - t0
+
+    reader = await ReproServeClient.connect(port=server.port)
+    got = await reader.value(stream)
+    count = await reader.count(stream)
+    stats = await reader.stats()
+    await reader.close()
+    await server.close()
+    await service.close()
+
+    expected = exact_sum(data)
+    if got != expected or count != data.size or sent != data.size:
+        raise AssertionError(
+            f"exactness violated: value {got!r} vs {expected!r}, "
+            f"count {count} vs {data.size}"
+        )
+    requests = (data.size if batch_size == 1
+                else sum(-(-p.size // batch_size) for p in parts))
+    return {
+        "batch_size": batch_size,
+        "shards": shards,
+        "clients": clients,
+        "n": int(data.size),
+        "seconds": elapsed,
+        "requests": int(requests),
+        "requests_per_second": requests / elapsed,
+        "values_per_second": data.size / elapsed,
+        "value_hex": got.hex(),
+        "server_batches_folded": stats["batches_folded"],
+        "server_mean_batch_values": stats["mean_batch_values"],
+        "server_max_coalesced_ops": stats["max_coalesced_ops"],
+        "server_queue_depth_peak": stats["queue_depth_peak"],
+    }
+
+
+async def sweep(
+    n: int,
+    batch_sizes: Sequence[int],
+    shard_counts: Sequence[int],
+    clients: int,
+) -> List[Dict[str, Any]]:
+    data = generate("sumzero", n, delta=600, seed=42)
+    rows: List[Dict[str, Any]] = []
+    for shards in shard_counts:
+        for batch in batch_sizes:
+            # per-add over TCP is slow; cap its n so cells stay bounded
+            cell_data = data if batch > 1 else data[: min(n, 4096)]
+            row = await run_cell(
+                cell_data, batch_size=batch, shards=shards, clients=clients
+            )
+            rows.append(row)
+            print(
+                f"  shards={shards:<2d} batch={batch:<5d} n={row['n']:>8,d}  "
+                f"{row['values_per_second']:>12,.0f} values/s  "
+                f"{row['requests_per_second']:>10,.0f} req/s  "
+                f"folds={row['server_batches_folded']}"
+            )
+    return rows
+
+
+def main(argv: Sequence[str] = ()) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized sweep")
+    parser.add_argument("-n", type=int, default=None, help="values per cell")
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_serve.json",
+    )
+    args = parser.parse_args(argv or sys.argv[1:])
+
+    n = args.n if args.n else (1 << 15 if args.quick else 1 << 18)
+    batch_sizes = [1, 64, 256, 1024]
+    shard_counts = [1, 4] if args.quick else [1, 2, 4, 8]
+
+    print(f"serve ingest sweep: n={n:,}, clients={args.clients}, "
+          f"shards={shard_counts}, batches={batch_sizes}")
+    rows = asyncio.run(sweep(n, batch_sizes, shard_counts, args.clients))
+
+    record = {
+        "benchmark": "serve",
+        "quick": args.quick,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": __import__("os").cpu_count(),
+        },
+        "config": {
+            "n": n,
+            "clients": args.clients,
+            "batch_sizes": batch_sizes,
+            "shard_counts": shard_counts,
+            "distribution": "sumzero delta=600 seed=42",
+            "exactness": "every cell asserted bit-identical to core.exact_sum",
+        },
+        "rows": rows,
+    }
+
+    # headline: batch-256 ingest must sustain >= 5x per-add values/s
+    # (compared at the same shard count, the largest swept)
+    top = max(shard_counts)
+    per_add = next(r for r in rows if r["shards"] == top and r["batch_size"] == 1)
+    batched = next(r for r in rows if r["shards"] == top and r["batch_size"] == 256)
+    speedup = batched["values_per_second"] / per_add["values_per_second"]
+    record["headline"] = {
+        "shards": top,
+        "per_add_values_per_second": per_add["values_per_second"],
+        "batch256_values_per_second": batched["values_per_second"],
+        "speedup": speedup,
+        "target": 5.0,
+        "pass": speedup >= 5.0,
+    }
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    print(
+        f"headline (shards={top}): batch-256 ingest at {speedup:,.1f}x "
+        f"per-add throughput ({'PASS' if speedup >= 5.0 else 'FAIL'}, target 5x)"
+    )
+    return 0 if speedup >= 5.0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

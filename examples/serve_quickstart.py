@@ -1,0 +1,79 @@
+"""Serving quickstart: a sharded exact-summation service end to end.
+
+Starts the TCP server in-process, then demonstrates the full client
+surface: a round-trip, a 1k-request concurrent burst of an
+ill-conditioned dataset (asserted bit-identical to the serial exact
+sum), snapshot/restore persistence, stats, and a clean shutdown.
+Doubles as the CI service smoke test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro.core import exact_sum
+from repro.data import generate
+from repro.serve import ReproServeClient, ReproServer, ReproService, ServeConfig
+
+
+async def main() -> None:
+    service = ReproService(ServeConfig(shards=4, queue_depth=256))
+    await service.start()
+    server = ReproServer(service, port=0)  # ephemeral port
+    await server.start()
+    print(f"serving on 127.0.0.1:{server.port} (4 shards)")
+
+    # -- round-trip ------------------------------------------------------
+    client = await ReproServeClient.connect(port=server.port)
+    await client.add_array("demo", [1e16, 1.0, -1e16])
+    value = await client.value("demo")
+    print(f"round-trip: 1e16 + 1.0 - 1e16 = {value}")
+    assert value == 1.0  # float accumulation would give 0.0
+
+    # -- 1k-request concurrent burst, exactness asserted -----------------
+    data = generate("sumzero", 64_000, delta=600, seed=3)
+    expected = exact_sum(data)
+    chunks = np.array_split(data, 1000)  # 1000 add_array requests
+
+    async def producer(part_chunks) -> None:
+        c = await ReproServeClient.connect(port=server.port)
+        for chunk in part_chunks:
+            await c.add_array("burst", chunk)
+        await c.close()
+
+    producers = [producer(chunks[i::8]) for i in range(8)]
+    await asyncio.gather(*producers)
+    got = await client.value("burst")
+    count = await client.count("burst")
+    print(f"burst: 1000 requests from 8 clients, n={count:,}, sum={got!r}")
+    assert got == expected and got.hex() == expected.hex()
+    assert count == data.size
+
+    # -- snapshot / restore ---------------------------------------------
+    blob = await client.snapshot("burst")
+    await client.restore("burst-copy", blob)
+    assert await client.value("burst-copy") == expected
+    print(f"snapshot: {len(blob)} bytes round-trips bit-identically")
+
+    # -- service metrics -------------------------------------------------
+    stats = await client.stats()
+    print(
+        f"stats: {stats['requests_total']} requests, "
+        f"{stats['batches_folded']} folds, "
+        f"mean batch {stats['mean_batch_values']:.0f} values, "
+        f"p99 {stats['latency_p99_ms']:.2f} ms"
+    )
+
+    # -- clean shutdown --------------------------------------------------
+    resp = await client.shutdown()
+    assert resp["stopping"] is True
+    await server.serve_forever()  # returns immediately: stop already requested
+    await client.close()
+    await service.close()
+    print("clean shutdown OK")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

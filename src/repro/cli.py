@@ -7,13 +7,16 @@ Commands:
 * ``sum`` — exactly sum a dataset file with a chosen algorithm and
   print the correctly rounded result (hex and decimal);
 * ``info`` — dataset diagnostics: n, exponent span, condition number,
-  exact sum vs naive sum.
+  exact sum vs naive sum;
+* ``serve`` — run the sharded exact-aggregation service
+  (:mod:`repro.serve`) until SIGINT or a client ``shutdown`` op.
 
 Example::
 
     python -m repro generate sumzero /tmp/d.f64 -n 1000000 --delta 500
     python -m repro sum /tmp/d.f64 --method mapreduce-sparse --workers 8
     python -m repro info /tmp/d.f64
+    python -m repro serve --port 8765 --shards 4 --state-path /tmp/state.json
 """
 
 from __future__ import annotations
@@ -122,6 +125,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     t = sub.add_parser("selftest", help="fast whole-install verification")
     t.set_defaults(fn=_cmd_selftest)
+
+    v = sub.add_parser("serve", help="run the exact-aggregation service")
+    v.add_argument("--host", default="127.0.0.1")
+    v.add_argument("--port", type=int, default=8765,
+                   help="TCP port (0 picks an ephemeral port)")
+    v.add_argument("--shards", type=int, default=4)
+    v.add_argument("--queue-depth", type=int, default=256,
+                   help="per-shard ingest queue bound (backpressure)")
+    v.add_argument("--policy", choices=["block", "reject"], default="block",
+                   help="overload policy: block producers or reject with retry-after")
+    v.add_argument("--state-path", default=None,
+                   help="snapshot file: restored on start if present, saved on shutdown")
+    v.add_argument("--no-shutdown-op", action="store_true",
+                   help="ignore client 'shutdown' requests")
+    v.set_defaults(fn=_cmd_serve)
     return parser
 
 
@@ -129,6 +147,58 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
     from repro.selftest import run_selftest
 
     return 0 if run_selftest() else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from repro.serve import ReproServer, ReproService, ServeConfig
+
+    async def run() -> int:
+        config = ServeConfig(
+            shards=args.shards,
+            queue_depth=args.queue_depth,
+            policy=args.policy,
+            allow_shutdown=not args.no_shutdown_op,
+        )
+        service = ReproService(config)
+        await service.start()
+        if args.state_path and os.path.exists(args.state_path):
+            restored = await service.load_state(args.state_path)
+            print(f"restored {restored} stream(s) from {args.state_path}")
+        server = ReproServer(service, args.host, args.port)
+        await server.start()
+        # SIGINT/SIGTERM exit through the same clean path as a client
+        # shutdown op, so --state-path snapshots survive Ctrl-C.
+        import signal
+
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, server.request_stop)
+            except (NotImplementedError, RuntimeError):
+                pass
+        print(
+            f"repro serve listening on {args.host}:{server.port} "
+            f"(shards={args.shards}, queue_depth={args.queue_depth}, "
+            f"policy={args.policy})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            if args.state_path:
+                saved = await service.save_state(args.state_path)
+                print(f"saved {saved} stream(s) to {args.state_path}")
+            await service.close()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; shut down cleanly")
+        return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -7,6 +7,10 @@ __all__ = [
     "NonFiniteInputError",
     "RepresentationError",
     "ModelViolationError",
+    "EmptyStreamError",
+    "ProtocolError",
+    "BackpressureError",
+    "ServiceError",
 ]
 
 
@@ -36,3 +40,45 @@ class ModelViolationError(ReproError, RuntimeError):
     Raised by the PRAM simulator on EREW access conflicts and by the
     external-memory device when an algorithm exceeds internal memory.
     """
+
+
+class EmptyStreamError(ReproError, ValueError):
+    """A query that needs observations was made on an empty stream.
+
+    ``mean``/``variance`` of zero values have no defined result; sums
+    of empty streams are 0.0 and do *not* raise this.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the :mod:`repro.serve` layer."""
+
+    #: machine-readable error code echoed in service error responses
+    code = "service"
+
+
+class ProtocolError(ServiceError, ValueError):
+    """A wire frame violated the serve protocol.
+
+    Covers bad length prefixes (oversized, negative), truncated
+    frames, payloads that are not valid UTF-8 JSON, and JSON payloads
+    that are not objects. Malformed bytes cross a trust boundary, so
+    they must surface as this clean error, never a raw ``json`` or
+    ``struct`` traceback.
+    """
+
+    code = "protocol"
+
+
+class BackpressureError(ServiceError, RuntimeError):
+    """An ingest queue was full under the ``reject`` overload policy.
+
+    Attributes:
+        retry_after: suggested client back-off in seconds.
+    """
+
+    code = "busy"
+
+    def __init__(self, message: str, retry_after: float = 0.05) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)

@@ -111,6 +111,21 @@ def _check_stats() -> None:
     assert exact_variance(np.array([1e8 + 1, 1e8 + 2, 1e8 + 3, 1e8 + 4])) == 1.25
 
 
+def _check_serve() -> None:
+    import asyncio
+
+    from repro.serve import InProcessClient, ReproService, ServeConfig
+
+    async def roundtrip() -> None:
+        async with ReproService(ServeConfig(shards=2)) as service:
+            client = InProcessClient(service)
+            await client.add_array("t", [1e16, 1.0, -1e16])
+            assert await client.value("t") == 1.0
+            assert await client.count("t") == 3
+
+    asyncio.run(roundtrip())
+
+
 _CHECKS: List[Tuple[str, Callable[[], None]]] = [
     ("float environment", _check_environment),
     ("core superaccumulators", _check_core),
@@ -121,6 +136,7 @@ _CHECKS: List[Tuple[str, Callable[[], None]]] = [
     ("BSP allreduce", _check_bsp),
     ("geometry predicates", _check_geometry),
     ("exact statistics", _check_stats),
+    ("serving plane", _check_serve),
 ]
 
 

@@ -1,0 +1,253 @@
+"""Clients for the exact-aggregation service.
+
+:class:`ReproServeClient` speaks the TCP protocol with pipelining: a
+background reader task matches responses to requests by ``id``, so
+many requests may be in flight on one connection — that concurrency is
+what feeds the server's microbatcher. :class:`InProcessClient` has the
+identical surface but calls :meth:`ReproService.handle` directly,
+still round-tripping every message through the wire codec so tests
+exercise the real encoding without sockets.
+
+Error responses are raised as the exception they encode:
+``busy`` -> :class:`BackpressureError` (with ``retry_after``),
+``empty-stream`` -> :class:`EmptyStreamError`, ``protocol`` ->
+:class:`ProtocolError`, anything else -> :class:`ServiceError` with
+``.code`` set.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.errors import (
+    BackpressureError,
+    EmptyStreamError,
+    ProtocolError,
+    ServiceError,
+)
+from repro.serve.protocol import (
+    DEFAULT_MAX_FRAME,
+    decode_bytes_field,
+    decode_payload,
+    encode_bytes_field,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+
+__all__ = ["ReproServeClient", "InProcessClient", "raise_for_response"]
+
+
+def raise_for_response(response: Dict[str, Any]) -> Dict[str, Any]:
+    """Return an ok response; raise the typed error of a failed one."""
+    if response.get("ok"):
+        return response
+    code = response.get("code", "service")
+    message = response.get("error", "service error")
+    if code == "busy":
+        raise BackpressureError(message, retry_after=response.get("retry_after", 0.05))
+    if code == "empty-stream":
+        raise EmptyStreamError(message)
+    if code == "protocol":
+        raise ProtocolError(message)
+    err = ServiceError(message)
+    err.code = code
+    raise err
+
+
+class _ClientBase:
+    """Shared endpoint helpers over an abstract request transport."""
+
+    async def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    # -- ingest ----------------------------------------------------------
+
+    async def ping(self) -> Dict[str, Any]:
+        return await self.request("ping")
+
+    async def add(self, stream: str, value: float) -> int:
+        resp = await self.request("add", stream=stream, value=float(value))
+        return int(resp["added"])
+
+    async def add_array(self, stream: str, values: Iterable[float]) -> int:
+        resp = await self.request(
+            "add_array", stream=stream, values=[float(v) for v in values]
+        )
+        return int(resp["added"])
+
+    async def add_block(self, stream: str, block: Dict[str, Any]) -> int:
+        resp = await self.request("add_block", stream=stream, block=block)
+        return int(resp["added"])
+
+    # -- snapshot reads --------------------------------------------------
+
+    async def value(self, stream: str, mode: str = "nearest") -> float:
+        resp = await self.request("value", stream=stream, mode=mode)
+        return float(resp["value"])
+
+    async def count(self, stream: str) -> int:
+        resp = await self.request("value", stream=stream)
+        return int(resp["count"])
+
+    async def mean(self, stream: str) -> float:
+        resp = await self.request("mean", stream=stream)
+        return float(resp["mean"])
+
+    async def stats(self) -> Dict[str, Any]:
+        return (await self.request("stats"))["stats"]
+
+    async def streams(self) -> Dict[str, int]:
+        return (await self.request("streams"))["streams"]
+
+    async def flush(self) -> None:
+        await self.request("flush")
+
+    # -- state manipulation ---------------------------------------------
+
+    async def merge(self, src: str, dst: str) -> int:
+        resp = await self.request("merge", src=src, dst=dst)
+        return int(resp["merged"])
+
+    async def snapshot(self, stream: str) -> bytes:
+        resp = await self.request("snapshot", stream=stream)
+        return decode_bytes_field(resp["snapshot"])
+
+    async def restore(self, stream: str, payload: bytes) -> int:
+        resp = await self.request(
+            "restore", stream=stream, snapshot=encode_bytes_field(payload)
+        )
+        return int(resp["restored"])
+
+    async def drain(self, stream: str) -> Tuple[float, int, bytes]:
+        resp = await self.request("drain", stream=stream)
+        return (
+            float(resp["value"]),
+            int(resp["count"]),
+            decode_bytes_field(resp["snapshot"]),
+        )
+
+
+class ReproServeClient(_ClientBase):
+    """Pipelined TCP client; create via :meth:`connect`."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._max_frame = max_frame
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        *,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> "ReproServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, max_frame=max_frame)
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._reader_task
+        with contextlib.suppress(ConnectionError):
+            self._writer.close()
+            await self._writer.wait_closed()
+        self._fail_pending(ConnectionError("client closed"))
+
+    async def __aenter__(self) -> "ReproServeClient":
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.close()
+
+    # -- transport -------------------------------------------------------
+
+    async def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        rid = next(self._ids)
+        fut: "asyncio.Future[Dict[str, Any]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[rid] = fut
+        message = {"op": op, "id": rid, **fields}
+        try:
+            async with self._write_lock:
+                await write_frame(self._writer, message, max_frame=self._max_frame)
+        except Exception:
+            self._pending.pop(rid, None)
+            raise
+        return raise_for_response(await fut)
+
+    async def send_raw(self, message: Dict[str, Any]) -> None:
+        """Fire one frame without registering for a response (tests)."""
+        async with self._write_lock:
+            await write_frame(self._writer, message, max_frame=self._max_frame)
+
+    async def shutdown(self) -> Dict[str, Any]:
+        """Ask the server to stop; returns its final response."""
+        return await self.request("shutdown")
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                response = await read_frame(self._reader, max_frame=self._max_frame)
+                if response is None:
+                    self._fail_pending(ConnectionError("server closed connection"))
+                    return
+                rid = response.get("id")
+                fut = self._pending.pop(rid, None) if rid is not None else None
+                if fut is not None and not fut.done():
+                    fut.set_result(response)
+                # unmatched frames (e.g. fatal protocol notices) are
+                # surfaced when the connection then drops
+        except ProtocolError as exc:
+            self._fail_pending(exc)
+        except (ConnectionError, asyncio.IncompleteReadError) as exc:
+            self._fail_pending(exc)
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for fut in self._pending.values():
+            if not fut.done():
+                fut.set_exception(exc)
+        self._pending.clear()
+
+
+class InProcessClient(_ClientBase):
+    """Same surface, no sockets: requests go straight to the service.
+
+    Every message still passes through ``encode_frame``/``decode`` so
+    the JSON codec (including bit-exact float round-tripping) is on the
+    path, making this a faithful stand-in for the TCP client in tests
+    and benchmarks.
+    """
+
+    def __init__(self, service: Any) -> None:
+        self.service = service
+        self._ids = itertools.count(1)
+
+    async def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        message = {"op": op, "id": next(self._ids), **fields}
+        frame = encode_frame(message, max_frame=self.service.config.max_frame)
+        request = decode_payload(frame[4:])
+        response = await self.service.handle(request)
+        back = decode_payload(
+            encode_frame(response, max_frame=self.service.config.max_frame)[4:]
+        )
+        return raise_for_response(back)
+
+    async def close(self) -> None:  # symmetry with the TCP client
+        return None

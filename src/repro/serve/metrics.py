@@ -1,0 +1,107 @@
+"""Service metrics: request counters, batch shapes, queue depth, latency.
+
+Everything here is plain in-process bookkeeping updated from the
+event loop (no locks needed: asyncio callbacks don't preempt each
+other). ``snapshot()`` renders one JSON-safe dict served verbatim by
+the ``stats`` endpoint.
+
+Latency quantiles come from a fixed-size ring reservoir over the most
+recent requests — O(1) memory, O(k log k) only at snapshot time —
+which is the right trade for a stats endpoint hit far less often than
+the hot path it observes.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from typing import Any, Dict, List
+
+__all__ = ["LatencyReservoir", "ServiceMetrics"]
+
+
+class LatencyReservoir:
+    """Ring buffer of the last ``size`` request latencies (seconds)."""
+
+    def __init__(self, size: int = 4096) -> None:
+        if size < 1:
+            raise ValueError("reservoir size must be >= 1")
+        self._slots: List[float] = [0.0] * size
+        self._size = size
+        self._count = 0
+
+    def record(self, seconds: float) -> None:
+        self._slots[self._count % self._size] = float(seconds)
+        self._count += 1
+
+    def __len__(self) -> int:
+        return min(self._count, self._size)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the retained window (0.0 if empty)."""
+        n = len(self)
+        if n == 0:
+            return 0.0
+        ordered = sorted(self._slots[:n])
+        rank = min(n - 1, max(0, int(round(p / 100.0 * (n - 1)))))
+        return ordered[rank]
+
+
+class ServiceMetrics:
+    """Counters and gauges for one service instance."""
+
+    def __init__(self, *, reservoir_size: int = 4096) -> None:
+        self.started = time.monotonic()
+        self.requests_total = 0
+        self.errors_total = 0
+        self.requests_by_op: Counter = Counter()
+        self.values_ingested = 0
+        self.batches_folded = 0
+        self.batched_values = 0
+        self.max_batch = 0
+        self.queue_rejections = 0
+        self.queue_depth_peak = 0
+        self.latency = LatencyReservoir(reservoir_size)
+
+    # -- recording hooks -------------------------------------------------
+
+    def record_request(self, op: str, seconds: float, *, ok: bool) -> None:
+        self.requests_total += 1
+        self.requests_by_op[op] += 1
+        if not ok:
+            self.errors_total += 1
+        self.latency.record(seconds)
+
+    def record_fold(self, batch_values: int, coalesced_ops: int) -> None:
+        """One shard fold: ``batch_values`` floats from ``coalesced_ops`` ops."""
+        self.batches_folded += 1
+        self.batched_values += batch_values
+        self.values_ingested += batch_values
+        self.max_batch = max(self.max_batch, coalesced_ops)
+
+    def record_queue_depth(self, depth: int) -> None:
+        if depth > self.queue_depth_peak:
+            self.queue_depth_peak = depth
+
+    def record_rejection(self) -> None:
+        self.queue_rejections += 1
+
+    # -- reporting -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe view for the ``stats`` endpoint."""
+        folds = self.batches_folded
+        return {
+            "uptime_s": time.monotonic() - self.started,
+            "requests_total": self.requests_total,
+            "errors_total": self.errors_total,
+            "requests_by_op": dict(self.requests_by_op),
+            "values_ingested": self.values_ingested,
+            "batches_folded": folds,
+            "mean_batch_values": (self.batched_values / folds) if folds else 0.0,
+            "max_coalesced_ops": self.max_batch,
+            "queue_rejections": self.queue_rejections,
+            "queue_depth_peak": self.queue_depth_peak,
+            "latency_p50_ms": self.latency.percentile(50) * 1e3,
+            "latency_p99_ms": self.latency.percentile(99) * 1e3,
+        }

@@ -1,0 +1,197 @@
+"""Length-prefixed JSON-lines wire protocol for the serve subsystem.
+
+A *frame* is a 4-byte big-endian unsigned length ``n`` followed by
+exactly ``n`` bytes of UTF-8 JSON encoding a single object and ending
+in a newline (so a captured stream is also greppable as JSON lines).
+Requests and responses are both frames; binary payloads (snapshot wire
+bytes) travel base64-encoded inside JSON string fields.
+
+Framing errors are *connection-fatal* (after an oversized or negative
+length prefix the byte stream cannot be resynchronized); payload
+errors (bad UTF-8, invalid JSON, non-object JSON) are *recoverable* —
+the frame boundary is still trustworthy, so the server answers with an
+error response and keeps the connection. :class:`ProtocolError.fatal`
+carries that distinction.
+
+Floats survive the JSON round-trip bit-exactly: Python emits the
+shortest round-tripping repr and parses it back to the identical
+binary64, which is what lets a JSON protocol front an *exact*
+summation service at all.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import struct
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "DEFAULT_MAX_FRAME",
+    "LENGTH_PREFIX",
+    "encode_frame",
+    "decode_payload",
+    "read_frame",
+    "write_frame",
+    "encode_bytes_field",
+    "decode_bytes_field",
+    "FrameDecoder",
+]
+
+#: Frames above this many payload bytes are rejected (both directions).
+#: 48 MiB fits an ``add_array`` of ~2M values in JSON text form.
+DEFAULT_MAX_FRAME = 48 * 1024 * 1024
+
+LENGTH_PREFIX = struct.Struct("!I")
+
+
+def _fatal(message: str) -> ProtocolError:
+    err = ProtocolError(message)
+    err.fatal = True
+    return err
+
+
+def _recoverable(message: str) -> ProtocolError:
+    err = ProtocolError(message)
+    err.fatal = False
+    return err
+
+
+def encode_frame(obj: Dict[str, Any], *, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    """Serialize one message object to a wire frame.
+
+    Raises:
+        ProtocolError: if the encoded payload exceeds ``max_frame``.
+    """
+    payload = json.dumps(obj, separators=(",", ":"), allow_nan=True).encode("utf-8")
+    payload += b"\n"
+    if len(payload) > max_frame:
+        raise _fatal(
+            f"outgoing frame of {len(payload)} bytes exceeds max_frame={max_frame}"
+        )
+    return LENGTH_PREFIX.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Dict[str, Any]:
+    """Parse a frame payload into a message object.
+
+    Raises:
+        ProtocolError: (recoverable) on bad UTF-8, invalid JSON, or a
+            JSON value that is not an object.
+    """
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _recoverable(f"payload is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise _recoverable(
+            f"payload must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+def encode_bytes_field(raw: bytes) -> str:
+    """Binary payload -> JSON-safe base64 string."""
+    return base64.b64encode(raw).decode("ascii")
+
+
+def decode_bytes_field(text: Any) -> bytes:
+    """JSON base64 string -> binary payload.
+
+    Raises:
+        ProtocolError: (recoverable) if the field is not valid base64.
+    """
+    if not isinstance(text, str):
+        raise _recoverable("binary field must be a base64 string")
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as exc:
+        raise _recoverable(f"invalid base64 payload: {exc}") from exc
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, *, max_frame: int = DEFAULT_MAX_FRAME
+) -> Optional[Dict[str, Any]]:
+    """Read one message from a stream.
+
+    Returns ``None`` on clean EOF (no bytes after the last frame).
+
+    Raises:
+        ProtocolError: fatal on truncated length prefix / truncated
+            payload / oversized length; recoverable on invalid JSON
+            inside a well-delimited frame.
+    """
+    try:
+        header = await reader.readexactly(LENGTH_PREFIX.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise _fatal(
+            f"connection closed mid-prefix ({len(exc.partial)}/4 bytes)"
+        ) from exc
+    (length,) = LENGTH_PREFIX.unpack(header)
+    if length > max_frame:
+        raise _fatal(f"length prefix {length} exceeds max_frame={max_frame}")
+    if length == 0:
+        raise _fatal("zero-length frame")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise _fatal(
+            f"truncated frame: got {len(exc.partial)}/{length} payload bytes"
+        ) from exc
+    return decode_payload(payload)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter,
+    obj: Dict[str, Any],
+    *,
+    max_frame: int = DEFAULT_MAX_FRAME,
+) -> None:
+    """Encode and send one message; drains the transport."""
+    writer.write(encode_frame(obj, max_frame=max_frame))
+    await writer.drain()
+
+
+class FrameDecoder:
+    """Incremental sans-IO frame decoder (fuzzing and sync consumers).
+
+    Feed arbitrary byte chunks; :meth:`feed` returns the complete
+    messages they finished. Framing violations raise fatal
+    :class:`ProtocolError` and poison the decoder; payload-level JSON
+    errors raise recoverable ones and the decoder stays usable for the
+    next frame — mirroring the server's connection semantics.
+    """
+
+    def __init__(self, *, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+        self.max_frame = max_frame
+        self._buf = bytearray()
+        self._dead = False
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        if self._dead:
+            raise _fatal("decoder poisoned by an earlier framing error")
+        self._buf.extend(data)
+        out: List[Dict[str, Any]] = []
+        while len(self._buf) >= LENGTH_PREFIX.size:
+            (length,) = LENGTH_PREFIX.unpack_from(self._buf, 0)
+            if length > self.max_frame or length == 0:
+                self._dead = True
+                raise _fatal(
+                    f"length prefix {length} outside (0, max_frame={self.max_frame}]"
+                )
+            if len(self._buf) < LENGTH_PREFIX.size + length:
+                break
+            payload = bytes(self._buf[LENGTH_PREFIX.size : LENGTH_PREFIX.size + length])
+            del self._buf[: LENGTH_PREFIX.size + length]
+            out.append(decode_payload(payload))
+        return out
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered waiting for a complete frame."""
+        return len(self._buf)

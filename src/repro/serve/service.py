@@ -1,0 +1,445 @@
+"""The exact-aggregation service: routing, endpoints, snapshots.
+
+:class:`ReproService` is transport-agnostic — it maps request objects
+(plain dicts, the decoded protocol frames) to response objects. The
+TCP server and the in-process client both sit on :meth:`handle`, so
+every test of service semantics runs without sockets.
+
+**Routing.** Updates are scattered round-robin across shards; a
+stream's state therefore lives as per-shard *partial* exact sums.
+This is safe precisely because of the paper's representation: partial
+superaccumulators merge exactly and commutatively, so reads recombine
+the partials into a state bit-identical to any serial execution of
+the same updates. Scatter routing turns even a single hot stream into
+an N-way parallel ingest problem, which hash-affinity routing cannot.
+Large arrays are additionally striped across all shards in
+``scatter_chunk``-sized pieces.
+
+**Snapshot reads.** ``value``/``mean``/``snapshot``/``drain`` fan a
+sequence-point call out to every shard; each shard answers after the
+folds enqueued before it (FIFO), so a read observes every add that was
+*acknowledged* before the read was issued. Acks fire after the fold
+lands, giving read-your-writes to any client that awaits its adds.
+
+**Persistence.** Stream state round-trips through the
+:meth:`ExactRunningSum.to_bytes` wire format — the same bytes the
+MapReduce shuffle uses — via the ``snapshot``/``restore``/``drain``
+endpoints and :meth:`save_state`/:meth:`load_state`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.digits import DEFAULT_RADIX, RadixConfig
+from repro.errors import (
+    BackpressureError,
+    EmptyStreamError,
+    NonFiniteInputError,
+    ProtocolError,
+    ReproError,
+    ServiceError,
+)
+from repro.mapreduce.dataplane import BlockRef, resolve_block
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.protocol import (
+    DEFAULT_MAX_FRAME,
+    decode_bytes_field,
+    encode_bytes_field,
+)
+from repro.serve.shards import AccumulatorShard
+from repro.stats import round_fraction
+from repro.streaming import ExactRunningSum
+from repro.util.validation import check_finite_array, ensure_float64_array
+
+__all__ = ["ServeConfig", "ReproService"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables for one service instance."""
+
+    shards: int = 4
+    queue_depth: int = 256
+    policy: str = "block"  # "block" | "reject"
+    retry_after: float = 0.05
+    max_frame: int = DEFAULT_MAX_FRAME
+    scatter_chunk: int = 8192
+    allow_shutdown: bool = True
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.policy not in ("block", "reject"):
+            raise ValueError(f"unknown backpressure policy {self.policy!r}")
+        if self.scatter_chunk < 1:
+            raise ValueError("scatter_chunk must be >= 1")
+
+
+def _require_stream(request: Dict[str, Any]) -> str:
+    stream = request.get("stream")
+    if not isinstance(stream, str) or not stream:
+        raise ServiceError("request needs a non-empty string 'stream' field")
+    return stream
+
+
+class ReproService:
+    """Sharded exact-aggregation service (transport-agnostic core)."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        *,
+        radix: RadixConfig = DEFAULT_RADIX,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.radix = radix
+        self.metrics = ServiceMetrics()
+        self.shards: List[AccumulatorShard] = [
+            AccumulatorShard(
+                i,
+                queue_depth=self.config.queue_depth,
+                policy=self.config.policy,
+                retry_after=self.config.retry_after,
+                metrics=self.metrics,
+                radix=radix,
+            )
+            for i in range(self.config.shards)
+        ]
+        self._rr = 0
+        self._started = False
+        self._ops: Dict[str, Callable[[Dict[str, Any]], Awaitable[Dict[str, Any]]]] = {
+            "ping": self._op_ping,
+            "add": self._op_add,
+            "add_array": self._op_add_array,
+            "add_block": self._op_add_block,
+            "value": self._op_value,
+            "mean": self._op_mean,
+            "stats": self._op_stats,
+            "streams": self._op_streams,
+            "merge": self._op_merge,
+            "snapshot": self._op_snapshot,
+            "restore": self._op_restore,
+            "drain": self._op_drain,
+            "flush": self._op_flush,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        for shard in self.shards:
+            shard.start()
+        self._started = True
+
+    async def close(self) -> None:
+        for shard in self.shards:
+            await shard.stop()
+        self._started = False
+
+    async def __aenter__(self) -> "ReproService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    async def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Map one request object to one response object (never raises)."""
+        t0 = time.perf_counter()
+        op = request.get("op") if isinstance(request, dict) else None
+        try:
+            if not isinstance(request, dict):
+                raise ProtocolError("request must be a JSON object")
+            if not isinstance(op, str):
+                raise ServiceError("request needs a string 'op' field")
+            handler = self._ops.get(op)
+            if handler is None:
+                err = ServiceError(f"unknown op {op!r}")
+                err.code = "unknown-op"
+                raise err
+            response = await handler(request)
+            response.setdefault("ok", True)
+        except BackpressureError as exc:
+            response = {
+                "ok": False,
+                "code": exc.code,
+                "error": str(exc),
+                "retry_after": exc.retry_after,
+            }
+        except (ReproError, ValueError, TypeError) as exc:
+            response = {"ok": False, "code": _error_code(exc), "error": str(exc)}
+        if isinstance(request, dict) and "id" in request:
+            response["id"] = request["id"]
+        self.metrics.record_request(
+            op if isinstance(op, str) else "?",
+            time.perf_counter() - t0,
+            ok=bool(response.get("ok")),
+        )
+        return response
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def _next_shard(self) -> AccumulatorShard:
+        shard = self.shards[self._rr % len(self.shards)]
+        self._rr += 1
+        return shard
+
+    async def _scatter(self, stream: str, arr: np.ndarray) -> int:
+        """Route a validated array across shards; returns values folded."""
+        nshards = len(self.shards)
+        chunk = self.config.scatter_chunk
+        if nshards == 1 or arr.size <= chunk:
+            return await self._next_shard().fold(stream, arr)
+        pieces = np.array_split(arr, min(nshards, max(1, arr.size // chunk)))
+        folds = [self._next_shard().fold(stream, piece) for piece in pieces]
+        return sum(await asyncio.gather(*folds))
+
+    async def _gather_partials(self, stream: str) -> List[ExactRunningSum]:
+        """Sequence-point read of every shard's partial for ``stream``."""
+        def read(streams: Dict[str, ExactRunningSum]) -> Optional[ExactRunningSum]:
+            rs = streams.get(stream)
+            if rs is None:
+                return None
+            out = ExactRunningSum(self.radix)
+            out.merge(rs)  # deep-ish copy: merge duplicates the exact state
+            return out
+
+        partials = await asyncio.gather(*(s.call(read) for s in self.shards))
+        return [p for p in partials if p is not None]
+
+    async def _merged_state(self, stream: str) -> ExactRunningSum:
+        merged = ExactRunningSum(self.radix)
+        for partial in await self._gather_partials(stream):
+            merged.merge(partial)
+        return merged
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+
+    async def _op_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return {"pong": True, "shards": len(self.shards)}
+
+    def _validated_array(self, values: Any) -> np.ndarray:
+        try:
+            arr = ensure_float64_array(values)
+        except (ValueError, TypeError) as exc:
+            raise ServiceError(f"'values' is not a float array: {exc}") from exc
+        check_finite_array(arr)
+        return arr
+
+    async def _op_add(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        stream = _require_stream(request)
+        value = request.get("value")
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ServiceError("'value' must be a number")
+        arr = self._validated_array([float(value)])
+        added = await self._next_shard().fold(stream, arr)
+        return {"added": added}
+
+    async def _op_add_array(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        stream = _require_stream(request)
+        if "values" not in request:
+            raise ServiceError("add_array needs a 'values' field")
+        arr = self._validated_array(request["values"])
+        if arr.size == 0:
+            return {"added": 0}
+        added = await self._scatter(stream, arr)
+        return {"added": added}
+
+    async def _op_add_block(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Zero-copy bulk ingest from a data-plane block descriptor.
+
+        The caller must keep the shared segment / file alive until the
+        response arrives — the fold reads through the view directly.
+        """
+        stream = _require_stream(request)
+        spec = request.get("block")
+        if not isinstance(spec, dict):
+            raise ServiceError("add_block needs a 'block' descriptor object")
+        try:
+            ref = BlockRef(
+                kind=str(spec["kind"]),
+                segment=str(spec["segment"]),
+                offset=int(spec.get("offset", 0)),
+                length=int(spec["length"]),
+                dtype=str(spec.get("dtype", "<f8")),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ServiceError(f"malformed block descriptor: {exc}") from exc
+        try:
+            view = resolve_block(ref)
+        except (OSError, ValueError) as exc:
+            raise ServiceError(f"cannot resolve block {ref.describe()}: {exc}") from exc
+        arr = ensure_float64_array(view)
+        check_finite_array(arr)
+        added = await self._scatter(stream, arr)
+        return {"added": added, "block": ref.describe()}
+
+    async def _op_value(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        stream = _require_stream(request)
+        mode = request.get("mode", "nearest")
+        if mode not in ("nearest", "down", "up", "zero"):
+            # validate eagerly: rounding is skipped for empty streams,
+            # which must not let a bad mode slip through silently
+            raise ValueError(f"unknown rounding mode {mode!r}")
+        merged = await self._merged_state(stream)
+        value = merged.value(mode)
+        return {"value": value, "count": merged.count, "hex": value.hex()}
+
+    async def _op_mean(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        stream = _require_stream(request)
+        merged = await self._merged_state(stream)
+        if merged.count == 0:
+            raise EmptyStreamError(f"mean of empty stream {stream!r}")
+        mean = round_fraction(merged.exact_state().to_fraction() / merged.count)
+        return {"mean": mean, "count": merged.count, "hex": mean.hex()}
+
+    async def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        snap = self.metrics.snapshot()
+        snap["shards"] = len(self.shards)
+        snap["policy"] = self.config.policy
+        snap["queue_depths"] = [s.queue_depth for s in self.shards]
+        return {"stats": snap}
+
+    async def _op_streams(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        def counts(streams: Dict[str, ExactRunningSum]) -> Dict[str, int]:
+            return {name: rs.count for name, rs in streams.items()}
+
+        totals: Dict[str, int] = {}
+        for shard_counts in await asyncio.gather(
+            *(s.call(counts) for s in self.shards)
+        ):
+            for name, count in shard_counts.items():
+                totals[name] = totals.get(name, 0) + count
+        return {"streams": dict(sorted(totals.items()))}
+
+    async def _op_merge(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Fold stream ``src`` into stream ``dst`` and delete ``src``.
+
+        Runs shard-locally: each shard merges its own ``src`` partial
+        into its own ``dst`` partial. Exactness of partial merges makes
+        this equivalent to any global ordering.
+        """
+        src = request.get("src")
+        dst = request.get("dst")
+        if not isinstance(src, str) or not isinstance(dst, str) or not src or not dst:
+            raise ServiceError("merge needs non-empty 'src' and 'dst' stream names")
+        if src == dst:
+            raise ServiceError("merge src and dst must differ")
+
+        def merge_local(streams: Dict[str, ExactRunningSum]) -> int:
+            partial = streams.pop(src, None)
+            if partial is None:
+                return 0
+            rs = streams.get(dst)
+            if rs is None:
+                rs = streams[dst] = ExactRunningSum(self.radix)
+            rs.merge(partial)
+            return partial.count
+
+        moved = sum(
+            await asyncio.gather(*(s.call(merge_local) for s in self.shards))
+        )
+        return {"merged": moved, "src": src, "dst": dst}
+
+    async def _op_snapshot(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        stream = _require_stream(request)
+        merged = await self._merged_state(stream)
+        return {
+            "snapshot": encode_bytes_field(merged.to_bytes()),
+            "count": merged.count,
+        }
+
+    async def _op_restore(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        stream = _require_stream(request)
+        payload = decode_bytes_field(request.get("snapshot"))
+        try:
+            restored = ExactRunningSum.from_bytes(payload, self.radix)
+        except ValueError as exc:
+            raise ServiceError(f"corrupt snapshot: {exc}") from exc
+
+        def absorb(streams: Dict[str, ExactRunningSum]) -> int:
+            rs = streams.get(stream)
+            if rs is None:
+                rs = streams[stream] = ExactRunningSum(self.radix)
+            rs.merge(restored)
+            return rs.count
+
+        await self._next_shard().call(absorb)
+        return {"restored": restored.count}
+
+    async def _op_drain(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Atomically read out and remove a stream (exact hand-off)."""
+        stream = _require_stream(request)
+
+        def pop(streams: Dict[str, ExactRunningSum]) -> Optional[ExactRunningSum]:
+            return streams.pop(stream, None)
+
+        merged = ExactRunningSum(self.radix)
+        for partial in await asyncio.gather(*(s.call(pop) for s in self.shards)):
+            if partial is not None:
+                merged.merge(partial)
+        value = merged.value()
+        return {
+            "value": value,
+            "count": merged.count,
+            "hex": value.hex(),
+            "snapshot": encode_bytes_field(merged.to_bytes()),
+        }
+
+    async def _op_flush(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Barrier: resolves after every previously enqueued fold."""
+        await asyncio.gather(*(s.call(lambda streams: None) for s in self.shards))
+        return {"flushed": True}
+
+    # ------------------------------------------------------------------
+    # whole-service persistence (CLI --state-path)
+    # ------------------------------------------------------------------
+
+    async def save_state(self, path: Union[str, Path]) -> int:
+        """Snapshot every stream to one JSON file; returns stream count."""
+        listing = await self._op_streams({})
+        states: Dict[str, str] = {}
+        for name in listing["streams"]:
+            snap = await self._op_snapshot({"stream": name})
+            states[name] = snap["snapshot"]
+        Path(path).write_text(
+            json.dumps({"format": "repro-serve-state-v1", "streams": states})
+        )
+        return len(states)
+
+    async def load_state(self, path: Union[str, Path]) -> int:
+        """Restore a :meth:`save_state` file; returns stream count."""
+        doc = json.loads(Path(path).read_text())
+        if doc.get("format") != "repro-serve-state-v1":
+            raise ServiceError(f"unrecognized state file format in {path}")
+        streams = doc.get("streams", {})
+        for name, b64 in streams.items():
+            await self._op_restore({"stream": name, "snapshot": b64})
+        return len(streams)
+
+
+def _error_code(exc: Exception) -> str:
+    if isinstance(exc, ServiceError):
+        return exc.code
+    if isinstance(exc, NonFiniteInputError):
+        return "non-finite"
+    if isinstance(exc, EmptyStreamError):
+        return "empty-stream"
+    return "bad-request"

@@ -11,6 +11,7 @@ produced the state.
 
 from __future__ import annotations
 
+import struct
 from collections import deque
 from typing import Deque, Iterable
 
@@ -18,10 +19,16 @@ import numpy as np
 
 from repro.core.digits import DEFAULT_RADIX, RadixConfig
 from repro.core.sparse import SparseSuperaccumulator
+from repro.errors import EmptyStreamError
 from repro.stats import round_fraction
 from repro.util.validation import check_finite_array, ensure_float64_array
 
 __all__ = ["ExactRunningSum", "SlidingWindowSum", "RunningStats", "exact_cumsum"]
+
+#: Wire header for a serialized :class:`ExactRunningSum`: magic + the
+#: observation count, followed by the sparse accumulator payload.
+_ERS_HEADER = struct.Struct("<4sq")
+_ERS_MAGIC = b"ERSM"
 
 
 class ExactRunningSum:
@@ -57,12 +64,63 @@ class ExactRunningSum:
         self.count += other.count
 
     def value(self, mode: str = "nearest") -> float:
-        """Correctly rounded current total."""
+        """Correctly rounded current total (0.0 for an empty stream)."""
         return self._acc.to_float(mode)
+
+    def mean(self) -> float:
+        """Correctly rounded mean of the stream so far.
+
+        Raises:
+            EmptyStreamError: if nothing has been added yet.
+        """
+        if self.count == 0:
+            raise EmptyStreamError("mean of empty running sum")
+        return round_fraction(self._acc.to_fraction() / self.count)
 
     def exact_state(self) -> SparseSuperaccumulator:
         """The exact accumulator (copy) for checkpointing/transport."""
         return self._acc.copy()
+
+    def to_bytes(self) -> bytes:
+        """Serialize exact state **and** count (service snapshot format).
+
+        Layout: ``ERSM`` magic + int64 count, then the
+        :meth:`SparseSuperaccumulator.to_bytes` payload — one wire
+        format shared by service snapshots and streaming checkpoints.
+        """
+        return _ERS_HEADER.pack(_ERS_MAGIC, self.count) + self._acc.to_bytes()
+
+    @classmethod
+    def from_bytes(
+        cls, payload: bytes, radix: RadixConfig = DEFAULT_RADIX
+    ) -> "ExactRunningSum":
+        """Inverse of :meth:`to_bytes`.
+
+        Raises:
+            ValueError: on malformed payloads (wrong magic, negative
+                count, or a corrupt embedded accumulator); snapshots
+                cross process boundaries, so corruption surfaces as a
+                clean error.
+        """
+        if len(payload) < _ERS_HEADER.size:
+            raise ValueError(
+                f"ExactRunningSum payload truncated: {len(payload)} bytes "
+                f"< {_ERS_HEADER.size}-byte header"
+            )
+        magic, count = _ERS_HEADER.unpack_from(payload, 0)
+        if magic != _ERS_MAGIC:
+            raise ValueError("not an ExactRunningSum payload")
+        if count < 0:
+            raise ValueError(f"corrupt header: negative count {count}")
+        acc = SparseSuperaccumulator.from_bytes(payload[_ERS_HEADER.size :])
+        if acc.radix != radix:
+            raise ValueError(
+                f"radix mismatch: payload w={acc.radix.w}, expected w={radix.w}"
+            )
+        out = cls(radix)
+        out._acc = acc
+        out.count = int(count)
+        return out
 
 
 class SlidingWindowSum:
@@ -157,15 +215,23 @@ class RunningStats:
         return self._sum.to_float(mode)
 
     def mean(self) -> float:
-        """Correctly rounded running mean."""
+        """Correctly rounded running mean.
+
+        Raises:
+            EmptyStreamError: if nothing has been added yet.
+        """
         if self._n == 0:
-            raise ValueError("mean of empty stream")
+            raise EmptyStreamError("mean of empty stream")
         return round_fraction(self._sum.to_fraction() / self._n)
 
     def variance(self, ddof: int = 0) -> float:
-        """Correctly rounded running variance."""
+        """Correctly rounded running variance.
+
+        Raises:
+            EmptyStreamError: with fewer than ``ddof + 1`` observations.
+        """
         if self._n - ddof <= 0:
-            raise ValueError("need more observations than ddof")
+            raise EmptyStreamError("need more observations than ddof")
         s = self._sum.to_fraction()
         ss = self._sum_sq.to_fraction()
         return round_fraction((ss - s * s / self._n) / (self._n - ddof))

@@ -78,3 +78,74 @@ class TestParsing:
     def test_unknown_method(self, dataset_path):
         with pytest.raises(SystemExit):
             main(["sum", str(dataset_path), "--method", "quantum"])
+
+
+class TestServe:
+    def test_parser_accepts_serve_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--shards", "2", "--queue-depth", "8",
+             "--policy", "reject", "--state-path", "/tmp/x.json",
+             "--no-shutdown-op"]
+        )
+        assert args.port == 0 and args.shards == 2
+        assert args.policy == "reject" and args.no_shutdown_op
+
+    def test_serve_subprocess_roundtrip(self, tmp_path):
+        """`python -m repro serve` end to end: boot, ingest, shutdown,
+        state persisted, then restored on a second boot."""
+        import asyncio
+        import os
+        import re
+        import subprocess
+        import sys
+
+        from repro.serve import ReproServeClient
+
+        from pathlib import Path
+
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        state = tmp_path / "state.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+        def boot():
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro", "serve", "--port", "0",
+                 "--shards", "2", "--state-path", str(state)],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                text=True, env=env,
+            )
+            line = ""
+            while "listening on" not in line:
+                line = proc.stdout.readline()
+                assert line, "server exited before listening"
+            port = int(re.search(r":(\d+) ", line).group(1))
+            return proc, port
+
+        async def first_session(port):
+            client = await ReproServeClient.connect(port=port)
+            await client.add_array("persisted", [1e16, 1.0, -1e16, 2.0])
+            assert await client.value("persisted") == 3.0
+            await client.shutdown()
+            await client.close()
+
+        async def second_session(port):
+            client = await ReproServeClient.connect(port=port)
+            assert await client.value("persisted") == 3.0
+            assert await client.count("persisted") == 4
+            await client.shutdown()
+            await client.close()
+
+        proc, port = boot()
+        try:
+            asyncio.run(first_session(port))
+            assert proc.wait(timeout=30) == 0
+            assert state.exists()
+            proc, port = boot()
+            asyncio.run(second_session(port))
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()

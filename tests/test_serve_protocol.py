@@ -1,0 +1,204 @@
+"""Protocol unit and fuzz tests: framing, codec, malformed-byte safety.
+
+The contract under test: any byte sequence fed to the decoder either
+yields message objects or raises :class:`ProtocolError` — never a raw
+``json``/``struct``/``UnicodeDecodeError`` — and payload-level errors
+leave the decoder usable for subsequent frames.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serve.protocol import (
+    DEFAULT_MAX_FRAME,
+    FrameDecoder,
+    LENGTH_PREFIX,
+    decode_bytes_field,
+    decode_payload,
+    encode_bytes_field,
+    encode_frame,
+    read_frame,
+)
+from tests.conftest import random_hard_array
+
+
+def roundtrip(obj):
+    frame = encode_frame(obj)
+    (length,) = LENGTH_PREFIX.unpack(frame[:4])
+    assert length == len(frame) - 4
+    assert frame.endswith(b"\n")
+    return decode_payload(frame[4:])
+
+
+class TestFraming:
+    def test_roundtrip_simple(self):
+        obj = {"op": "add", "stream": "s", "value": 1.5, "id": 7}
+        assert roundtrip(obj) == obj
+
+    def test_floats_bit_exact(self, rng):
+        values = random_hard_array(rng, 200).tolist()
+        values += [5e-324, -5e-324, 1.7976931348623157e308, 0.0, -0.0, 2.0**-1074]
+        back = roundtrip({"values": values})["values"]
+        assert len(back) == len(values)
+        for a, b in zip(values, back):
+            assert (a == b and np.signbit(a) == np.signbit(b)) or a != a
+
+    def test_unicode_stream_names(self):
+        obj = {"op": "value", "stream": "温度/sensor-Δ7"}
+        assert roundtrip(obj) == obj
+
+    def test_frames_are_json_lines(self):
+        frame = encode_frame({"a": 1})
+        assert json.loads(frame[4:].decode()) == {"a": 1}
+
+    def test_oversized_outgoing_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"values": [1.0] * 1000}, max_frame=64)
+
+    def test_bytes_field_roundtrip(self):
+        raw = bytes(range(256)) * 3
+        assert decode_bytes_field(encode_bytes_field(raw)) == raw
+
+    @pytest.mark.parametrize("bad", [None, 42, "not base64 !!!", "abc"])
+    def test_bytes_field_rejects_garbage(self, bad):
+        with pytest.raises(ProtocolError):
+            decode_bytes_field(bad)
+
+
+class TestDecoderIncremental:
+    def test_byte_at_a_time(self):
+        msgs = [{"op": "ping", "id": i} for i in range(5)]
+        stream = b"".join(encode_frame(m) for m in msgs)
+        dec = FrameDecoder()
+        got = []
+        for i in range(len(stream)):
+            got.extend(dec.feed(stream[i : i + 1]))
+        assert got == msgs
+        assert dec.pending_bytes == 0
+
+    def test_many_frames_one_feed(self):
+        msgs = [{"i": i} for i in range(20)]
+        stream = b"".join(encode_frame(m) for m in msgs)
+        assert FrameDecoder().feed(stream) == msgs
+
+    def test_oversized_length_prefix_fatal(self):
+        dec = FrameDecoder(max_frame=1024)
+        with pytest.raises(ProtocolError) as exc:
+            dec.feed(LENGTH_PREFIX.pack(1 << 30) + b"x" * 16)
+        assert exc.value.fatal
+        # poisoned: framing is unrecoverable
+        with pytest.raises(ProtocolError):
+            dec.feed(encode_frame({"op": "ping"}))
+
+    def test_zero_length_frame_fatal(self):
+        with pytest.raises(ProtocolError):
+            FrameDecoder().feed(LENGTH_PREFIX.pack(0))
+
+    def test_invalid_json_recoverable(self):
+        bad = b"{not json]\n"
+        frame = LENGTH_PREFIX.pack(len(bad)) + bad
+        dec = FrameDecoder()
+        with pytest.raises(ProtocolError) as exc:
+            dec.feed(frame)
+        assert not exc.value.fatal
+        # the decoder consumed the bad frame and keeps working
+        assert dec.feed(encode_frame({"op": "ping"})) == [{"op": "ping"}]
+
+    def test_non_object_json_recoverable(self):
+        body = b"[1,2,3]\n"
+        with pytest.raises(ProtocolError) as exc:
+            FrameDecoder().feed(LENGTH_PREFIX.pack(len(body)) + body)
+        assert not exc.value.fatal
+
+    def test_invalid_utf8_recoverable(self):
+        body = b"\xff\xfe{}\n"
+        with pytest.raises(ProtocolError) as exc:
+            FrameDecoder().feed(LENGTH_PREFIX.pack(len(body)) + body)
+        assert not exc.value.fatal
+
+
+class TestFuzz:
+    def test_random_bytes_never_leak_raw_errors(self, rng):
+        for trial in range(200):
+            blob = rng.integers(0, 256, size=int(rng.integers(1, 400))).astype(
+                np.uint8
+            ).tobytes()
+            dec = FrameDecoder(max_frame=1 << 16)
+            try:
+                for m in dec.feed(blob):
+                    assert isinstance(m, dict)
+            except ProtocolError:
+                pass  # the only permitted failure mode
+
+    def test_truncation_fuzz(self, rng):
+        frame = encode_frame({"op": "add_array", "values": [1.0, 2.0, 3.0]})
+        for cut in range(len(frame)):
+            dec = FrameDecoder()
+            try:
+                out = dec.feed(frame[:cut])
+            except ProtocolError:
+                continue
+            assert out == []  # a prefix never yields a phantom message
+            assert dec.pending_bytes == cut
+
+    def test_bitflip_fuzz(self, rng):
+        frame = bytearray(encode_frame({"op": "value", "stream": "s", "id": 3}))
+        for trial in range(300):
+            mutated = bytearray(frame)
+            pos = int(rng.integers(0, len(mutated)))
+            mutated[pos] ^= 1 << int(rng.integers(0, 8))
+            dec = FrameDecoder(max_frame=1 << 20)
+            try:
+                msgs = dec.feed(bytes(mutated))
+            except ProtocolError:
+                continue
+            for m in msgs:
+                assert isinstance(m, dict)
+
+
+class TestAsyncReadFrame:
+    """read_frame against real StreamReaders (the server's read path)."""
+
+    def run(self, data: bytes, **kwargs):
+        async def main():
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            reader.feed_eof()
+            out = []
+            while True:
+                msg = await read_frame(reader, **kwargs)
+                if msg is None:
+                    return out
+                out.append(msg)
+
+        return asyncio.run(main())
+
+    def test_reads_stream_of_frames(self):
+        msgs = [{"op": "ping", "id": i} for i in range(3)]
+        data = b"".join(encode_frame(m) for m in msgs)
+        assert self.run(data) == msgs
+
+    def test_clean_eof_returns_none(self):
+        assert self.run(b"") == []
+
+    def test_truncated_prefix_fatal(self):
+        with pytest.raises(ProtocolError):
+            self.run(b"\x00\x00")
+
+    def test_truncated_payload_fatal(self):
+        frame = encode_frame({"op": "ping"})
+        with pytest.raises(ProtocolError):
+            self.run(frame[:-3])
+
+    def test_oversized_prefix_fatal(self):
+        data = struct.pack("!I", 1 << 31) + b"junk"
+        with pytest.raises(ProtocolError) as exc:
+            self.run(data, max_frame=1 << 20)
+        assert exc.value.fatal

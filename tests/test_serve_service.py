@@ -1,0 +1,408 @@
+"""Service-layer semantics, in process (no sockets).
+
+Covers routing/exactness across shards, microbatch coalescing,
+backpressure under both policies, snapshot/restore/drain/merge, the
+stats endpoint, and error-response mapping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import exact_sum
+from repro.errors import BackpressureError, EmptyStreamError
+from repro.serve import (
+    AccumulatorShard,
+    InProcessClient,
+    ReproService,
+    ServeConfig,
+)
+from repro.stats import exact_mean
+from tests.conftest import random_hard_array, ref_sum
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def make_service(**kwargs) -> ReproService:
+    service = ReproService(ServeConfig(**kwargs))
+    await service.start()
+    return service
+
+
+class TestIngestExactness:
+    def test_add_and_value(self, rng):
+        async def main():
+            service = await make_service(shards=4)
+            client = InProcessClient(service)
+            x = random_hard_array(rng, 300)
+            for v in x[:50]:
+                await client.add("s", float(v))
+            await client.add_array("s", x[50:])
+            assert await client.value("s") == ref_sum(x)
+            assert await client.count("s") == 300
+            await service.close()
+
+        run(main())
+
+    def test_scatter_across_shards_bit_identical(self, rng):
+        # array large enough to stripe across every shard
+        async def main():
+            service = await make_service(shards=4, scatter_chunk=64)
+            client = InProcessClient(service)
+            x = random_hard_array(rng, 5000)
+            await client.add_array("s", x)
+            assert await client.value("s") == ref_sum(x)
+            assert await client.count("s") == 5000
+            await service.close()
+
+        run(main())
+
+    def test_interleaved_producers_match_serial(self, rng):
+        async def main():
+            service = await make_service(shards=4)
+            x = random_hard_array(rng, 4096)
+            parts = np.array_split(x, 8)
+
+            async def producer(chunk):
+                client = InProcessClient(service)
+                for piece in np.array_split(chunk, 16):
+                    await client.add_array("s", piece)
+
+            await asyncio.gather(*(producer(p) for p in parts))
+            client = InProcessClient(service)
+            assert await client.value("s") == ref_sum(x)
+            assert await client.count("s") == x.size
+            await service.close()
+
+        run(main())
+
+    def test_pathological_cancellation(self):
+        async def main():
+            service = await make_service(shards=4)
+            client = InProcessClient(service)
+            drift = [1e16, 1.0, -1e16] * 200
+            await client.add_array("s", drift)
+            assert await client.value("s") == ref_sum(drift)  # == 200.0
+            await service.close()
+
+        run(main())
+
+    def test_empty_and_unknown_streams(self):
+        async def main():
+            service = await make_service(shards=2)
+            client = InProcessClient(service)
+            assert await client.value("nope") == 0.0
+            assert await client.count("nope") == 0
+            with pytest.raises(EmptyStreamError):
+                await client.mean("nope")
+            assert await client.add_array("s", []) == 0
+            await service.close()
+
+        run(main())
+
+    def test_mean_exact(self, rng):
+        async def main():
+            service = await make_service(shards=3)
+            client = InProcessClient(service)
+            x = random_hard_array(rng, 500, emin=-30, emax=30)
+            await client.add_array("m", x)
+            assert await client.mean("m") == exact_mean(x)
+            await service.close()
+
+        run(main())
+
+    def test_non_finite_rejected_cleanly(self):
+        async def main():
+            service = await make_service(shards=2)
+            client = InProcessClient(service)
+            resp = await service.handle(
+                {"op": "add_array", "stream": "s", "values": [1.0, float("inf")]}
+            )
+            assert resp["ok"] is False and resp["code"] == "non-finite"
+            # nothing was folded
+            assert await client.count("s") == 0
+            await service.close()
+
+        run(main())
+
+
+class TestMicrobatching:
+    def test_concurrent_adds_coalesce(self):
+        async def main():
+            service = await make_service(shards=1, queue_depth=512)
+            client = InProcessClient(service)
+            await asyncio.gather(
+                *(client.add("s", float(i)) for i in range(200))
+            )
+            assert await client.value("s") == ref_sum(
+                [float(i) for i in range(200)]
+            )
+            stats = await client.stats()
+            # far fewer folds than adds proves coalescing happened
+            assert stats["batches_folded"] < 200
+            assert stats["max_coalesced_ops"] > 1
+            assert stats["values_ingested"] == 200
+            await service.close()
+
+        run(main())
+
+    def test_flush_barrier(self, rng):
+        async def main():
+            service = await make_service(shards=4)
+            client = InProcessClient(service)
+            x = random_hard_array(rng, 256)
+            await client.add_array("s", x)
+            await client.flush()
+            assert all(s.queue_depth == 0 for s in service.shards)
+            await service.close()
+
+        run(main())
+
+
+class TestBackpressure:
+    def test_reject_policy_raises(self):
+        async def main():
+            # shard never started: queue fills and must reject
+            shard = AccumulatorShard(0, queue_depth=2, policy="reject")
+            arr = np.array([1.0])
+            first = asyncio.ensure_future(shard.fold("s", arr))
+            second = asyncio.ensure_future(shard.fold("s", arr))
+            await asyncio.sleep(0)  # let both enqueue
+            with pytest.raises(BackpressureError) as exc:
+                await shard.fold("s", arr)
+            assert exc.value.retry_after > 0
+            assert shard.metrics.queue_rejections == 1
+            # drain: start the writer, everything completes
+            shard.start()
+            assert await first == 1 and await second == 1
+            await shard.stop()
+
+        run(main())
+
+    def test_reject_maps_to_busy_response(self):
+        async def main():
+            service = await make_service(shards=1, queue_depth=1, policy="reject")
+            # stop the writer so the queue cannot drain, then fill it
+            await service.close()
+            service.shards[0]._queue.put_nowait(object())
+            resp = await service.handle(
+                {"op": "add", "stream": "s", "value": 1.0, "id": 9}
+            )
+            assert resp["ok"] is False
+            assert resp["code"] == "busy"
+            assert resp["retry_after"] > 0
+            assert resp["id"] == 9
+
+        run(main())
+
+    def test_block_policy_waits_and_completes(self, rng):
+        async def main():
+            service = await make_service(shards=1, queue_depth=4, policy="block")
+            client = InProcessClient(service)
+            x = random_hard_array(rng, 512)
+            await asyncio.gather(
+                *(client.add_array("s", chunk) for chunk in np.array_split(x, 64))
+            )
+            assert await client.value("s") == ref_sum(x)
+            stats = await client.stats()
+            assert stats["queue_rejections"] == 0
+            await service.close()
+
+        run(main())
+
+
+class TestStateManipulation:
+    def test_snapshot_restore_roundtrip(self, rng):
+        async def main():
+            service = await make_service(shards=4)
+            client = InProcessClient(service)
+            x = random_hard_array(rng, 600)
+            await client.add_array("a", x)
+            blob = await client.snapshot("a")
+            restored = await client.restore("b", blob)
+            assert restored == 600
+            assert await client.value("b") == await client.value("a")
+            assert await client.count("b") == 600
+            await service.close()
+
+        run(main())
+
+    def test_merge_moves_and_deletes(self, rng):
+        async def main():
+            service = await make_service(shards=4)
+            client = InProcessClient(service)
+            x = random_hard_array(rng, 400)
+            await client.add_array("a", x[:150])
+            await client.add_array("b", x[150:])
+            moved = await client.merge("b", "a")
+            assert moved == 250
+            assert await client.value("a") == ref_sum(x)
+            assert "b" not in await client.streams()
+            await service.close()
+
+        run(main())
+
+    def test_drain_removes_stream(self, rng):
+        async def main():
+            service = await make_service(shards=4)
+            client = InProcessClient(service)
+            x = random_hard_array(rng, 300)
+            await client.add_array("d", x)
+            value, count, blob = await client.drain("d")
+            assert value == ref_sum(x) and count == 300
+            assert await client.count("d") == 0
+            # the drained snapshot restores elsewhere, exactly
+            await client.restore("d2", blob)
+            assert await client.value("d2") == ref_sum(x)
+            await service.close()
+
+        run(main())
+
+    def test_save_load_state_file(self, rng, tmp_path):
+        async def main():
+            path = tmp_path / "state.json"
+            service = await make_service(shards=4)
+            client = InProcessClient(service)
+            x = random_hard_array(rng, 200)
+            await client.add_array("alpha", x[:80])
+            await client.add_array("beta", x[80:])
+            assert await service.save_state(path) == 2
+            await service.close()
+
+            fresh = await make_service(shards=2)  # different shard count is fine
+            assert await fresh.load_state(path) == 2
+            fc = InProcessClient(fresh)
+            assert await fc.value("alpha") == ref_sum(x[:80])
+            assert await fc.value("beta") == ref_sum(x[80:])
+            assert await fc.count("alpha") == 80
+            await fresh.close()
+
+        run(main())
+
+    def test_restore_corrupt_snapshot(self):
+        async def main():
+            service = await make_service(shards=1)
+            resp = await service.handle(
+                {"op": "restore", "stream": "s", "snapshot": "Z2FyYmFnZQ=="}
+            )
+            assert resp["ok"] is False and resp["code"] == "service"
+            await service.close()
+
+        run(main())
+
+
+class TestDispatchErrors:
+    @pytest.mark.parametrize(
+        "request_,code",
+        [
+            ({"op": "warp"}, "unknown-op"),
+            ({"noop": 1}, "service"),
+            ({"op": "add", "stream": "s"}, "service"),
+            ({"op": "add", "stream": "s", "value": "x"}, "service"),
+            ({"op": "add", "stream": "s", "value": True}, "service"),
+            ({"op": "add", "value": 1.0}, "service"),
+            ({"op": "add_array", "stream": "s"}, "service"),
+            ({"op": "merge", "src": "a", "dst": "a"}, "service"),
+            ({"op": "value", "stream": "s", "mode": "sideways"}, "bad-request"),
+            ({"op": "add_block", "stream": "s", "block": "nope"}, "service"),
+            (
+                {
+                    "op": "add_block",
+                    "stream": "s",
+                    "block": {"kind": "warp", "segment": "x", "length": 1},
+                },
+                "service",
+            ),
+        ],
+    )
+    def test_bad_requests_map_to_error_responses(self, request_, code):
+        async def main():
+            service = await make_service(shards=1)
+            resp = await service.handle(request_)
+            assert resp["ok"] is False
+            assert resp["code"] == code
+            await service.close()
+
+        run(main())
+
+    def test_id_echoed_on_success_and_failure(self):
+        async def main():
+            service = await make_service(shards=1)
+            ok = await service.handle({"op": "ping", "id": "abc"})
+            bad = await service.handle({"op": "warp", "id": 17})
+            assert ok["id"] == "abc" and ok["ok"] is True
+            assert bad["id"] == 17 and bad["ok"] is False
+            await service.close()
+
+        run(main())
+
+    def test_metrics_track_requests_and_errors(self):
+        async def main():
+            service = await make_service(shards=1)
+            client = InProcessClient(service)
+            await client.ping()
+            await service.handle({"op": "warp"})
+            stats = await client.stats()
+            # the in-flight stats request records itself only after the
+            # snapshot is taken, so it sees the two earlier requests
+            assert stats["requests_total"] >= 2
+            assert stats["errors_total"] == 1
+            assert stats["requests_by_op"]["ping"] == 1
+            assert stats["latency_p99_ms"] >= stats["latency_p50_ms"] >= 0
+            assert stats["shards"] == 1 and stats["policy"] == "block"
+            await service.close()
+
+        run(main())
+
+
+class TestAddBlock:
+    def test_zero_copy_dataset_ingest(self, rng, tmp_path):
+        from repro.data import write_dataset
+        from repro.mapreduce.dataplane import dataset_payload_offset
+
+        async def main():
+            x = random_hard_array(rng, 2048)
+            path = tmp_path / "d.f64"
+            write_dataset(path, x)
+            service = await make_service(shards=4, scatter_chunk=256)
+            client = InProcessClient(service)
+            added = await client.add_block(
+                "blk",
+                {
+                    "kind": "mmap",
+                    "segment": str(path),
+                    "offset": dataset_payload_offset(),
+                    "length": int(x.size),
+                },
+            )
+            assert added == 2048
+            assert await client.value("blk") == ref_sum(x)
+            await service.close()
+
+        run(main())
+
+    def test_missing_file_is_clean_error(self):
+        async def main():
+            service = await make_service(shards=1)
+            resp = await service.handle(
+                {
+                    "op": "add_block",
+                    "stream": "s",
+                    "block": {"kind": "mmap", "segment": "/nope/x.f64", "length": 4},
+                }
+            )
+            assert resp["ok"] is False and resp["code"] == "service"
+            await service.close()
+
+        run(main())
+
+
+def test_exact_sum_agrees_with_core(rng):
+    # anchor: the service's ground truth really is core.exact_sum
+    x = random_hard_array(rng, 1000)
+    assert ref_sum(x) == exact_sum(x)

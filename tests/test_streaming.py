@@ -8,6 +8,7 @@ from fractions import Fraction
 import numpy as np
 import pytest
 
+from repro.errors import EmptyStreamError, ReproError
 from repro.stats import round_fraction
 from repro.streaming import (
     ExactRunningSum,
@@ -48,6 +49,52 @@ class TestExactRunningSum:
         back = SparseSuperaccumulator.from_bytes(state)
         assert back.to_float() == rs.value()
 
+    def test_wire_roundtrip_includes_count(self, rng):
+        x = random_hard_array(rng, 257)
+        rs = ExactRunningSum()
+        rs.add_array(x)
+        back = ExactRunningSum.from_bytes(rs.to_bytes())
+        assert back.value() == rs.value()
+        assert back.count == 257
+        # restored streams keep accumulating exactly
+        back.add_array(x)
+        rs.add_array(x)
+        assert back.value() == rs.value() and back.count == rs.count
+
+    def test_wire_roundtrip_empty(self):
+        back = ExactRunningSum.from_bytes(ExactRunningSum().to_bytes())
+        assert back.value() == 0.0 and back.count == 0
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda b: b[:4],  # truncated header
+            lambda b: b"XXXX" + b[4:],  # wrong magic
+            lambda b: b[:4] + (-1).to_bytes(8, "little", signed=True) + b[12:],
+            lambda b: b[:-3],  # truncated accumulator body
+            lambda b: b + b"\x00" * 8,  # oversized body
+        ],
+    )
+    def test_wire_corruption_is_clean_valueerror(self, rng, mutate):
+        rs = ExactRunningSum()
+        rs.add_array(random_hard_array(rng, 20))
+        with pytest.raises(ValueError):
+            ExactRunningSum.from_bytes(mutate(rs.to_bytes()))
+
+    def test_empty_value_and_mean(self):
+        rs = ExactRunningSum()
+        assert rs.value() == 0.0 and rs.count == 0
+        with pytest.raises(EmptyStreamError):
+            rs.mean()
+
+    def test_mean_exact(self, rng):
+        from repro.stats import exact_mean
+
+        x = random_hard_array(rng, 300, emin=-30, emax=30)
+        rs = ExactRunningSum()
+        rs.add_array(x)
+        assert rs.mean() == exact_mean(x)
+
 
 class TestSlidingWindow:
     def test_window_matches_brute_force(self, rng):
@@ -75,6 +122,13 @@ class TestSlidingWindow:
     def test_bad_window(self):
         with pytest.raises(ValueError):
             SlidingWindowSum(0)
+
+    def test_empty_window_value_defined(self):
+        # pinned: an untouched window reads as exactly 0.0, any mode
+        win = SlidingWindowSum(5)
+        assert len(win) == 0
+        for mode in ("nearest", "down", "up", "zero"):
+            assert win.value(mode) == 0.0
 
 
 class TestRunningStats:
@@ -111,10 +165,22 @@ class TestRunningStats:
 
     def test_empty_guards(self):
         st = RunningStats()
-        with pytest.raises(ValueError):
+        # pinned: empty-state queries are a clean ReproError (which is
+        # also a ValueError, keeping pre-existing callers working)
+        with pytest.raises(EmptyStreamError):
             st.mean()
-        with pytest.raises(ValueError):
+        with pytest.raises(EmptyStreamError):
             st.variance()
+        assert issubclass(EmptyStreamError, ReproError)
+        assert issubclass(EmptyStreamError, ValueError)
+        assert st.sum() == 0.0 and st.count == 0  # sums stay defined
+
+    def test_variance_insufficient_ddof(self):
+        st = RunningStats()
+        st.add_array(np.array([1.0]))
+        with pytest.raises(EmptyStreamError):
+            st.variance(ddof=1)
+        assert st.variance(ddof=0) == 0.0
 
 
 class TestExactCumsum:
