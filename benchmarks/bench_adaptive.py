@@ -1,0 +1,195 @@
+"""ADAPTIVE — condition-adaptive tiered engine vs always-exact sparse.
+
+Sweeps condition number (via the input distributions) against input
+size and times ``adaptive_sum`` next to ``exact_sum(method="sparse")``.
+Every cell asserts the adaptive answer is bit-identical to the sparse
+superaccumulator's — the engine may only ever trade *work*, never a
+bit of the result. Each cell also records which tier served it and the
+Tier-0 certificate margin, so the JSON doubles as a regression record
+for the certificate's tightness.
+
+Usage::
+
+    python benchmarks/bench_adaptive.py               # full sweep
+    python benchmarks/bench_adaptive.py --quick       # CI smoke
+    python benchmarks/bench_adaptive.py -o out.json   # custom output
+
+Writes a JSON record (default ``BENCH_adaptive.json`` in the repo
+root). Headline acceptance bars:
+
+* well-conditioned (``C(X) ~ 1``), ``n >= 2**20``: adaptive must be
+  **>= 5x** faster than the sparse exact path (Tier 0 certifies and
+  returns after ~6 vector passes);
+* adversarial massive cancellation: adaptive may cost at most **1.3x**
+  the sparse path (the failed certificate is a small prefix of the
+  exact work it escalates into);
+* Tier-0 acceptance on well-conditioned cells must be non-zero — a
+  certificate that never fires is a silent perf regression.
+
+Exit status is non-zero if any bar (or any exactness assertion) fails,
+so CI can run this directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+try:
+    from benchmarks.harness import bench_stamp
+except ImportError:  # run as a plain script from benchmarks/
+    from harness import bench_stamp
+
+from repro.adaptive import adaptive_sum_detail
+from repro.core import condition_number, exact_sum
+from repro.data import generate
+
+#: (distribution, delta) cells, ordered from benign to adversarial.
+CASES = [
+    ("well", 100),
+    ("well", 2000),
+    ("random", 500),
+    ("anderson", 300),
+    ("cancel", 1000),
+    ("tie", 40),
+]
+
+
+def _best(fn, reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_cell(dist: str, delta: int, n: int, reps: int) -> Dict[str, Any]:
+    """One (distribution, delta, n) measurement with exactness assert."""
+    x = generate(dist, n, delta=delta, seed=42)
+    detail = adaptive_sum_detail(x)
+    expected = exact_sum(x, method="sparse")
+    if detail.value != expected:
+        raise AssertionError(
+            f"exactness violated at {dist}/delta={delta}/n={n}: "
+            f"{detail.value!r} != {expected!r}"
+        )
+    t_adapt = _best(lambda: adaptive_sum_detail(x), reps)
+    t_sparse = _best(lambda: exact_sum(x, method="sparse"), reps)
+    cond = condition_number(x)
+    return {
+        "distribution": dist,
+        "delta": delta,
+        "n": int(n),
+        "condition_number": cond if np.isfinite(cond) else "inf",
+        "tier": detail.tier,
+        "escalations": detail.escalations,
+        "margin_bits": detail.margin_bits if np.isfinite(detail.margin_bits) else None,
+        "adaptive_seconds": t_adapt,
+        "sparse_seconds": t_sparse,
+        "speedup": t_sparse / t_adapt,
+        "value_hex": detail.value.hex(),
+    }
+
+
+def sweep(sizes: Sequence[int], reps: int) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    for dist, delta in CASES:
+        for n in sizes:
+            row = run_cell(dist, delta, n, reps)
+            rows.append(row)
+            margin = row["margin_bits"]
+            print(
+                f"  {dist:<9s} delta={delta:<5d} n=2^{int(np.log2(n)):<3d} "
+                f"tier={row['tier']}  "
+                f"adaptive={row['adaptive_seconds'] * 1e3:8.1f}ms  "
+                f"sparse={row['sparse_seconds'] * 1e3:8.1f}ms  "
+                f"{row['speedup']:6.2f}x"
+                + (f"  margin={margin:.0f}b" if margin is not None else ""),
+                flush=True,
+            )
+    return rows
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized sweep")
+    parser.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_adaptive.json",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        sizes, reps = [1 << 16, 1 << 20], 2
+    else:
+        sizes, reps = [1 << 16, 1 << 18, 1 << 20, 1 << 22], 3
+
+    print(f"adaptive engine sweep: sizes={[f'2^{int(np.log2(n))}' for n in sizes]}, "
+          f"cases={CASES}")
+    rows = sweep(sizes, reps)
+
+    # Headline bars.
+    big_well = [
+        r for r in rows if r["distribution"] == "well" and r["n"] >= 1 << 20
+    ]
+    well_speedup = min(r["speedup"] for r in big_well)
+    tier0_well = sum(1 for r in rows if r["distribution"] == "well" and r["tier"] == 0)
+    adversarial = [r for r in rows if r["distribution"] == "cancel"]
+    worst_ratio = max(r["adaptive_seconds"] / r["sparse_seconds"] for r in adversarial)
+
+    checks = {
+        "well_conditioned_speedup": {
+            "worst_speedup_at_n_ge_2^20": well_speedup,
+            "target": 5.0,
+            "pass": well_speedup >= 5.0,
+        },
+        "adversarial_overhead": {
+            "worst_adaptive_over_sparse": worst_ratio,
+            "target": 1.3,
+            "pass": worst_ratio <= 1.3,
+        },
+        "tier0_acceptance": {
+            "well_conditioned_tier0_cells": tier0_well,
+            "pass": tier0_well > 0,
+        },
+        "exactness": {
+            "note": "every cell asserted bit-identical to exact_sum(method='sparse')",
+            "pass": True,  # an assertion failure aborts before this point
+        },
+    }
+    ok = all(c["pass"] for c in checks.values())
+
+    record = {
+        "benchmark": "adaptive",
+        "quick": args.quick,
+        "host": bench_stamp(),
+        "config": {
+            "cases": [{"distribution": d, "delta": dl} for d, dl in CASES],
+            "sizes": [int(n) for n in sizes],
+            "repeats": reps,
+            "seed": 42,
+        },
+        "rows": rows,
+        "headline": checks,
+    }
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    print(
+        f"headline: well-conditioned {well_speedup:.1f}x (target >= 5x), "
+        f"adversarial {worst_ratio:.2f}x (target <= 1.3x), "
+        f"tier-0 acceptance {tier0_well} cells -> {'PASS' if ok else 'FAIL'}"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,13 +28,17 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
-import platform
 import sys
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Sequence
 
 import numpy as np
+
+try:
+    from benchmarks.harness import bench_stamp
+except ImportError:  # run as a plain script from benchmarks/
+    from harness import bench_stamp
 
 from repro.core import exact_sum
 from repro.data import generate
@@ -154,11 +158,7 @@ def main(argv: Sequence[str] = ()) -> int:
     record = {
         "benchmark": "serve",
         "quick": args.quick,
-        "host": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "cpu_count": __import__("os").cpu_count(),
-        },
+        "host": bench_stamp(),
         "config": {
             "n": n,
             "clients": args.clients,

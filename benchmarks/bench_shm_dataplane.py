@@ -24,12 +24,16 @@ from __future__ import annotations
 import argparse
 import json
 import math
-import platform
 import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
+
+try:
+    from benchmarks.harness import bench_stamp
+except ImportError:  # run as a plain script from benchmarks/
+    from harness import bench_stamp
 
 from repro.data import generate
 from repro.mapreduce import parallel_sum, shutdown_shared_executors
@@ -123,11 +127,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     record = {
         "benchmark": "shm_dataplane",
         "quick": args.quick,
-        "host": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "cpu_count": __import__("os").cpu_count(),
-        },
+        "host": bench_stamp(),
         "config": {
             "block_items": BLOCK_ITEMS,
             "sizes": [int(n) for n in sizes],

@@ -20,8 +20,12 @@ and compares the shapes against the paper.
 from __future__ import annotations
 
 import argparse
+import os
+import platform
+import subprocess
 import sys
 import time
+from pathlib import Path
 from typing import Callable, Dict, List, Sequence
 
 import numpy as np
@@ -41,6 +45,34 @@ from repro.pram import condition_sensitive_sum, pram_exact_sum
 
 DISTS = ["well", "random", "anderson", "sumzero"]
 BLOCK_ITEMS = 1 << 14
+
+
+def bench_stamp() -> Dict[str, object]:
+    """Provenance stamp every ``BENCH_*.json`` record embeds.
+
+    Records the git commit, platform, CPU count and numpy version so a
+    stored benchmark JSON can always be traced back to the code and
+    host that produced it. Degrades to ``"unknown"`` when the tree is
+    not a git checkout (tarball installs, CI artifact stages).
+    """
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        sha = "unknown"
+    return {
+        "git_sha": sha,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "numpy": np.__version__,
+    }
 
 
 def _timeit(fn: Callable[[], object]) -> float:

@@ -1,0 +1,32 @@
+"""Condition-adaptive tiered summation (Theorem 4 as a wall-clock win).
+
+Public surface:
+
+* :func:`adaptive_sum` / :func:`adaptive_sum_detail` — one-shot sums
+  through the tier ladder, bit-identical to ``exact_sum``.
+* :class:`AdaptiveFolder` — stateful front-end with tier telemetry,
+  used by the serving plane and the MapReduce driver.
+* :func:`certified_cascade_sum` — the Tier-0 primitive, exposed for
+  callers (e.g. MapReduce combiners) that want the certificate itself.
+"""
+
+from repro.adaptive.cascade import CascadeCertificate, certified_cascade_sum
+from repro.adaptive.engine import (
+    AdaptiveConfig,
+    AdaptiveFolder,
+    AdaptiveResult,
+    TierCounters,
+    adaptive_sum,
+    adaptive_sum_detail,
+)
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveFolder",
+    "AdaptiveResult",
+    "CascadeCertificate",
+    "TierCounters",
+    "adaptive_sum",
+    "adaptive_sum_detail",
+    "certified_cascade_sum",
+]

@@ -37,6 +37,7 @@ from repro.mapreduce import parallel_sum
 __all__ = ["main"]
 
 _METHODS: Dict[str, Callable[[np.ndarray, argparse.Namespace], float]] = {
+    "adaptive": lambda x, a: exact_sum(x, method="adaptive"),
     "sparse": lambda x, a: exact_sum(x, method="sparse"),
     "small": lambda x, a: exact_sum(x, method="small"),
     "dense": lambda x, a: exact_sum(x, method="dense"),
@@ -72,7 +73,7 @@ def _cmd_sum(args: argparse.Namespace) -> int:
     print(f"hex    : {result.hex() if result == result else 'nan'}")
     print(f"time   : {elapsed:.4f} s")
     if args.check and args.method != "naive":
-        ref = exact_sum(data)
+        ref = exact_sum(data, method="sparse")
         status = "OK (correctly rounded)" if result == ref else f"MISMATCH vs {ref!r}"
         print(f"check  : {status}")
         if result != ref:

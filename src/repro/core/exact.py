@@ -26,11 +26,15 @@ __all__ = [
     "exact_dot",
 ]
 
-_METHODS = ("sparse", "small", "dense", "auto")
+_METHODS = ("sparse", "small", "dense", "adaptive", "auto")
 
 
 def _build(values: np.ndarray, method: str, radix: RadixConfig):
-    if method in ("auto", "sparse"):
+    # "adaptive"/"auto" land here only from the scaled/fraction paths
+    # (which need the exact accumulator, not a rounded float) or for
+    # non-nearest modes the certifying tiers cannot prove; the sparse
+    # representation is the exact workhorse in both cases.
+    if method in ("auto", "sparse", "adaptive"):
         return SparseSuperaccumulator.from_floats(values, radix)
     if method == "small":
         acc = SmallSuperaccumulator(radix)
@@ -52,8 +56,11 @@ def exact_sum(
 
     Args:
         values: any array-like of finite float64 values.
-        method: representation — ``"sparse"`` (the paper's sparse
-            superaccumulator, default), ``"small"`` (Neal-style dense
+        method: representation — ``"adaptive"`` (condition-adaptive
+            tier ladder, also what ``"auto"`` now selects: certified
+            fast paths for well-conditioned inputs, bit-identical
+            escalation otherwise), ``"sparse"`` (the paper's sparse
+            superaccumulator), ``"small"`` (Neal-style dense
             fixed-size), or ``"dense"`` (full fixed-point array).
         mode: rounding direction; ``"nearest"`` (default) is correct
             rounding, which implies faithful rounding.
@@ -61,10 +68,17 @@ def exact_sum(
 
     Returns:
         The rounded sum; exact intermediate arithmetic guarantees the
-        result is independent of input order.
+        result is independent of input order — every method returns the
+        same bits on the same input.
     """
     arr = ensure_float64_array(values)
     check_finite_array(arr)
+    if method in ("auto", "adaptive") and mode == "nearest":
+        from repro.adaptive import adaptive_sum
+
+        return adaptive_sum(arr, radix=radix)
+    if method not in _METHODS:
+        raise ValueError(f"unknown method {method!r}; expected one of {_METHODS}")
     return _build(arr, method, radix).to_float(mode)
 
 

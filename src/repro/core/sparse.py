@@ -27,6 +27,7 @@ Two usage styles:
 
 from __future__ import annotations
 
+import math
 import struct
 from fractions import Fraction
 from typing import Iterable, Optional, Tuple
@@ -43,7 +44,7 @@ from repro.core.digits import (
     split_floats_vec,
 )
 from repro.core.rounding import round_digits
-from repro.errors import RepresentationError
+from repro.errors import NonFiniteInputError, RepresentationError
 from repro.util.validation import check_finite_array, ensure_float64_array
 
 __all__ = ["SparseSuperaccumulator"]
@@ -108,8 +109,16 @@ class SparseSuperaccumulator:
         """Accumulator equal to one float (§3 step 2 conversion).
 
         The split produces same-signed digits, which are automatically
-        regularized; this is the O(1)-work leaf conversion.
+        regularized; this is the O(1)-work leaf conversion. It rides
+        the vectorized single-element split path (digit positions come
+        out in increasing order, zeros already filtered), with the
+        scalar big-int path kept for radices too wide to vectorize.
         """
+        if radix.supports_vectorized:
+            if not math.isfinite(x):
+                raise NonFiniteInputError(f"cannot decompose non-finite value {x!r}")
+            idx, dig = split_floats_vec(np.array([x], dtype=np.float64), radix)
+            return cls(radix, idx, dig, _validated=True)
         pairs = split_float(x, radix)
         if not pairs:
             return cls(radix)

@@ -15,6 +15,15 @@ distributions as described in [Zhu & Hayes 2009]":
    (constructed as sign-paired values, shuffled), the worst case for
    iFastSum and an infinite condition number.
 
+Two adversarial additions (not paper data) stress the adaptive
+engine's certified fast path:
+
+5. ``"cancel"`` — massive cancellation with a tiny *non-zero* residual
+   sum (huge but finite condition number);
+6. ``"tie"`` — true sums landing on or one quantum away from a
+   rounding-cell midpoint, where correct rounding hinges on the final
+   bit.
+
 Every distribution takes the exponent-spread parameter ``delta``: base
 values are ``mantissa * 2**e`` with a 52-bit random mantissa in
 ``[1, 2)`` and ``e`` uniform over an integer window of width ``delta``
@@ -27,6 +36,7 @@ All generators are deterministic in ``seed``.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, Tuple
 
 import numpy as np
@@ -40,6 +50,8 @@ __all__ = [
     "generate_random_signs",
     "generate_anderson",
     "generate_sum_zero",
+    "generate_massive_cancellation",
+    "generate_near_ulp_tie",
     "exponent_window",
 ]
 
@@ -119,19 +131,87 @@ def generate_sum_zero(n: int, delta: int = 2000, seed: int = 0) -> np.ndarray:
     return out
 
 
+def generate_massive_cancellation(n: int, delta: int = 2000, seed: int = 0) -> np.ndarray:
+    """Stress distribution: huge paired mass, tiny non-zero residual sum.
+
+    ``±m`` pairs spanning the exponent window cancel exactly; a small
+    cohort of positive values pinned at the *bottom* of the window
+    survives as the true sum. The condition number is enormous but
+    finite (unlike ``"sumzero"``), so every digits-of-the-answer claim
+    is falsifiable — the adversarial case for the adaptive engine's
+    Tier-0 certificate, which must refuse to certify and escalate.
+    """
+    check_positive_int(n, name="n")
+    rng = np.random.default_rng(seed)
+    lo, _hi = exponent_window(delta)
+    n_resid = max(1, n // 16)
+    n_pairs = (n - n_resid) // 2
+    n_resid = n - 2 * n_pairs  # absorb odd leftover into the residual cohort
+    mantissa = 1.0 + rng.integers(0, 1 << 52, size=n_resid, dtype=np.int64) * 2.0**-52
+    resid = np.ldexp(mantissa, lo)
+    parts = [resid]
+    if n_pairs:
+        mags = _magnitudes(rng, n_pairs, delta)
+        parts += [mags, -mags]
+    out = np.concatenate(parts)
+    rng.shuffle(out)
+    return out
+
+
+def generate_near_ulp_tie(n: int, delta: int = 2000, seed: int = 0) -> np.ndarray:
+    """Stress distribution: true sums a whisker from a rounding tie.
+
+    One anchor value at the top of the exponent window, one value equal
+    to half the anchor's ulp nudged by ``±1`` quantum at depth
+    ``min(delta, 52)`` bits below (or not at all — an exact tie —
+    cycling by seed), and exactly-cancelling padding pairs. The true
+    sum therefore sits on or just beside the midpoint of the anchor's
+    rounding cell: correct rounding hinges on the final quantum, the
+    hardest regime for any certificate that hopes to stop early. The
+    exponent span is structurally ~``53 + depth`` bits however small
+    ``delta`` is.
+    """
+    check_positive_int(n, name="n")
+    rng = np.random.default_rng(seed)
+    lo_w, hi = exponent_window(delta)
+    depth = int(min(max(int(delta), 1), 52))
+    # Anchor in [2**hi, 2**(hi+1)): ulp = 2**(hi-52), half-ulp = 2**(hi-53).
+    anchor = float(np.ldexp(1.0 + int(rng.integers(0, 1 << 52)) * 2.0**-52, hi))
+    half = math.ldexp(1.0, hi - 53)
+    direction = int(rng.integers(0, 3)) - 1  # -1 below tie, 0 exact tie, +1 above
+    tie_term = half + direction * math.ldexp(1.0, hi - 53 - depth)  # exact: depth <= 52
+    if n == 1:
+        return np.array([anchor])
+    elements = [np.array([anchor, tie_term])]
+    pad = n - 2
+    if pad:
+        mags = _magnitudes(rng, pad // 2, delta) if pad // 2 else np.zeros(0)
+        elements += [mags, -mags]
+        if pad % 2:
+            elements.append(np.zeros(1))
+    out = np.concatenate(elements)
+    rng.shuffle(out)
+    return out
+
+
 DISTRIBUTIONS: Dict[str, Callable[[int, int, int], np.ndarray]] = {
     "well": generate_well_conditioned,
     "random": generate_random_signs,
     "anderson": generate_anderson,
     "sumzero": generate_sum_zero,
+    "cancel": generate_massive_cancellation,
+    "tie": generate_near_ulp_tie,
 }
 
-#: Display names used by the figure harness, matching the paper panels.
+#: Display names used by the figure harness, matching the paper panels
+#: (the last two are this repo's adversarial additions, not paper data).
 PANEL_NAMES = {
     "well": "C(X)=1",
     "random": "Random",
     "anderson": "Anderson's",
     "sumzero": "Sum=Zero",
+    "cancel": "Massive-Cancel",
+    "tie": "Near-Ulp-Tie",
 }
 
 

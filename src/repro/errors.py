@@ -7,6 +7,7 @@ __all__ = [
     "NonFiniteInputError",
     "RepresentationError",
     "ModelViolationError",
+    "CertificationError",
     "EmptyStreamError",
     "ProtocolError",
     "BackpressureError",
@@ -39,6 +40,17 @@ class ModelViolationError(ReproError, RuntimeError):
 
     Raised by the PRAM simulator on EREW access conflicts and by the
     external-memory device when an algorithm exceeds internal memory.
+    """
+
+
+class CertificationError(ReproError, ArithmeticError):
+    """A speculative fast-path result could not be proven correct.
+
+    Raised where the adaptive engine has no in-band escalation path —
+    e.g. a MapReduce job whose certified combine payloads turn out, at
+    the final global check, not to pin down the correctly rounded sum.
+    Callers fall back to a fully exact job; the error therefore signals
+    "redo exactly", never a wrong published result.
     """
 
 

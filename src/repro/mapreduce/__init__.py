@@ -30,6 +30,7 @@ from repro.mapreduce.runtime import (
     shutdown_shared_executors,
 )
 from repro.mapreduce.sum_job import (
+    AdaptiveSumJob,
     NaiveSumJob,
     NoCombinerSumJob,
     SmallSuperaccumulatorJob,
@@ -55,6 +56,7 @@ __all__ = [
     "MultiprocessExecutor",
     "SerialExecutor",
     "run_job",
+    "AdaptiveSumJob",
     "NaiveSumJob",
     "NoCombinerSumJob",
     "SmallSuperaccumulatorJob",

@@ -34,7 +34,9 @@ from repro.mapreduce.runtime import (
     run_job,
     shared_process_executor,
 )
+from repro.errors import CertificationError
 from repro.mapreduce.sum_job import (
+    AdaptiveSumJob,
     NaiveSumJob,
     SmallSuperaccumulatorJob,
     SparseSuperaccumulatorJob,
@@ -44,6 +46,7 @@ from repro.util.validation import check_finite_array, ensure_float64_array
 __all__ = ["parallel_sum"]
 
 _JOBS = {
+    "adaptive": AdaptiveSumJob,
     "sparse": SparseSuperaccumulatorJob,
     "small": SmallSuperaccumulatorJob,
     "naive": NaiveSumJob,
@@ -92,8 +95,10 @@ def parallel_sum(
     Args:
         values: finite float64 array-like.
         workers: worker count; ``None`` or 1 runs serially in-process.
-        method: ``"sparse"`` (paper), ``"small"`` (Neal comparator) or
-            ``"naive"`` (inexact control — for demonstrations only).
+        method: ``"adaptive"`` (certificate-shipping combine with an
+            exact fallback on certification failure), ``"sparse"``
+            (paper), ``"small"`` (Neal comparator) or ``"naive"``
+            (inexact control — for demonstrations only).
         block_items: simulated HDFS block size in items.
         reducers: the ``p`` of §6.1; defaults to the worker count.
         radix: superaccumulator digit configuration.
@@ -137,31 +142,47 @@ def parallel_sum(
         else:
             items = [b.data for b in store.blocks("input")]
 
-        if kind == "process" and w > 1:
-            if reuse_pool:
-                exe = shared_process_executor(w)
-                result = run_job(
-                    job, items, reducers=p, executor=exe, partitioner=partitioner
-                )
-            else:
-                with MultiprocessExecutor(w) as exe:
-                    result = run_job(
-                        job, items, reducers=p, executor=exe, partitioner=partitioner
+        def execute(the_job) -> JobResult:
+            if kind == "process" and w > 1:
+                if reuse_pool:
+                    exe = shared_process_executor(w)
+                    return run_job(
+                        the_job, items, reducers=p, executor=exe,
+                        partitioner=partitioner,
                     )
-        elif kind == "simulated":
-            result = run_job(
-                job,
-                items,
-                reducers=p,
-                executor=SimulatedClusterExecutor(w),
-                partitioner=partitioner,
-            )
-        else:
-            result = run_job(
-                job,
+                with MultiprocessExecutor(w) as exe:
+                    return run_job(
+                        the_job, items, reducers=p, executor=exe,
+                        partitioner=partitioner,
+                    )
+            if kind == "simulated":
+                return run_job(
+                    the_job,
+                    items,
+                    reducers=p,
+                    executor=SimulatedClusterExecutor(w),
+                    partitioner=partitioner,
+                )
+            return run_job(
+                the_job,
                 items,
                 reducers=p,
                 executor=SerialExecutor(),
                 partitioner=partitioner,
             )
+
+        try:
+            result = execute(job)
+        except CertificationError:
+            # The adaptive job's global certificate failed: the blocks
+            # are still in the store, so transparently redo the run
+            # with the fully exact job — a retry, never a wrong bit.
+            fallback = SparseSuperaccumulatorJob(radix=radix, mode=mode)
+            result = execute(fallback)
+            result.tier_counts = {
+                "tier0_hits": 0,
+                "escalations": result.blocks,
+                "tier2_folds": 1,
+                "certification_fallback": 1,
+            }
     return result if report else result.value

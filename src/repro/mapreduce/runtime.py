@@ -107,6 +107,9 @@ class JobResult:
             memory (0 when no boundary exists or nothing was saved).
         executor_kind: "serial", "process" or "simulated".
         zero_copy: whether combine consumed block descriptors.
+        tier_counts: adaptive-engine tier telemetry (certified vs
+            escalated block counts, final certificate margin) when the
+            job reports it (``AdaptiveSumJob``); ``None`` otherwise.
     """
 
     value: float
@@ -120,6 +123,7 @@ class JobResult:
     copies_avoided_bytes: int = 0
     executor_kind: str = "serial"
     zero_copy: bool = False
+    tier_counts: Optional[Dict[str, float]] = None
 
     @property
     def total_seconds(self) -> float:
@@ -553,4 +557,10 @@ def run_job(
 
     result.value = job.postprocess(reduced)
     result.phase_seconds["postprocess"] = time.perf_counter() - t3
+    # Postprocess runs driver-side, so tier telemetry survives even
+    # when combine/reduce executed in worker processes: the shuffle
+    # payloads themselves carry the tier decisions.
+    counts = getattr(job, "tier_counts", None)
+    if counts is not None:
+        result.tier_counts = dict(counts)
     return result

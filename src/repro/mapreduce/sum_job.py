@@ -17,22 +17,179 @@ a non-faithful algorithm.
 
 from __future__ import annotations
 
+import math
 import struct
-from typing import Sequence
+from fractions import Fraction
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.digits import DEFAULT_RADIX, RadixConfig
 from repro.core.sparse import SparseSuperaccumulator
 from repro.core.superaccumulator import DenseSuperaccumulator, SmallSuperaccumulator
+from repro.errors import CertificationError
 from repro.mapreduce.runtime import MapReduceJob
 
 __all__ = [
+    "AdaptiveSumJob",
     "SparseSuperaccumulatorJob",
     "SmallSuperaccumulatorJob",
     "NaiveSumJob",
     "NoCombinerSumJob",
 ]
+
+
+#: Combine payload of a Tier-0-certified block: magic + (value,
+#: remainder, bound). Value and remainder are exact floats the reducer
+#: folds losslessly; only ``bound`` carries uncertainty.
+_CERT = struct.Struct("<4sddd")
+_CERT_MAGIC = b"ACRT"
+#: Reduce payload: magic + (bound_total, cert_blocks, full_blocks),
+#: followed by the merged sparse accumulator bytes.
+_COMPOSITE = struct.Struct("<4sdqq")
+_COMPOSITE_MAGIC = b"ACMP"
+
+
+def _sum_bounds_upper(bounds: Sequence[float]) -> float:
+    """Float upper bound on the exact sum of non-negative floats.
+
+    ``math.fsum`` is correctly rounded (error <= half an ulp), so one
+    relative inflation plus a subnormal quantum strictly dominates the
+    true sum — keeping every downstream certificate comparison sound.
+    """
+    total = math.fsum(bounds)
+    if total == 0.0:
+        return 0.0
+    return total * (1.0 + 2.0**-50) + 5e-324
+
+
+class AdaptiveSumJob(MapReduceJob):
+    """Exact sum whose combine phase ships *certificates* when it can.
+
+    The combine step runs the Tier-0 certified cascade on each block.
+    A certified block ships a 28-byte ``(value, remainder, bound)``
+    payload — ``value + remainder`` within ``bound`` of the exact block
+    sum, both floats known exactly — instead of a serialized
+    superaccumulator; escalated blocks ship the full exact accumulator
+    as usual. Reducers fold certificate values and remainders *exactly*
+    into a sparse accumulator (floats fold exactly; only the
+    second-order bounds carry uncertainty) and add up the bounds
+    rigorously.
+
+    The driver-side postprocess then performs one **global**
+    certification: the final rounded value stands only if the total
+    certificate mass provably cannot move it across a rounding-cell
+    boundary. If that proof fails, :class:`CertificationError` is
+    raised and the caller (``parallel_sum``) transparently reruns the
+    fully exact job — speculation can cost a retry, never a wrong bit.
+
+    Only ``mode="nearest"`` speculates; any other rounding mode makes
+    this job behave exactly like :class:`SparseSuperaccumulatorJob`.
+
+    After a successful run, :attr:`tier_counts` holds the tiering
+    telemetry (certified vs escalated block counts, final margin) that
+    :func:`~repro.mapreduce.runtime.run_job` copies onto the
+    :class:`~repro.mapreduce.runtime.JobResult`.
+    """
+
+    def __init__(self, radix: RadixConfig = DEFAULT_RADIX, mode: str = "nearest") -> None:
+        self.radix = radix
+        self.mode = mode
+        self.tier_counts: Optional[Dict[str, float]] = None
+
+    def combine(self, block: np.ndarray) -> bytes:
+        if self.mode == "nearest":
+            from repro.adaptive import certified_cascade_sum
+
+            cert = certified_cascade_sum(np.asarray(block, dtype=np.float64))
+            if cert.certified:
+                return _CERT.pack(
+                    _CERT_MAGIC, cert.value, cert.remainder, cert.residual_bound
+                )
+        return SparseSuperaccumulator.from_floats(block, self.radix).to_bytes()
+
+    def _split_payloads(
+        self, values: Sequence[bytes]
+    ) -> Tuple[SparseSuperaccumulator, float, int, int]:
+        """Fold mixed payloads: (merged acc, bound total, certs, fulls)."""
+        cert_values = []
+        bounds = []
+        fulls = []
+        n_certs = 0
+        for payload in values:
+            if payload[:4] == _CERT_MAGIC:
+                _, value, remainder, bound = _CERT.unpack(payload)
+                cert_values.append(value)
+                if remainder != 0.0:
+                    cert_values.append(remainder)
+                bounds.append(bound)
+                n_certs += 1
+            else:
+                fulls.append(SparseSuperaccumulator.from_bytes(payload))
+        acc = SparseSuperaccumulator.from_floats(
+            np.array(cert_values, dtype=np.float64), self.radix
+        )
+        if fulls:
+            acc = acc.add(SparseSuperaccumulator.sum_many(fulls, self.radix))
+        return acc, _sum_bounds_upper(bounds), n_certs, len(fulls)
+
+    def reduce(self, values: Sequence[bytes]) -> bytes:
+        acc, bound, certs, fulls = self._split_payloads(values)
+        header = _COMPOSITE.pack(_COMPOSITE_MAGIC, bound, certs, fulls)
+        return header + acc.to_bytes()
+
+    def postprocess(self, values: Sequence[bytes]) -> float:
+        accs = []
+        bounds = []
+        certs = 0
+        fulls = 0
+        for payload in values:
+            if payload[:4] != _COMPOSITE_MAGIC:
+                raise ValueError("unexpected adaptive reduce payload")
+            _, bound, c, f = _COMPOSITE.unpack_from(payload, 0)
+            bounds.append(bound)
+            certs += int(c)
+            fulls += int(f)
+            accs.append(SparseSuperaccumulator.from_bytes(payload[_COMPOSITE.size :]))
+        acc = SparseSuperaccumulator.sum_many(accs, self.radix)
+        bound_total = _sum_bounds_upper(bounds)
+        y = acc.to_float(self.mode)
+        margin = self._certify(acc, y, bound_total)
+        self.tier_counts = {
+            "tier0_hits": certs,
+            "escalations": fulls,
+            "tier2_folds": 1 if fulls else 0,
+            "certificate_margin_bits": margin,
+        }
+        return y
+
+    @staticmethod
+    def _certify(acc: SparseSuperaccumulator, y: float, bound_total: float) -> float:
+        """Global certificate: prove ``y`` is the correctly rounded sum.
+
+        Returns the margin (doublings the bound could survive), raising
+        :class:`CertificationError` when the proof fails. ``bound_total
+        == 0`` means every payload was exact — nothing to prove.
+        """
+        if bound_total == 0.0:
+            return math.inf
+        lo = math.nextafter(y, -math.inf)
+        hi = math.nextafter(y, math.inf)
+        if not (math.isfinite(y) and math.isfinite(lo) and math.isfinite(hi)):
+            raise CertificationError(
+                "certified sum at the edge of the float range; rerun exactly"
+            )
+        retained = acc.to_fraction()
+        bound = Fraction(bound_total)
+        yf = Fraction(y)
+        gap_lo = (retained - bound) - (yf + Fraction(lo)) / 2
+        gap_hi = (yf + Fraction(hi)) / 2 - (retained + bound)
+        if gap_lo <= 0 or gap_hi <= 0:
+            raise CertificationError(
+                "certificate mass reaches a rounding-cell boundary; rerun exactly"
+            )
+        half_cell = Fraction(math.ulp(y)) / 2
+        return math.log2(float(half_cell / bound)) if half_cell > bound else 0.0
 
 
 class SparseSuperaccumulatorJob(MapReduceJob):

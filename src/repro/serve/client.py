@@ -83,6 +83,19 @@ class _ClientBase:
         resp = await self.request("add_block", stream=stream, block=block)
         return int(resp["added"])
 
+    async def sum_values(
+        self, values: Iterable[float], mode: str = "nearest"
+    ) -> Dict[str, Any]:
+        """Stateless one-shot exact sum (adaptive tier ladder).
+
+        Returns the full response dict — ``value``, ``hex``, ``count``,
+        plus the tier telemetry (``tier``, ``escalations``,
+        ``margin_bits``) for callers that want the decision trail.
+        """
+        return await self.request(
+            "sum", values=[float(v) for v in values], mode=mode
+        )
+
     # -- snapshot reads --------------------------------------------------
 
     async def value(self, stream: str, mode: str = "nearest") -> float:

@@ -17,6 +17,8 @@ import time
 from collections import Counter
 from typing import Any, Dict, List
 
+from repro.adaptive import TierCounters
+
 __all__ = ["LatencyReservoir", "ServiceMetrics"]
 
 
@@ -62,6 +64,10 @@ class ServiceMetrics:
         self.queue_rejections = 0
         self.queue_depth_peak = 0
         self.latency = LatencyReservoir(reservoir_size)
+        #: Adaptive-engine tier decisions (tier0 hits, escalations,
+        #: certificate margins). The service's AdaptiveFolder and every
+        #: shard's fold path write into this shared tally.
+        self.tiering = TierCounters()
 
     # -- recording hooks -------------------------------------------------
 
@@ -104,4 +110,5 @@ class ServiceMetrics:
             "queue_depth_peak": self.queue_depth_peak,
             "latency_p50_ms": self.latency.percentile(50) * 1e3,
             "latency_p99_ms": self.latency.percentile(99) * 1e3,
+            "tiering": self.tiering.as_dict(),
         }

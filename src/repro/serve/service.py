@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -47,6 +48,7 @@ from repro.errors import (
     ReproError,
     ServiceError,
 )
+from repro.adaptive import AdaptiveFolder
 from repro.mapreduce.dataplane import BlockRef, resolve_block
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.protocol import (
@@ -113,10 +115,15 @@ class ReproService:
             )
             for i in range(self.config.shards)
         ]
+        # Stateless one-shot sums (`sum` op) run the full tier ladder;
+        # tier decisions land in the shared metrics tally alongside the
+        # shards' fold accounting.
+        self._folder = AdaptiveFolder(radix=radix, counters=self.metrics.tiering)
         self._rr = 0
         self._started = False
         self._ops: Dict[str, Callable[[Dict[str, Any]], Awaitable[Dict[str, Any]]]] = {
             "ping": self._op_ping,
+            "sum": self._op_sum,
             "add": self._op_add,
             "add_array": self._op_add_array,
             "add_block": self._op_add_block,
@@ -242,6 +249,33 @@ class ReproService:
             raise ServiceError(f"'values' is not a float array: {exc}") from exc
         check_finite_array(arr)
         return arr
+
+    async def _op_sum(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Stateless one-shot exact sum through the adaptive tier ladder.
+
+        No stream is touched: the request's values are summed with
+        :meth:`AdaptiveFolder.sum` and the correctly rounded result is
+        returned along with the tier that proved it. This is the
+        request-scoped fast path — well-conditioned payloads are served
+        by the Tier-0 certificate at a fraction of a fold's cost.
+        """
+        if "values" not in request:
+            raise ServiceError("sum needs a 'values' field")
+        mode = request.get("mode", "nearest")
+        if mode not in ("nearest", "down", "up", "zero"):
+            raise ValueError(f"unknown rounding mode {mode!r}")
+        arr = self._validated_array(request["values"])
+        result = self._folder.sum(arr, mode=mode)
+        return {
+            "value": result.value,
+            "hex": result.value.hex(),
+            "count": result.n,
+            "tier": result.tier,
+            "escalations": result.escalations,
+            "margin_bits": (
+                result.margin_bits if math.isfinite(result.margin_bits) else None
+            ),
+        }
 
     async def _op_add(self, request: Dict[str, Any]) -> Dict[str, Any]:
         stream = _require_stream(request)

@@ -36,6 +36,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.adaptive import AdaptiveFolder
 from repro.core.digits import DEFAULT_RADIX, RadixConfig
 from repro.errors import BackpressureError
 from repro.serve.metrics import ServiceMetrics
@@ -93,6 +94,11 @@ class AccumulatorShard:
         self._queue: "asyncio.Queue[Any]" = asyncio.Queue(maxsize=queue_depth)
         self._task: Optional["asyncio.Task[None]"] = None
         self._streams: Dict[str, ExactRunningSum] = {}
+        # Folds route through the adaptive engine's folder so tier
+        # telemetry lands in the shared ServiceMetrics tally; stateful
+        # streams always take the exact bulk path (counted as Tier-2
+        # folds), the certifying tiers serve the stateless `sum` op.
+        self._folder = AdaptiveFolder(radix=radix, counters=self.metrics.tiering)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -199,7 +205,7 @@ class AccumulatorShard:
                 rs = self._streams.get(stream)
                 if rs is None:
                     rs = self._streams[stream] = ExactRunningSum(self.radix)
-                rs.add_array(merged)
+                self._folder.fold_into(rs, merged)
             except Exception as exc:  # defensive: inputs are pre-validated
                 for op in ops:
                     if not op.future.cancelled():

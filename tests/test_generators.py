@@ -37,6 +37,10 @@ class TestCommon:
         if dist == "anderson":
             # mean subtraction collapses the range regardless of delta
             assert exponent_span(wide) < 80
+        elif dist == "tie":
+            # the half-ulp tie term sits ~53+depth bits below the anchor
+            assert exponent_span(narrow) >= 53
+            assert exponent_span(wide) > 500
         else:
             assert exponent_span(narrow) <= 12
             assert exponent_span(wide) > 500

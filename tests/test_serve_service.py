@@ -406,3 +406,53 @@ def test_exact_sum_agrees_with_core(rng):
     # anchor: the service's ground truth really is core.exact_sum
     x = random_hard_array(rng, 1000)
     assert ref_sum(x) == exact_sum(x)
+
+
+class TestTieringTelemetry:
+    """The adaptive tier ladder's counters must move with real traffic."""
+
+    def test_stateless_sum_bumps_tier0(self, rng):
+        async def main():
+            service = await make_service(shards=2)
+            client = InProcessClient(service)
+            before = (await client.stats())["tiering"]["tier0_hits"]
+            x = rng.random(4096) + 1.0
+            resp = await client.sum_values(x)
+            assert resp["value"] == ref_sum(x)
+            assert resp["tier"] == 0
+            # None encodes an infinite margin (exact capture, beta == 0)
+            assert resp["margin_bits"] is None or resp["margin_bits"] > 0
+            after = (await client.stats())["tiering"]["tier0_hits"]
+            assert after == before + 1
+            await service.close()
+
+        run(main())
+
+    def test_adversarial_sum_counts_escalation(self, rng):
+        async def main():
+            service = await make_service(shards=2)
+            client = InProcessClient(service)
+            x = rng.random(2048)
+            y = np.concatenate([x * 2.0**90, -(x * 2.0**90), rng.random(64)])
+            rng.shuffle(y)
+            resp = await client.sum_values(y)
+            assert resp["value"] == ref_sum(y)
+            assert resp["tier"] > 0
+            snap = (await client.stats())["tiering"]
+            assert snap["escalations"] >= 1
+            await service.close()
+
+        run(main())
+
+    def test_stream_folds_count_tier2(self, rng):
+        async def main():
+            service = await make_service(shards=2)
+            client = InProcessClient(service)
+            x = random_hard_array(rng, 3000)
+            await client.add_array("t", x)
+            assert await client.value("t") == ref_sum(x)
+            snap = (await client.stats())["tiering"]
+            assert snap["tier2_folds"] >= 1
+            await service.close()
+
+        run(main())

@@ -199,3 +199,44 @@ class TestAlternateRadix:
         for v in [1e16, 1.0, -1e16, 0.5]:
             acc = acc.add_float(v)
         assert acc.to_float() == 1.5
+
+
+class TestFromFloatVectorizedRouting:
+    """Pin the leaf conversion to the vectorized single-element split."""
+
+    @pytest.mark.parametrize(
+        "x",
+        [0.0, -0.0, 1.0, -1.0, 0.1, 2.0**-1074, -2.0**-1074, 1.7e308,
+         math.pi * 2.0**300, -math.pi * 2.0**-300],
+    )
+    def test_vectorized_matches_scalar_split(self, x):
+        fast = SparseSuperaccumulator.from_float(x)
+        # w = 32 exceeds MAX_VECTOR_W, forcing the scalar big-int path
+        slow = SparseSuperaccumulator.from_float(x, RadixConfig(32))
+        assert fast.to_fraction() == slow.to_fraction() == Fraction(x)
+
+    def test_vectorized_path_is_taken(self, monkeypatch):
+        import repro.core.sparse as sparse_mod
+
+        calls = []
+        real = sparse_mod.split_floats_vec
+
+        def spy(arr, radix):
+            calls.append(arr.size)
+            return real(arr, radix)
+
+        monkeypatch.setattr(sparse_mod, "split_floats_vec", spy)
+        acc = SparseSuperaccumulator.from_float(3.75)
+        assert calls == [1]
+        assert acc.to_fraction() == Fraction(3.75)
+
+    @pytest.mark.parametrize("bad", [math.inf, -math.inf, math.nan])
+    def test_non_finite_rejected(self, bad):
+        from repro.errors import NonFiniteInputError
+
+        with pytest.raises(NonFiniteInputError):
+            SparseSuperaccumulator.from_float(bad)
+
+    def test_random_floats_round_trip(self, rng):
+        for x in random_hard_array(rng, 200):
+            assert SparseSuperaccumulator.from_float(float(x)).to_float() == float(x)
