@@ -14,6 +14,16 @@ Quick start::
 
     x = np.array([1e16, 1.0, -1e16])
     assert exact_sum(x) == 1.0          # float(np.sum(x)) would be 0.0
+
+Every execution plane (serial, streaming, serving, MapReduce, external
+memory, BSP, PRAM) consumes the same kernel protocol::
+
+    from repro.kernels import get_kernel, kernel_sum
+    from repro.plan import DataDescriptor, plan_sum
+
+    total = kernel_sum(get_kernel("adaptive"), [x])   # fold/combine/round
+    plan = plan_sum(DataDescriptor.describe_array(x)) # plane x kernel x tier
+    assert plan.execute() == total == 1.0
 """
 
 from repro.core import (

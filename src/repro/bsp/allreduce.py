@@ -3,24 +3,31 @@
 The deployment shape for MPI codes: each rank holds a block of the
 data; ``exact_allreduce_sum`` gives **every** rank the bit-identical
 correctly rounded global sum in ``O(log P)`` supersteps, by exchanging
-serialized sparse superaccumulators through a recursive-doubling
-butterfly. Because superaccumulator merging is exact and carry-free,
-the result is independent of the communication schedule — the
-reproducibility property plain float allreduce lacks (and the reason
-MPI_SUM results differ across topologies).
+wire-framed kernel partials through a recursive-doubling butterfly.
+Because kernel combining is exact and carry-free (or certified, for the
+speculative kernels), the result is independent of the communication
+schedule — the reproducibility property plain float allreduce lacks
+(and the reason MPI_SUM results differ across topologies).
+
+The collective is a kernel schedule: any registered
+:class:`~repro.kernels.base.SumKernel` supplies fold/combine/round and
+the wire format its partials cross the network in. A speculative
+kernel whose final certification fails on any rank triggers one exact
+rerun of the whole collective — extra supersteps, never a wrong bit.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.bsp.simulator import BSPMachine, Rank
 from repro.core.digits import DEFAULT_RADIX, RadixConfig
-from repro.core.sparse import SparseSuperaccumulator
+from repro.errors import CertificationError
+from repro.kernels import SumKernel, get_kernel
 
 __all__ = ["exact_allreduce_sum", "AllreduceResult"]
 
@@ -48,6 +55,7 @@ def exact_allreduce_sum(
     *,
     radix: RadixConfig = DEFAULT_RADIX,
     mode: str = "nearest",
+    kernel: Optional[SumKernel] = None,
 ) -> AllreduceResult:
     """All ranks obtain the correctly rounded sum of all blocks.
 
@@ -55,6 +63,8 @@ def exact_allreduce_sum(
         blocks: ``blocks[r]`` is rank ``r``'s local data (any sizes,
             empty allowed). ``P = len(blocks)`` need not be a power of
             two — the butterfly masks out absent partners.
+        kernel: the :class:`~repro.kernels.base.SumKernel` whose
+            partials cross the network (default ``"sparse"``).
 
     Recursive doubling: at round ``k`` rank ``r`` exchanges its current
     accumulator with rank ``r XOR 2**k`` (when that rank exists) and
@@ -67,21 +77,10 @@ def exact_allreduce_sum(
     p = len(blocks)
     if p == 0:
         raise ValueError("need at least one rank")
-    rounds = max(1, math.ceil(math.log2(p))) if p > 1 else 0
-    machine = BSPMachine(p)
-
-    def program(rank: Rank):
-        acc = SparseSuperaccumulator.from_floats(
-            np.asarray(blocks[rank.rank], dtype=np.float64), radix
-        )
-        for k in range(rounds):
-            partner = rank.rank ^ (1 << k)
-            if partner < rank.size:
-                rank.send(partner, acc.to_bytes())
-            yield  # superstep barrier
-            for _src, payload in rank.recv_all():
-                acc = acc.add(SparseSuperaccumulator.from_bytes(payload))
-        return acc.to_float(mode)
+    if kernel is None:
+        kernel = get_kernel("sparse", radix=radix)
+    if mode != "nearest" and not kernel.exact:
+        kernel = kernel.exact_variant()
 
     # With non-power-of-two P the plain butterfly double-counts: route
     # through a power-of-two-folded schedule instead — ranks beyond the
@@ -89,7 +88,46 @@ def exact_allreduce_sum(
     # runs on the folded power of two, then results fan back out.
     fold = 1 << (p.bit_length() - 1)  # largest power of two <= p
     if p > 1 and fold != p:
-        return _allreduce_folded(blocks, p, fold, radix, mode)
+        return _run_certified(
+            lambda k: _allreduce_folded(blocks, p, fold, mode, k), kernel
+        )
+    return _run_certified(
+        lambda k: _allreduce_butterfly(blocks, p, mode, k), kernel
+    )
+
+
+def _run_certified(collective, kernel: SumKernel) -> AllreduceResult:
+    """Run the collective; on a failed certificate, rerun exactly.
+
+    Speculation can cost a second collective, never a wrong bit; the
+    result reports the (exact) rerun's schedule.
+    """
+    try:
+        return collective(kernel)
+    except CertificationError:
+        return collective(kernel.exact_variant())
+
+
+def _allreduce_butterfly(
+    blocks: Sequence[np.ndarray],
+    p: int,
+    mode: str,
+    kernel: SumKernel,
+) -> AllreduceResult:
+    """Power-of-two recursive-doubling schedule."""
+    rounds = max(1, math.ceil(math.log2(p))) if p > 1 else 0
+    machine = BSPMachine(p)
+
+    def program(rank: Rank):
+        acc = kernel.fold(np.asarray(blocks[rank.rank], dtype=np.float64))
+        for k in range(rounds):
+            partner = rank.rank ^ (1 << k)
+            if partner < rank.size:
+                rank.send(partner, kernel.to_wire(acc))
+            yield  # superstep barrier
+            for _src, payload in rank.recv_all():
+                acc = kernel.combine(acc, kernel.from_wire(payload))
+        return kernel.round(acc, mode)
 
     values = machine.run(program)
     return AllreduceResult(
@@ -104,43 +142,41 @@ def _allreduce_folded(
     blocks: Sequence[np.ndarray],
     p: int,
     fold: int,
-    radix: RadixConfig,
     mode: str,
+    kernel: SumKernel,
 ) -> AllreduceResult:
     """Non-power-of-two schedule: fold extras in, butterfly, fan out."""
     rounds = max(1, math.ceil(math.log2(fold)))
     machine = BSPMachine(p)
 
     def program(rank: Rank):
-        acc = SparseSuperaccumulator.from_floats(
-            np.asarray(blocks[rank.rank], dtype=np.float64), radix
-        )
+        acc = kernel.fold(np.asarray(blocks[rank.rank], dtype=np.float64))
         r = rank.rank
         # fold-in step
         if r >= fold:
-            rank.send(r - fold, acc.to_bytes())
+            rank.send(r - fold, kernel.to_wire(acc))
         yield
         if r < fold:
             for _src, payload in rank.recv_all():
-                acc = acc.add(SparseSuperaccumulator.from_bytes(payload))
+                acc = kernel.combine(acc, kernel.from_wire(payload))
             for k in range(rounds):
                 partner = r ^ (1 << k)
-                rank.send(partner, acc.to_bytes())
+                rank.send(partner, kernel.to_wire(acc))
                 yield
                 for _src, payload in rank.recv_all():
-                    acc = acc.add(SparseSuperaccumulator.from_bytes(payload))
+                    acc = kernel.combine(acc, kernel.from_wire(payload))
             # fan-out to the folded-away partner
             if r + fold < rank.size:
-                rank.send(r + fold, acc.to_bytes())
+                rank.send(r + fold, kernel.to_wire(acc))
             yield
-            return acc.to_float(mode)
+            return kernel.round(acc, mode)
         # folded-away ranks idle through the butterfly, then receive
         for _ in range(rounds):
             yield
         yield
         msgs = rank.recv_all()
-        final = SparseSuperaccumulator.from_bytes(msgs[-1][1])
-        return final.to_float(mode)
+        final = kernel.from_wire(msgs[-1][1])
+        return kernel.round(final, mode)
 
     values = machine.run(program)
     return AllreduceResult(

@@ -8,6 +8,8 @@ Commands:
   print the correctly rounded result (hex and decimal);
 * ``info`` — dataset diagnostics: n, exponent span, condition number,
   exact sum vs naive sum;
+* ``plan`` — show which execution plane / kernel / tier the backend
+  planner (:mod:`repro.plan`) would schedule for a given input shape;
 * ``serve`` — run the sharded exact-aggregation service
   (:mod:`repro.serve`) until SIGINT or a client ``shutdown`` op.
 
@@ -16,6 +18,7 @@ Example::
     python -m repro generate sumzero /tmp/d.f64 -n 1000000 --delta 500
     python -m repro sum /tmp/d.f64 --method mapreduce-sparse --workers 8
     python -m repro info /tmp/d.f64
+    python -m repro plan --file /tmp/d.f64 --workers 8
     python -m repro serve --port 8765 --shards 4 --state-path /tmp/state.json
 """
 
@@ -98,6 +101,36 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.plan import DataDescriptor, plan_sum
+
+    if (args.file is None) == (args.n is None):
+        print("plan: give exactly one of --file or --n", file=sys.stderr)
+        return 2
+    workers = args.workers or 1
+    if args.file is not None:
+        desc = DataDescriptor.describe_file(args.file, workers=workers)
+    else:
+        desc = DataDescriptor(n=args.n, layout="memory", workers=workers)
+    plan = plan_sum(desc, kernel=args.kernel, mode=args.mode)
+    info = plan.describe()
+    for key in ("plane", "kernel", "tier", "workers", "block_items", "n", "layout"):
+        print(f"{key:<12s}: {info[key]:,}" if isinstance(info[key], int)
+              else f"{key:<12s}: {info[key]}")
+    print(f"{'reason':<12s}: {info['reason']}")
+    if args.run:
+        if args.file is None:
+            print("plan: --run needs --file (no data for a size-only plan)",
+                  file=sys.stderr)
+            return 2
+        t0 = time.perf_counter()
+        result = plan.execute()
+        elapsed = time.perf_counter() - t0
+        print(f"{'sum':<12s}: {result!r}")
+        print(f"{'time':<12s}: {elapsed:.4f} s")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="exact floating-point summation toolkit"
@@ -123,6 +156,19 @@ def build_parser() -> argparse.ArgumentParser:
     i = sub.add_parser("info", help="dataset diagnostics")
     i.add_argument("path")
     i.set_defaults(fn=_cmd_info)
+
+    p = sub.add_parser("plan", help="show the backend planner's decision")
+    p.add_argument("--file", default=None, help="plan for a .f64 dataset file")
+    p.add_argument("--n", type=int, default=None,
+                   help="plan for an in-memory array of this size")
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--kernel", default=None,
+                   help="force a kernel (default: planner's choice)")
+    p.add_argument("--mode", default="nearest",
+                   help="rounding mode the plan must honor")
+    p.add_argument("--run", action="store_true",
+                   help="execute the plan (needs --file)")
+    p.set_defaults(fn=_cmd_plan)
 
     t = sub.add_parser("selftest", help="fast whole-install verification")
     t.set_defaults(fn=_cmd_selftest)

@@ -1,0 +1,496 @@
+"""The wire-format registry: every byte layout in one module.
+
+Every serialized object that crosses a process or machine boundary in
+this package — MapReduce shuffle payloads, BSP messages, service
+snapshots, streaming checkpoints, dataset files — is a *magic-tagged
+frame*: a 4-byte ASCII magic identifying the format, followed by a
+format-specific body. This module owns all of those layouts; nothing
+else in the package touches :mod:`struct`. (CI enforces that with a
+grep gate.)
+
+Registered frame formats:
+
+========  =================================================  =========
+magic     payload                                            producer
+========  =================================================  =========
+``SSUP``  sparse superaccumulator: w, count, indices,        kernels /
+          digits                                             shuffles
+``DSUP``  dense superaccumulator: w, base, nlimbs, limbs     kernels
+``ERSM``  running sum: count + embedded ``SSUP``             serve
+          (service snapshot format)                          snapshots
+``KSTR``  generic kernel stream: count + any embedded frame  serve
+``TSUP``  gamma-truncated sparse: gamma, drop accounting +   truncated
+          embedded ``SSUP``                                  kernel
+``ACRT``  adaptive certificate: (value, remainder, bound)    adaptive
+``ACMP``  adaptive composite: (bound, certs, fulls) +        adaptive
+          embedded ``SSUP``
+``RAWB``  raw float64 block (no-combiner ablation)           mapreduce
+``NF64``  one naive float (inexact control job)              mapreduce
+``F64D``  dataset file header: item count                    data/io
+========  =================================================  =========
+
+Decoders reject truncated payloads, wrong magics, and corrupt headers
+with :class:`~repro.errors.CodecError` (a ``ValueError``); embedded
+accumulator bodies are additionally structurally validated by their
+constructors. :func:`decode` dispatches any frame by its magic.
+
+The serve transport's length prefix (``LENGTH_PREFIX``) also lives
+here: it is the one non-magic layout, framing whole messages rather
+than encoding values, and is re-exported by :mod:`repro.serve.protocol`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import TYPE_CHECKING, Any, Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.core.digits import RadixConfig
+from repro.errors import CodecError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.sparse import SparseSuperaccumulator
+    from repro.core.superaccumulator import DenseSuperaccumulator
+
+__all__ = [
+    "MAGIC_SPARSE",
+    "MAGIC_DENSE",
+    "MAGIC_RUNNING",
+    "MAGIC_STREAM",
+    "MAGIC_TRUNCATED",
+    "MAGIC_CERT",
+    "MAGIC_COMPOSITE",
+    "MAGIC_RAW_BLOCK",
+    "MAGIC_FLOAT",
+    "MAGIC_DATASET",
+    "LENGTH_PREFIX",
+    "DATASET_HEADER_SIZE",
+    "peek_magic",
+    "decode",
+    "registered_formats",
+    "encode_sparse",
+    "decode_sparse",
+    "encode_dense",
+    "decode_dense",
+    "encode_running",
+    "decode_running",
+    "encode_stream",
+    "decode_stream",
+    "encode_truncated",
+    "decode_truncated",
+    "encode_cert",
+    "decode_cert",
+    "encode_composite",
+    "decode_composite",
+    "encode_raw_block",
+    "decode_raw_block",
+    "encode_float",
+    "decode_float",
+    "encode_dataset_header",
+    "decode_dataset_header",
+]
+
+MAGIC_SPARSE = b"SSUP"
+MAGIC_DENSE = b"DSUP"
+MAGIC_RUNNING = b"ERSM"
+MAGIC_STREAM = b"KSTR"
+MAGIC_TRUNCATED = b"TSUP"
+MAGIC_CERT = b"ACRT"
+MAGIC_COMPOSITE = b"ACMP"
+MAGIC_RAW_BLOCK = b"RAWB"
+MAGIC_FLOAT = b"NF64"
+MAGIC_DATASET = b"F64D"
+
+_SPARSE_HEADER = struct.Struct("<4sBq")  # magic, w, ncomponents
+_DENSE_HEADER = struct.Struct("<4sBqqq")  # magic, w, base_index, nlimbs, count
+_COUNT_HEADER = struct.Struct("<4sq")  # magic, count (ERSM / KSTR / F64D)
+_TRUNC_HEADER = struct.Struct("<4sqq?q")  # magic, gamma, drops, flag, max_idx
+_CERT_FRAME = struct.Struct("<4sddd")  # magic, value, remainder, bound
+_COMPOSITE_HEADER = struct.Struct("<4sdqq")  # magic, bound, certs, fulls
+_FLOAT_FRAME = struct.Struct("<4sd")  # magic, value
+
+#: Serve-transport frame length prefix (network byte order uint32).
+#: Message framing, not value encoding — but it is still a byte layout,
+#: so it lives here with the rest of them.
+LENGTH_PREFIX = struct.Struct("!I")
+
+#: Size in bytes of the ``.f64`` dataset file header.
+DATASET_HEADER_SIZE = _COUNT_HEADER.size
+
+
+def peek_magic(payload: bytes) -> bytes:
+    """First 4 bytes of a frame (its magic tag).
+
+    Raises:
+        CodecError: if the payload is shorter than a magic tag.
+    """
+    if len(payload) < 4:
+        raise CodecError(
+            f"frame truncated: {len(payload)} bytes is shorter than a magic tag"
+        )
+    return bytes(payload[:4])
+
+
+def _check_header(payload: bytes, header: struct.Struct, what: str) -> None:
+    if len(payload) < header.size:
+        raise CodecError(
+            f"{what} payload truncated: "
+            f"{len(payload)} bytes < {header.size}-byte header"
+        )
+
+
+def _radix_from_width(w: int) -> RadixConfig:
+    try:
+        return RadixConfig(w)
+    except ValueError as exc:
+        raise CodecError(f"corrupt header: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# SSUP — sparse superaccumulator
+# ----------------------------------------------------------------------
+
+
+def encode_sparse(acc: "SparseSuperaccumulator") -> bytes:
+    """``SSUP`` frame: header + indices + digits, little endian."""
+    header = _SPARSE_HEADER.pack(MAGIC_SPARSE, acc.radix.w, acc.indices.size)
+    return (
+        header
+        + acc.indices.astype("<i8").tobytes()
+        + acc.digits.astype("<i8").tobytes()
+    )
+
+
+def decode_sparse(payload: bytes) -> "SparseSuperaccumulator":
+    """Inverse of :func:`encode_sparse`.
+
+    Raises:
+        CodecError: wrong magic, truncated or oversized body, invalid
+            digit width.
+        RepresentationError: decoded components violate the regularized
+            representation (also a ``ValueError``).
+    """
+    from repro.core.sparse import SparseSuperaccumulator
+
+    _check_header(payload, _SPARSE_HEADER, "SparseSuperaccumulator")
+    magic, w, count = _SPARSE_HEADER.unpack_from(payload, 0)
+    if magic != MAGIC_SPARSE:
+        raise CodecError("not a SparseSuperaccumulator payload")
+    if count < 0:
+        raise CodecError(f"corrupt header: negative component count {count}")
+    expected = _SPARSE_HEADER.size + 16 * count
+    if len(payload) != expected:
+        raise CodecError(
+            f"SparseSuperaccumulator payload length mismatch: "
+            f"expected {expected} bytes for {count} components, "
+            f"got {len(payload)}"
+        )
+    radix = _radix_from_width(w)
+    off = _SPARSE_HEADER.size
+    idx = np.frombuffer(payload, dtype="<i8", count=count, offset=off)
+    off += 8 * count
+    dig = np.frombuffer(payload, dtype="<i8", count=count, offset=off)
+    # Full structural validation (sorted indices, regularized digits):
+    # RepresentationError is a ValueError subclass, so corrupted bodies
+    # fail as cleanly as corrupted headers.
+    return SparseSuperaccumulator(radix, idx.astype(np.int64), dig.astype(np.int64))
+
+
+# ----------------------------------------------------------------------
+# DSUP — dense superaccumulator
+# ----------------------------------------------------------------------
+
+
+def encode_dense(acc: "DenseSuperaccumulator") -> bytes:
+    """``DSUP`` frame: header + raw little-endian limbs.
+
+    The accumulator must already be renormalized (callers' ``to_bytes``
+    does that) so observable wire state is always regularized.
+    """
+    header = _DENSE_HEADER.pack(
+        MAGIC_DENSE, acc.radix.w, acc.base_index, len(acc.limbs), 1
+    )
+    return header + acc.limbs.astype("<i8").tobytes()
+
+
+def decode_dense(payload: bytes) -> "DenseSuperaccumulator":
+    """Inverse of :func:`encode_dense` (always a dense accumulator).
+
+    Raises:
+        CodecError: wrong magic, truncated or oversized body, invalid
+            digit width.
+    """
+    from repro.core.superaccumulator import DenseSuperaccumulator
+
+    _check_header(payload, _DENSE_HEADER, "DenseSuperaccumulator")
+    magic, w, base, nlimbs, _count = _DENSE_HEADER.unpack_from(payload, 0)
+    if magic != MAGIC_DENSE:
+        raise CodecError("not a DenseSuperaccumulator payload")
+    if nlimbs < 0:
+        raise CodecError(f"corrupt header: negative limb count {nlimbs}")
+    expected = _DENSE_HEADER.size + 8 * nlimbs
+    if len(payload) != expected:
+        raise CodecError(
+            f"DenseSuperaccumulator payload length mismatch: "
+            f"expected {expected} bytes for {nlimbs} limbs, "
+            f"got {len(payload)}"
+        )
+    radix = _radix_from_width(w)
+    acc = DenseSuperaccumulator(radix, base_index=base, nlimbs=nlimbs)
+    acc.limbs[:] = np.frombuffer(
+        payload, dtype="<i8", count=nlimbs, offset=_DENSE_HEADER.size
+    )
+    return acc
+
+
+# ----------------------------------------------------------------------
+# ERSM / KSTR — counted streams (running sums, generic kernel streams)
+# ----------------------------------------------------------------------
+
+
+def encode_running(count: int, acc: "SparseSuperaccumulator") -> bytes:
+    """``ERSM`` frame: count + embedded ``SSUP`` (service snapshots)."""
+    return _COUNT_HEADER.pack(MAGIC_RUNNING, count) + encode_sparse(acc)
+
+
+def decode_running(payload: bytes) -> Tuple[int, "SparseSuperaccumulator"]:
+    """Inverse of :func:`encode_running`; returns ``(count, acc)``.
+
+    Raises:
+        CodecError: wrong magic, truncated header, negative count, or a
+            corrupt embedded accumulator.
+    """
+    _check_header(payload, _COUNT_HEADER, "ExactRunningSum")
+    magic, count = _COUNT_HEADER.unpack_from(payload, 0)
+    if magic != MAGIC_RUNNING:
+        raise CodecError("not an ExactRunningSum payload")
+    if count < 0:
+        raise CodecError(f"corrupt header: negative count {count}")
+    return int(count), decode_sparse(payload[_COUNT_HEADER.size :])
+
+
+def encode_stream(count: int, inner: bytes) -> bytes:
+    """``KSTR`` frame: count + any embedded kernel partial frame."""
+    return _COUNT_HEADER.pack(MAGIC_STREAM, count) + inner
+
+
+def decode_stream(payload: bytes) -> Tuple[int, bytes]:
+    """Inverse of :func:`encode_stream`; returns ``(count, inner)``."""
+    _check_header(payload, _COUNT_HEADER, "kernel stream")
+    magic, count = _COUNT_HEADER.unpack_from(payload, 0)
+    if magic != MAGIC_STREAM:
+        raise CodecError("not a kernel stream payload")
+    if count < 0:
+        raise CodecError(f"corrupt header: negative count {count}")
+    inner = payload[_COUNT_HEADER.size :]
+    # The embedded frame must itself decode: a stream snapshot whose
+    # body was clipped is corrupt, not a shorter snapshot.
+    decode(inner)
+    return int(count), inner
+
+
+# ----------------------------------------------------------------------
+# TSUP — gamma-truncated sparse superaccumulator
+# ----------------------------------------------------------------------
+
+
+def encode_truncated(
+    gamma: int,
+    drop_count: int,
+    truncated: bool,
+    max_dropped_index: int,
+    acc: "SparseSuperaccumulator",
+) -> bytes:
+    """``TSUP`` frame: truncation accounting + embedded ``SSUP``.
+
+    ``max_dropped_index`` is meaningful only when ``drop_count > 0``
+    (encode 0 otherwise).
+    """
+    header = _TRUNC_HEADER.pack(
+        MAGIC_TRUNCATED, gamma, drop_count, truncated, max_dropped_index
+    )
+    return header + encode_sparse(acc)
+
+
+def decode_truncated(
+    payload: bytes,
+) -> Tuple[int, int, bool, int, "SparseSuperaccumulator"]:
+    """Inverse of :func:`encode_truncated`.
+
+    Returns ``(gamma, drop_count, truncated, max_dropped_index, acc)``.
+    """
+    _check_header(payload, _TRUNC_HEADER, "TruncatedSparseSuperaccumulator")
+    magic, gamma, drops, truncated, max_idx = _TRUNC_HEADER.unpack_from(payload, 0)
+    if magic != MAGIC_TRUNCATED:
+        raise CodecError("not a TruncatedSparseSuperaccumulator payload")
+    if gamma < 1:
+        raise CodecError(f"corrupt header: gamma {gamma} must be >= 1")
+    if drops < 0:
+        raise CodecError(f"corrupt header: negative drop count {drops}")
+    acc = decode_sparse(payload[_TRUNC_HEADER.size :])
+    return int(gamma), int(drops), bool(truncated), int(max_idx), acc
+
+
+# ----------------------------------------------------------------------
+# ACRT / ACMP — adaptive certificates and composites
+# ----------------------------------------------------------------------
+
+
+def encode_cert(value: float, remainder: float, bound: float) -> bytes:
+    """``ACRT`` frame: one Tier-0-certified block, 32 bytes.
+
+    ``value + remainder`` is within ``bound`` of the exact block sum;
+    value and remainder are exact floats the reducer folds losslessly,
+    only ``bound`` carries uncertainty.
+    """
+    return _CERT_FRAME.pack(MAGIC_CERT, value, remainder, bound)
+
+
+def decode_cert(payload: bytes) -> Tuple[float, float, float]:
+    """Inverse of :func:`encode_cert`: ``(value, remainder, bound)``."""
+    _check_header(payload, _CERT_FRAME, "adaptive certificate")
+    magic, value, remainder, bound = _CERT_FRAME.unpack_from(payload, 0)
+    if magic != MAGIC_CERT:
+        raise CodecError("not an adaptive certificate payload")
+    if len(payload) != _CERT_FRAME.size:
+        raise CodecError(
+            f"adaptive certificate payload length mismatch: "
+            f"expected {_CERT_FRAME.size} bytes, got {len(payload)}"
+        )
+    if not bound >= 0.0:  # also rejects NaN
+        raise CodecError(f"corrupt certificate: negative or NaN bound {bound!r}")
+    return float(value), float(remainder), float(bound)
+
+
+def encode_composite(
+    bound: float, certs: int, fulls: int, acc: "SparseSuperaccumulator"
+) -> bytes:
+    """``ACMP`` frame: (bound, cert/full block counts) + embedded ``SSUP``."""
+    header = _COMPOSITE_HEADER.pack(MAGIC_COMPOSITE, bound, certs, fulls)
+    return header + encode_sparse(acc)
+
+
+def decode_composite(
+    payload: bytes,
+) -> Tuple[float, int, int, "SparseSuperaccumulator"]:
+    """Inverse of :func:`encode_composite`: ``(bound, certs, fulls, acc)``."""
+    _check_header(payload, _COMPOSITE_HEADER, "adaptive composite")
+    magic, bound, certs, fulls = _COMPOSITE_HEADER.unpack_from(payload, 0)
+    if magic != MAGIC_COMPOSITE:
+        raise CodecError("not an adaptive composite payload")
+    if certs < 0 or fulls < 0:
+        raise CodecError(
+            f"corrupt header: negative block counts ({certs}, {fulls})"
+        )
+    if not bound >= 0.0:
+        raise CodecError(f"corrupt composite: negative or NaN bound {bound!r}")
+    acc = decode_sparse(payload[_COMPOSITE_HEADER.size :])
+    return float(bound), int(certs), int(fulls), acc
+
+
+# ----------------------------------------------------------------------
+# RAWB / NF64 — raw blocks and naive floats (control jobs)
+# ----------------------------------------------------------------------
+
+
+def encode_raw_block(block: np.ndarray) -> bytes:
+    """``RAWB`` frame: magic + raw little-endian float64 payload."""
+    return MAGIC_RAW_BLOCK + np.ascontiguousarray(block, dtype="<f8").tobytes()
+
+
+def decode_raw_block(payload: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_raw_block` (read-only view)."""
+    if peek_magic(payload) != MAGIC_RAW_BLOCK:
+        raise CodecError("not a raw block payload")
+    if (len(payload) - 4) % 8:
+        raise CodecError(
+            f"raw block payload length mismatch: {len(payload) - 4} "
+            f"body bytes is not a whole number of float64s"
+        )
+    return np.frombuffer(payload, dtype="<f8", offset=4)
+
+
+def encode_float(value: float) -> bytes:
+    """``NF64`` frame: one float64 (the naive control job's payload)."""
+    return _FLOAT_FRAME.pack(MAGIC_FLOAT, value)
+
+
+def decode_float(payload: bytes) -> float:
+    """Inverse of :func:`encode_float`."""
+    _check_header(payload, _FLOAT_FRAME, "naive float")
+    magic, value = _FLOAT_FRAME.unpack_from(payload, 0)
+    if magic != MAGIC_FLOAT:
+        raise CodecError("not a naive float payload")
+    if len(payload) != _FLOAT_FRAME.size:
+        raise CodecError(
+            f"naive float payload length mismatch: "
+            f"expected {_FLOAT_FRAME.size} bytes, got {len(payload)}"
+        )
+    return float(value)
+
+
+# ----------------------------------------------------------------------
+# F64D — dataset file header
+# ----------------------------------------------------------------------
+
+
+def encode_dataset_header(count: int) -> bytes:
+    """``F64D`` dataset file header: magic + int64 item count."""
+    return _COUNT_HEADER.pack(MAGIC_DATASET, count)
+
+
+def decode_dataset_header(raw: bytes) -> int:
+    """Item count from a ``.f64`` file header.
+
+    Raises:
+        CodecError: short read (truncated file), wrong magic, or a
+            negative count.
+    """
+    if len(raw) < _COUNT_HEADER.size:
+        raise CodecError(
+            f"dataset header truncated: {len(raw)} bytes "
+            f"< {_COUNT_HEADER.size}-byte header"
+        )
+    magic, count = _COUNT_HEADER.unpack_from(raw, 0)
+    if magic != MAGIC_DATASET:
+        raise CodecError("not a repro .f64 dataset file")
+    if count < 0:
+        raise CodecError(f"corrupt header: negative item count {count}")
+    return int(count)
+
+
+# ----------------------------------------------------------------------
+# the registry
+# ----------------------------------------------------------------------
+
+_DECODERS: Dict[bytes, Tuple[str, Callable[[bytes], Any]]] = {
+    MAGIC_SPARSE: ("sparse-superaccumulator", decode_sparse),
+    MAGIC_DENSE: ("dense-superaccumulator", decode_dense),
+    MAGIC_RUNNING: ("running-sum", decode_running),
+    MAGIC_STREAM: ("kernel-stream", decode_stream),
+    MAGIC_TRUNCATED: ("truncated-superaccumulator", decode_truncated),
+    MAGIC_CERT: ("adaptive-certificate", decode_cert),
+    MAGIC_COMPOSITE: ("adaptive-composite", decode_composite),
+    MAGIC_RAW_BLOCK: ("raw-block", decode_raw_block),
+    MAGIC_FLOAT: ("naive-float", decode_float),
+    MAGIC_DATASET: ("dataset-header", decode_dataset_header),
+}
+
+
+def registered_formats() -> Dict[bytes, str]:
+    """``{magic: format name}`` for every registered frame format."""
+    return {magic: name for magic, (name, _) in _DECODERS.items()}
+
+
+def decode(payload: bytes) -> Any:
+    """Decode any registered frame by its magic tag.
+
+    Raises:
+        CodecError: unknown magic or any format-level corruption.
+    """
+    magic = peek_magic(payload)
+    entry = _DECODERS.get(magic)
+    if entry is None:
+        raise CodecError(f"unknown frame magic {magic!r}")
+    return entry[1](payload)

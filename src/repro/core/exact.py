@@ -14,8 +14,6 @@ from typing import Iterable, Tuple
 import numpy as np
 
 from repro.core.digits import DEFAULT_RADIX, RadixConfig
-from repro.core.sparse import SparseSuperaccumulator
-from repro.core.superaccumulator import DenseSuperaccumulator, SmallSuperaccumulator
 from repro.util.validation import check_finite_array, ensure_float64_array
 
 __all__ = [
@@ -33,16 +31,15 @@ def _build(values: np.ndarray, method: str, radix: RadixConfig):
     # "adaptive"/"auto" land here only from the scaled/fraction paths
     # (which need the exact accumulator, not a rounded float) or for
     # non-nearest modes the certifying tiers cannot prove; the sparse
-    # representation is the exact workhorse in both cases.
-    if method in ("auto", "sparse", "adaptive"):
-        return SparseSuperaccumulator.from_floats(values, radix)
-    if method == "small":
-        acc = SmallSuperaccumulator(radix)
-        acc.add_array(values)
-        return acc
-    if method == "dense":
-        return DenseSuperaccumulator.from_array(values, radix)
-    raise ValueError(f"unknown method {method!r}; expected one of {_METHODS}")
+    # kernel is the exact workhorse in both cases. Construction goes
+    # through the kernel registry so this module holds no
+    # representation-specific build code of its own.
+    if method not in _METHODS:
+        raise ValueError(f"unknown method {method!r}; expected one of {_METHODS}")
+    from repro.kernels import get_kernel
+
+    name = "sparse" if method in ("auto", "adaptive") else method
+    return get_kernel(name, radix=radix).exact_variant().fold_exact(values)
 
 
 def exact_sum(
@@ -77,9 +74,22 @@ def exact_sum(
         from repro.adaptive import adaptive_sum
 
         return adaptive_sum(arr, radix=radix)
-    if method not in _METHODS:
-        raise ValueError(f"unknown method {method!r}; expected one of {_METHODS}")
-    return _build(arr, method, radix).to_float(mode)
+    if method in _METHODS:
+        return _build(arr, method, radix).to_float(mode)
+    # Any registered kernel name works as a method: one fold + round
+    # through the generic schedule (with escalation for speculative
+    # kernels), so new kernels are usable here without touching this
+    # module.
+    from repro.kernels import get_kernel, kernel_sum
+
+    try:
+        kernel = get_kernel(method, radix=radix)
+    except ValueError:
+        raise ValueError(
+            f"unknown method {method!r}; expected one of {_METHODS} "
+            f"or a registered kernel name"
+        ) from None
+    return kernel_sum(kernel, [arr], mode=mode)
 
 
 def exact_sum_scaled(

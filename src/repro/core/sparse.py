@@ -28,7 +28,6 @@ Two usage styles:
 from __future__ import annotations
 
 import math
-import struct
 from fractions import Fraction
 from typing import Iterable, Optional, Tuple
 
@@ -48,9 +47,6 @@ from repro.errors import NonFiniteInputError, RepresentationError
 from repro.util.validation import check_finite_array, ensure_float64_array
 
 __all__ = ["SparseSuperaccumulator"]
-
-_HEADER = struct.Struct("<4sBq")  # magic, w, ncomponents
-_MAGIC = b"SSUP"
 
 
 class SparseSuperaccumulator:
@@ -335,54 +331,24 @@ class SparseSuperaccumulator:
     # ------------------------------------------------------------------
 
     def to_bytes(self) -> bytes:
-        """Wire format: header + indices + digits, little endian."""
-        header = _HEADER.pack(_MAGIC, self.radix.w, self.indices.size)
-        return (
-            header
-            + self.indices.astype("<i8").tobytes()
-            + self.digits.astype("<i8").tobytes()
-        )
+        """``SSUP`` wire frame (see :func:`repro.codec.encode_sparse`)."""
+        from repro import codec
+
+        return codec.encode_sparse(self)
 
     @staticmethod
     def from_bytes(payload: bytes) -> "SparseSuperaccumulator":
         """Inverse of :meth:`to_bytes`.
 
         Raises:
-            ValueError: on malformed payloads — wrong magic, truncated
+            CodecError: on malformed payloads — wrong magic, truncated
                 or oversized body, invalid digit width, or decoded
                 components violating the regularized representation.
                 Shuffle payloads cross process boundaries, so
-                corruption must surface as a clean error, never a raw
+                corruption must surface as a clean error (a
+                ``ValueError`` subclass), never a raw
                 ``struct``/``frombuffer`` one.
         """
-        if len(payload) < _HEADER.size:
-            raise ValueError(
-                f"SparseSuperaccumulator payload truncated: "
-                f"{len(payload)} bytes < {_HEADER.size}-byte header"
-            )
-        magic, w, count = _HEADER.unpack_from(payload, 0)
-        if magic != _MAGIC:
-            raise ValueError("not a SparseSuperaccumulator payload")
-        if count < 0:
-            raise ValueError(f"corrupt header: negative component count {count}")
-        expected = _HEADER.size + 16 * count
-        if len(payload) != expected:
-            raise ValueError(
-                f"SparseSuperaccumulator payload length mismatch: "
-                f"expected {expected} bytes for {count} components, "
-                f"got {len(payload)}"
-            )
-        try:
-            radix = RadixConfig(w)
-        except ValueError as exc:
-            raise ValueError(f"corrupt header: {exc}") from exc
-        off = _HEADER.size
-        idx = np.frombuffer(payload, dtype="<i8", count=count, offset=off)
-        off += 8 * count
-        dig = np.frombuffer(payload, dtype="<i8", count=count, offset=off)
-        # Full structural validation (sorted indices, regularized
-        # digits): RepresentationError is a ValueError subclass, so
-        # corrupted bodies fail as cleanly as corrupted headers.
-        return SparseSuperaccumulator(
-            radix, idx.astype(np.int64), dig.astype(np.int64)
-        )
+        from repro import codec
+
+        return codec.decode_sparse(payload)

@@ -17,7 +17,6 @@ parameter delta, because the limb array never grows or shrinks.
 
 from __future__ import annotations
 
-import struct
 from fractions import Fraction
 from typing import Iterable, Optional, Tuple
 
@@ -44,9 +43,6 @@ __all__ = ["DenseSuperaccumulator", "SmallSuperaccumulator"]
 # before the *next* chunk could overflow.
 _CHUNK = 1 << 22  # elements per vectorized deposit chunk
 _NORM_BUDGET = (1 << 31) - _CHUNK * 4  # deposits allowed between norms
-
-_HEADER = struct.Struct("<4sBqqq")  # magic, w, base_index, nlimbs, count
-_MAGIC = b"DSUP"
 
 
 class DenseSuperaccumulator:
@@ -236,50 +232,27 @@ class DenseSuperaccumulator:
     # ------------------------------------------------------------------
 
     def to_bytes(self) -> bytes:
-        """Compact wire format: header + raw little-endian limbs."""
+        """``DSUP`` wire frame (see :func:`repro.codec.encode_dense`)."""
         self.renormalize()
-        header = _HEADER.pack(
-            _MAGIC, self.radix.w, self.base_index, len(self.limbs), 1
-        )
-        return header + self.limbs.astype("<i8").tobytes()
+        from repro import codec
+
+        return codec.encode_dense(self)
 
     @staticmethod
     def from_bytes(payload: bytes) -> "DenseSuperaccumulator":
         """Inverse of :meth:`to_bytes` (always a dense accumulator).
 
         Raises:
-            ValueError: on payloads that are not a well-formed wire
+            CodecError: on payloads that are not a well-formed wire
                 format — wrong magic, truncated or oversized body, or
                 an invalid digit width. Shuffle payloads cross process
                 boundaries, so corruption must surface as a clean
-                error, never a raw ``struct``/``frombuffer`` one.
+                error (a ``ValueError`` subclass), never a raw
+                ``struct``/``frombuffer`` one.
         """
-        if len(payload) < _HEADER.size:
-            raise ValueError(
-                f"DenseSuperaccumulator payload truncated: "
-                f"{len(payload)} bytes < {_HEADER.size}-byte header"
-            )
-        magic, w, base, nlimbs, _count = _HEADER.unpack_from(payload, 0)
-        if magic != _MAGIC:
-            raise ValueError("not a DenseSuperaccumulator payload")
-        if nlimbs < 0:
-            raise ValueError(f"corrupt header: negative limb count {nlimbs}")
-        expected = _HEADER.size + 8 * nlimbs
-        if len(payload) != expected:
-            raise ValueError(
-                f"DenseSuperaccumulator payload length mismatch: "
-                f"expected {expected} bytes for {nlimbs} limbs, "
-                f"got {len(payload)}"
-            )
-        try:
-            radix = RadixConfig(w)
-        except ValueError as exc:
-            raise ValueError(f"corrupt header: {exc}") from exc
-        acc = DenseSuperaccumulator(radix, base_index=base, nlimbs=nlimbs)
-        acc.limbs[:] = np.frombuffer(
-            payload, dtype="<i8", count=nlimbs, offset=_HEADER.size
-        )
-        return acc
+        from repro import codec
+
+        return codec.decode_dense(payload)
 
 
 class SmallSuperaccumulator(DenseSuperaccumulator):

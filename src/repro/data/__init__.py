@@ -10,7 +10,13 @@ from repro.data.generators import (
     generate_sum_zero,
     generate_well_conditioned,
 )
-from repro.data.io import dataset_len, iter_blocks, read_dataset, write_dataset
+from repro.data.io import (
+    dataset_len,
+    iter_blocks,
+    map_dataset,
+    read_dataset,
+    write_dataset,
+)
 
 __all__ = [
     "DISTRIBUTIONS",
@@ -23,6 +29,7 @@ __all__ = [
     "generate_well_conditioned",
     "dataset_len",
     "iter_blocks",
+    "map_dataset",
     "read_dataset",
     "write_dataset",
 ]

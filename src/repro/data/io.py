@@ -17,12 +17,12 @@ so a dataset larger than RAM never materializes anywhere.
 
 from __future__ import annotations
 
-import struct
 from pathlib import Path
 from typing import Iterator, List, Union
 
 import numpy as np
 
+from repro import codec
 from repro.util.validation import ensure_float64_array
 
 __all__ = [
@@ -34,26 +34,21 @@ __all__ = [
     "dataset_block_refs",
 ]
 
-_HEADER = struct.Struct("<4sq")
-_MAGIC = b"F64D"
-
-
 def write_dataset(path: Union[str, Path], values) -> int:
     """Write values as a ``.f64`` dataset file; returns the item count."""
     arr = ensure_float64_array(values)
     path = Path(path)
     with path.open("wb") as fh:
-        fh.write(_HEADER.pack(_MAGIC, arr.size))
+        fh.write(codec.encode_dataset_header(arr.size))
         fh.write(arr.astype("<f8").tobytes())
     return int(arr.size)
 
 
 def _read_header(fh) -> int:
-    raw = fh.read(_HEADER.size)
-    magic, count = _HEADER.unpack(raw)
-    if magic != _MAGIC:
-        raise ValueError("not a repro .f64 dataset file")
-    return count
+    # decode_dataset_header raises CodecError (a ValueError) on short
+    # reads and wrong magic alike — a clipped file can no longer leak a
+    # raw struct.error.
+    return codec.decode_dataset_header(fh.read(codec.DATASET_HEADER_SIZE))
 
 
 def dataset_len(path: Union[str, Path]) -> int:
@@ -79,7 +74,7 @@ def map_dataset(path: Union[str, Path]) -> np.ndarray:
     """
     path = Path(path)
     count = dataset_len(path)
-    return np.memmap(path, dtype="<f8", mode="r", offset=_HEADER.size, shape=(count,))
+    return np.memmap(path, dtype="<f8", mode="r", offset=codec.DATASET_HEADER_SIZE, shape=(count,))
 
 
 def dataset_block_refs(
@@ -104,7 +99,7 @@ def dataset_block_refs(
             BlockRef(
                 kind="mmap",
                 segment=str(path),
-                offset=_HEADER.size + start * 8,
+                offset=codec.DATASET_HEADER_SIZE + start * 8,
                 length=length,
             )
         )

@@ -8,6 +8,7 @@ __all__ = [
     "RepresentationError",
     "ModelViolationError",
     "CertificationError",
+    "CodecError",
     "EmptyStreamError",
     "ProtocolError",
     "BackpressureError",
@@ -51,6 +52,19 @@ class CertificationError(ReproError, ArithmeticError):
     the final global check, not to pin down the correctly rounded sum.
     Callers fall back to a fully exact job; the error therefore signals
     "redo exactly", never a wrong published result.
+    """
+
+
+class CodecError(ReproError, ValueError):
+    """A wire-format frame failed to decode.
+
+    Raised by :mod:`repro.codec` for truncated payloads, wrong or
+    unknown magic tags, and corrupt headers. Wire frames cross process
+    and machine boundaries (MapReduce shuffles, BSP messages, service
+    snapshots, dataset files), so malformed bytes must surface as this
+    clean typed error — never a raw ``struct.error`` or ``frombuffer``
+    traceback. Subclasses ``ValueError`` so pre-codec callers that
+    caught ``ValueError`` keep working.
     """
 
 

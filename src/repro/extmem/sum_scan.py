@@ -7,15 +7,24 @@ the accumulator's active components plus one input block, so running
 this with ``M < sigma(n)`` raises
 :class:`~repro.errors.ModelViolationError` — the exact boundary the
 theorem draws.
+
+The scan is a kernel schedule: any registered
+:class:`~repro.kernels.base.SumKernel` can supply fold/combine/round,
+with the kernel's ``width`` (the paper's sigma) charged against the
+memory budget. A speculative kernel whose certification fails at round
+time triggers one exact re-scan — extra I/Os, never a wrong bit.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.digits import DEFAULT_RADIX, RadixConfig
-from repro.core.sparse import SparseSuperaccumulator
+from repro.errors import CertificationError
 from repro.extmem.device import BlockDevice, IOStats
 from repro.extmem.ext_array import ExtArray
 from repro.extmem.sum_sort import ExtMemSumResult
+from repro.kernels import SumKernel, get_kernel
 
 __all__ = ["extmem_sum_scan"]
 
@@ -26,6 +35,7 @@ def extmem_sum_scan(
     *,
     radix: RadixConfig = DEFAULT_RADIX,
     mode: str = "nearest",
+    kernel: Optional[SumKernel] = None,
 ) -> ExtMemSumResult:
     """Correctly rounded sum of a float64 file in one scan (Theorem 6).
 
@@ -36,27 +46,38 @@ def extmem_sum_scan(
             precondition fails and the sorting-based algorithm
             (:func:`~repro.extmem.sum_sort.extmem_sum_sorted`) is needed.
     """
+    if kernel is None:
+        kernel = get_kernel("sparse", radix=radix)
+    if mode != "nearest" and not kernel.exact:
+        kernel = kernel.exact_variant()
     start_reads = device.stats.reads
     start_writes = device.stats.writes
-
-    acc = SparseSuperaccumulator.zero(radix)
     B = device.block_size
-    for block in source.scan():
-        # The resident footprint during a block's processing: the input
-        # block, the accumulator before, and the (at most B*3 component)
-        # batch being folded in.
-        batch = SparseSuperaccumulator.from_floats(block, radix)
-        with device.allocate(
-            B + acc.active_count + batch.active_count,
-            what="in-memory superaccumulator (Theorem 6 requires sigma <= M)",
-        ):
-            acc = acc.add(batch)
 
-    with device.allocate(acc.active_count, what="rounding"):
-        value = acc.to_float(mode)
+    attempt = kernel
+    while True:
+        acc = attempt.zero()
+        for block in source.scan():
+            # The resident footprint during a block's processing: the
+            # input block, the partial before, and the (at most B*3
+            # component) batch being folded in.
+            batch = attempt.fold(block)
+            with device.allocate(
+                B + attempt.width(acc) + attempt.width(batch),
+                what="in-memory superaccumulator (Theorem 6 requires sigma <= M)",
+            ):
+                acc = attempt.combine(acc, batch)
+        try:
+            with device.allocate(attempt.width(acc), what="rounding"):
+                value = attempt.round(acc, mode)
+            break
+        except CertificationError:
+            # Speculation failed the proof: re-scan with the exact
+            # kernel. The I/O totals below keep both scans' cost.
+            attempt = attempt.exact_variant()
 
     io = IOStats(
         reads=device.stats.reads - start_reads,
         writes=device.stats.writes - start_writes,
     )
-    return ExtMemSumResult(value=value, io=io, components=acc.active_count)
+    return ExtMemSumResult(value=value, io=io, components=attempt.width(acc))

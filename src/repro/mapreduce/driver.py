@@ -35,8 +35,10 @@ from repro.mapreduce.runtime import (
     shared_process_executor,
 )
 from repro.errors import CertificationError
+from repro.kernels import kernel_names
 from repro.mapreduce.sum_job import (
     AdaptiveSumJob,
+    KernelSumJob,
     NaiveSumJob,
     SmallSuperaccumulatorJob,
     SparseSuperaccumulatorJob,
@@ -97,8 +99,12 @@ def parallel_sum(
         workers: worker count; ``None`` or 1 runs serially in-process.
         method: ``"adaptive"`` (certificate-shipping combine with an
             exact fallback on certification failure), ``"sparse"``
-            (paper), ``"small"`` (Neal comparator) or ``"naive"``
-            (inexact control — for demonstrations only).
+            (paper), ``"small"`` (Neal comparator), ``"naive"``
+            (inexact control — for demonstrations only), or any other
+            registered kernel name (``repro.kernels.kernel_names()``),
+            which runs the generic
+            :class:`~repro.mapreduce.sum_job.KernelSumJob` over that
+            kernel.
         block_items: simulated HDFS block size in items.
         reducers: the ``p`` of §6.1; defaults to the worker count.
         radix: superaccumulator digit configuration.
@@ -118,16 +124,23 @@ def parallel_sum(
             process-wide pool so repeated calls skip pool spin-up; see
             :func:`~repro.mapreduce.runtime.shutdown_shared_executors`.
     """
-    if method not in _JOBS:
-        raise ValueError(f"method must be one of {sorted(_JOBS)}")
+    if method not in _JOBS and method not in kernel_names():
+        raise ValueError(
+            f"method must be one of {sorted(set(_JOBS) | set(kernel_names()))}"
+        )
     if executor not in ("auto", "process", "simulated", "serial"):
         raise ValueError(f"unknown executor {executor!r}")
     arr = ensure_float64_array(values)
     if method != "naive":
         check_finite_array(arr)
 
-    job_cls = _JOBS[method]
-    job = job_cls() if method == "naive" else job_cls(radix=radix, mode=mode)
+    if method == "naive":
+        job: KernelSumJob = NaiveSumJob()  # type: ignore[assignment]
+    elif method in _JOBS:
+        job = _JOBS[method](radix=radix, mode=mode)
+    else:
+        # Any registered kernel runs through the generic kernel job.
+        job = KernelSumJob(radix=radix, mode=mode, kernel_name=method)
 
     nodes = max(1, workers or 1)
     w = workers or 1

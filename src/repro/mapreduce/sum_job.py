@@ -1,36 +1,43 @@
 """Summation jobs for the MapReduce runtime (paper §6).
 
-Two exact variants — the two MapReduce series of Figures 1-3:
+Every exact job here is the *same* job — :class:`KernelSumJob`, a
+generic schedule of :class:`~repro.kernels.base.SumKernel` calls
+(``combine`` = fold + to_wire, ``reduce`` = from_wire + combine,
+``postprocess`` = combine + round) — parameterized by kernel name:
 
-* :class:`SparseSuperaccumulatorJob` — the paper's algorithm: combine
-  each block into a sparse (alpha, beta)-regularized superaccumulator,
-  shuffle the ~p accumulators, reduce with carry-free merges, round in
-  the post-process. Per-block cost grows mildly with the exponent
-  spread delta (more active indices), visible in Figure 2.
-* :class:`SmallSuperaccumulatorJob` — the Neal-style comparator: same
-  shape, dense fixed-size accumulators, delta-independent cost.
+* :class:`SparseSuperaccumulatorJob` — the paper's algorithm over the
+  ``"sparse"`` kernel: per-block (alpha, beta)-regularized
+  superaccumulators, carry-free merges, one final round. Per-block
+  cost grows mildly with the exponent spread delta, visible in
+  Figure 2.
+* :class:`SmallSuperaccumulatorJob` — the Neal-style comparator over
+  the ``"small"`` kernel: dense fixed-size accumulators,
+  delta-independent cost.
+* :class:`AdaptiveSumJob` — the ``"adaptive"`` kernel: certified
+  Tier-0 cascade per block, certificates on the shuffle, one global
+  certification at round time (speculation can cost a retry, never a
+  wrong bit).
 
-Plus :class:`NaiveSumJob`, an intentionally inexact control (plain
-``np.sum`` everywhere) used by tests to show the harness would detect
-a non-faithful algorithm.
+Plus two controls that intentionally bypass kernels:
+:class:`NaiveSumJob` (plain ``np.sum`` everywhere, inexact by design)
+and :class:`NoCombinerSumJob` (raw blocks over the shuffle, measuring
+what the combine step saves).
 """
 
 from __future__ import annotations
 
-import math
-import struct
-from fractions import Fraction
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro import codec
 from repro.core.digits import DEFAULT_RADIX, RadixConfig
 from repro.core.sparse import SparseSuperaccumulator
-from repro.core.superaccumulator import DenseSuperaccumulator, SmallSuperaccumulator
-from repro.errors import CertificationError
+from repro.kernels import SumKernel, get_kernel
 from repro.mapreduce.runtime import MapReduceJob
 
 __all__ = [
+    "KernelSumJob",
     "AdaptiveSumJob",
     "SparseSuperaccumulatorJob",
     "SmallSuperaccumulatorJob",
@@ -39,49 +46,125 @@ __all__ = [
 ]
 
 
-#: Combine payload of a Tier-0-certified block: magic + (value,
-#: remainder, bound). Value and remainder are exact floats the reducer
-#: folds losslessly; only ``bound`` carries uncertainty.
-_CERT = struct.Struct("<4sddd")
-_CERT_MAGIC = b"ACRT"
-#: Reduce payload: magic + (bound_total, cert_blocks, full_blocks),
-#: followed by the merged sparse accumulator bytes.
-_COMPOSITE = struct.Struct("<4sdqq")
-_COMPOSITE_MAGIC = b"ACMP"
+class KernelSumJob(MapReduceJob):
+    """Exact sum as a MapReduce schedule over any registered kernel.
 
+    The three phases are direct transcriptions of the kernel protocol,
+    so adding a kernel to the registry *is* adding a MapReduce job:
 
-def _sum_bounds_upper(bounds: Sequence[float]) -> float:
-    """Float upper bound on the exact sum of non-negative floats.
+    * ``combine``: block -> ``to_wire(fold(block))`` (the §6.2 combine
+      step; kernels decide what crosses the shuffle — accumulators,
+      certificates, ...).
+    * ``reduce``: left-fold of ``from_wire`` payloads through the
+      kernel's associative ``combine``.
+    * ``postprocess``: one more fold over the reducer outputs, then a
+      single ``round``. Speculative kernels certify here and raise
+      :class:`~repro.errors.CertificationError` when the proof fails;
+      the driver (``parallel_sum``) transparently reruns exactly.
 
-    ``math.fsum`` is correctly rounded (error <= half an ulp), so one
-    relative inflation plus a subnormal quantum strictly dominates the
-    true sum — keeping every downstream certificate comparison sound.
+    Any rounding mode other than ``"nearest"`` swaps in the kernel's
+    exact variant up front, since certified fast paths only prove
+    nearest rounding.
+
+    After a successful run, :attr:`tier_counts` holds the kernel's tier
+    telemetry (when it produces any) for
+    :func:`~repro.mapreduce.runtime.run_job` to copy onto the
+    :class:`~repro.mapreduce.runtime.JobResult`.
     """
-    total = math.fsum(bounds)
-    if total == 0.0:
-        return 0.0
-    return total * (1.0 + 2.0**-50) + 5e-324
+
+    #: registry name of the kernel this job schedules
+    kernel_name = "sparse"
+
+    def __init__(
+        self,
+        radix: RadixConfig = DEFAULT_RADIX,
+        mode: str = "nearest",
+        kernel_name: Optional[str] = None,
+    ) -> None:
+        self.radix = radix
+        self.mode = mode
+        if kernel_name is not None:
+            self.kernel_name = kernel_name
+        self.tier_counts: Optional[Dict[str, float]] = None
+        self._kernel: Optional[SumKernel] = None
+
+    @property
+    def kernel(self) -> SumKernel:
+        """The kernel instance (built lazily; never pickled)."""
+        if self._kernel is None:
+            kernel = get_kernel(self.kernel_name, radix=self.radix)
+            if self.mode != "nearest":
+                kernel = kernel.exact_variant()
+            self._kernel = kernel
+        return self._kernel
+
+    def __getstate__(self) -> dict:
+        # Jobs are pickled per worker dispatch and the multiprocess
+        # executor caches installs by payload bytes — the lazily built
+        # kernel must not make two pickles of the same job differ.
+        state = dict(self.__dict__)
+        state["_kernel"] = None
+        return state
+
+    def _fold_payloads(self, values: Sequence[bytes]):
+        kernel = self.kernel
+        total = None
+        for payload in values:
+            part = kernel.from_wire(payload)
+            total = part if total is None else kernel.combine(total, part)
+        return total if total is not None else kernel.zero()
+
+    def combine(self, block: np.ndarray) -> bytes:
+        """Block -> one wire-framed partial (the §6.2 combine step)."""
+        kernel = self.kernel
+        return kernel.to_wire(kernel.fold(np.asarray(block, dtype=np.float64)))
+
+    def reduce(self, values: Sequence[bytes]) -> bytes:
+        """Associative merge of this reducer's partials."""
+        return self.kernel.to_wire(self._fold_payloads(values))
+
+    def postprocess(self, values: Sequence[bytes]) -> float:
+        """Driver: merge the p reducer outputs, then round once."""
+        total = self._fold_payloads(values)
+        round_detail = getattr(self.kernel, "round_detail", None)
+        if round_detail is not None:
+            y, self.tier_counts = round_detail(total, self.mode)
+            return y
+        return self.kernel.round(total, self.mode)
 
 
-class AdaptiveSumJob(MapReduceJob):
+class SparseSuperaccumulatorJob(KernelSumJob):
+    """Exact sum via sparse superaccumulators (the paper's algorithm)."""
+
+    kernel_name = "sparse"
+
+
+class SmallSuperaccumulatorJob(KernelSumJob):
+    """Exact sum via Neal-style dense small superaccumulators."""
+
+    kernel_name = "small"
+
+
+class AdaptiveSumJob(KernelSumJob):
     """Exact sum whose combine phase ships *certificates* when it can.
 
-    The combine step runs the Tier-0 certified cascade on each block.
-    A certified block ships a 28-byte ``(value, remainder, bound)``
-    payload — ``value + remainder`` within ``bound`` of the exact block
-    sum, both floats known exactly — instead of a serialized
-    superaccumulator; escalated blocks ship the full exact accumulator
-    as usual. Reducers fold certificate values and remainders *exactly*
-    into a sparse accumulator (floats fold exactly; only the
-    second-order bounds carry uncertainty) and add up the bounds
-    rigorously.
+    The ``"adaptive"`` kernel's fold runs the Tier-0 certified cascade
+    on each block. A certified block ships a 28-byte ``(value,
+    remainder, bound)`` payload — ``value + remainder`` within
+    ``bound`` of the exact block sum, both floats known exactly —
+    instead of a serialized superaccumulator; escalated blocks ship the
+    full exact accumulator as usual. Reducers fold certificate values
+    and remainders *exactly* into a sparse accumulator (floats fold
+    exactly; only the second-order bounds carry uncertainty) and add up
+    the bounds rigorously.
 
     The driver-side postprocess then performs one **global**
     certification: the final rounded value stands only if the total
     certificate mass provably cannot move it across a rounding-cell
-    boundary. If that proof fails, :class:`CertificationError` is
-    raised and the caller (``parallel_sum``) transparently reruns the
-    fully exact job — speculation can cost a retry, never a wrong bit.
+    boundary. If that proof fails,
+    :class:`~repro.errors.CertificationError` is raised and the caller
+    (``parallel_sum``) transparently reruns the fully exact job —
+    speculation can cost a retry, never a wrong bit.
 
     Only ``mode="nearest"`` speculates; any other rounding mode makes
     this job behave exactly like :class:`SparseSuperaccumulatorJob`.
@@ -92,155 +175,19 @@ class AdaptiveSumJob(MapReduceJob):
     :class:`~repro.mapreduce.runtime.JobResult`.
     """
 
-    def __init__(self, radix: RadixConfig = DEFAULT_RADIX, mode: str = "nearest") -> None:
-        self.radix = radix
-        self.mode = mode
-        self.tier_counts: Optional[Dict[str, float]] = None
-
-    def combine(self, block: np.ndarray) -> bytes:
-        if self.mode == "nearest":
-            from repro.adaptive import certified_cascade_sum
-
-            cert = certified_cascade_sum(np.asarray(block, dtype=np.float64))
-            if cert.certified:
-                return _CERT.pack(
-                    _CERT_MAGIC, cert.value, cert.remainder, cert.residual_bound
-                )
-        return SparseSuperaccumulator.from_floats(block, self.radix).to_bytes()
-
-    def _split_payloads(
-        self, values: Sequence[bytes]
-    ) -> Tuple[SparseSuperaccumulator, float, int, int]:
-        """Fold mixed payloads: (merged acc, bound total, certs, fulls)."""
-        cert_values = []
-        bounds = []
-        fulls = []
-        n_certs = 0
-        for payload in values:
-            if payload[:4] == _CERT_MAGIC:
-                _, value, remainder, bound = _CERT.unpack(payload)
-                cert_values.append(value)
-                if remainder != 0.0:
-                    cert_values.append(remainder)
-                bounds.append(bound)
-                n_certs += 1
-            else:
-                fulls.append(SparseSuperaccumulator.from_bytes(payload))
-        acc = SparseSuperaccumulator.from_floats(
-            np.array(cert_values, dtype=np.float64), self.radix
-        )
-        if fulls:
-            acc = acc.add(SparseSuperaccumulator.sum_many(fulls, self.radix))
-        return acc, _sum_bounds_upper(bounds), n_certs, len(fulls)
-
-    def reduce(self, values: Sequence[bytes]) -> bytes:
-        acc, bound, certs, fulls = self._split_payloads(values)
-        header = _COMPOSITE.pack(_COMPOSITE_MAGIC, bound, certs, fulls)
-        return header + acc.to_bytes()
-
-    def postprocess(self, values: Sequence[bytes]) -> float:
-        accs = []
-        bounds = []
-        certs = 0
-        fulls = 0
-        for payload in values:
-            if payload[:4] != _COMPOSITE_MAGIC:
-                raise ValueError("unexpected adaptive reduce payload")
-            _, bound, c, f = _COMPOSITE.unpack_from(payload, 0)
-            bounds.append(bound)
-            certs += int(c)
-            fulls += int(f)
-            accs.append(SparseSuperaccumulator.from_bytes(payload[_COMPOSITE.size :]))
-        acc = SparseSuperaccumulator.sum_many(accs, self.radix)
-        bound_total = _sum_bounds_upper(bounds)
-        y = acc.to_float(self.mode)
-        margin = self._certify(acc, y, bound_total)
-        self.tier_counts = {
-            "tier0_hits": certs,
-            "escalations": fulls,
-            "tier2_folds": 1 if fulls else 0,
-            "certificate_margin_bits": margin,
-        }
-        return y
+    kernel_name = "adaptive"
 
     @staticmethod
-    def _certify(acc: SparseSuperaccumulator, y: float, bound_total: float) -> float:
-        """Global certificate: prove ``y`` is the correctly rounded sum.
+    def _certify(acc, y: float, bound_total: float) -> float:
+        """Margin (in bits) by which the global certificate holds.
 
-        Returns the margin (doublings the bound could survive), raising
-        :class:`CertificationError` when the proof fails. ``bound_total
-        == 0`` means every payload was exact — nothing to prove.
+        The proof itself lives with the adaptive kernel
+        (:func:`repro.kernels.speculative.certify_rounding`); kept here
+        because it is this job's postprocess contract.
         """
-        if bound_total == 0.0:
-            return math.inf
-        lo = math.nextafter(y, -math.inf)
-        hi = math.nextafter(y, math.inf)
-        if not (math.isfinite(y) and math.isfinite(lo) and math.isfinite(hi)):
-            raise CertificationError(
-                "certified sum at the edge of the float range; rerun exactly"
-            )
-        retained = acc.to_fraction()
-        bound = Fraction(bound_total)
-        yf = Fraction(y)
-        gap_lo = (retained - bound) - (yf + Fraction(lo)) / 2
-        gap_hi = (yf + Fraction(hi)) / 2 - (retained + bound)
-        if gap_lo <= 0 or gap_hi <= 0:
-            raise CertificationError(
-                "certificate mass reaches a rounding-cell boundary; rerun exactly"
-            )
-        half_cell = Fraction(math.ulp(y)) / 2
-        return math.log2(float(half_cell / bound)) if half_cell > bound else 0.0
+        from repro.kernels.speculative import certify_rounding
 
-
-class SparseSuperaccumulatorJob(MapReduceJob):
-    """Exact sum via sparse superaccumulators (the paper's algorithm)."""
-
-    def __init__(self, radix: RadixConfig = DEFAULT_RADIX, mode: str = "nearest") -> None:
-        self.radix = radix
-        self.mode = mode
-
-    def combine(self, block: np.ndarray) -> bytes:
-        """Block -> one sparse superaccumulator (the §6.2 combine step)."""
-        return SparseSuperaccumulator.from_floats(block, self.radix).to_bytes()
-
-    def reduce(self, values: Sequence[bytes]) -> bytes:
-        """Carry-free merge of this reducer's accumulators."""
-        acc = SparseSuperaccumulator.sum_many(
-            (SparseSuperaccumulator.from_bytes(v) for v in values), self.radix
-        )
-        return acc.to_bytes()
-
-    def postprocess(self, values: Sequence[bytes]) -> float:
-        """Driver: merge the p reducer outputs, then round once."""
-        acc = SparseSuperaccumulator.sum_many(
-            (SparseSuperaccumulator.from_bytes(v) for v in values), self.radix
-        )
-        return acc.to_float(self.mode)
-
-
-class SmallSuperaccumulatorJob(MapReduceJob):
-    """Exact sum via Neal-style dense small superaccumulators."""
-
-    def __init__(self, radix: RadixConfig = DEFAULT_RADIX, mode: str = "nearest") -> None:
-        self.radix = radix
-        self.mode = mode
-
-    def combine(self, block: np.ndarray) -> bytes:
-        acc = SmallSuperaccumulator(self.radix)
-        acc.add_array(block)
-        return acc.to_bytes()
-
-    def _merge(self, values: Sequence[bytes]) -> DenseSuperaccumulator:
-        total = SmallSuperaccumulator(self.radix)
-        for payload in values:
-            total.add_accumulator(DenseSuperaccumulator.from_bytes(payload))
-        return total
-
-    def reduce(self, values: Sequence[bytes]) -> bytes:
-        return self._merge(values).to_bytes()
-
-    def postprocess(self, values: Sequence[bytes]) -> float:
-        return self._merge(values).to_float(self.mode)
+        return certify_rounding(acc, y, bound_total)
 
 
 class NoCombinerSumJob(MapReduceJob):
@@ -260,20 +207,20 @@ class NoCombinerSumJob(MapReduceJob):
 
     def combine(self, block: np.ndarray) -> bytes:
         """No combining: ship the raw block bytes."""
-        return b"RAWB" + np.ascontiguousarray(block, dtype="<f8").tobytes()
+        return codec.encode_raw_block(block)
 
     def reduce(self, values: Sequence[bytes]) -> bytes:
         acc = SparseSuperaccumulator.zero(self.radix)
         for payload in values:
-            if payload[:4] != b"RAWB":
+            if codec.peek_magic(payload) != codec.MAGIC_RAW_BLOCK:
                 raise ValueError("unexpected shuffle payload")
-            block = np.frombuffer(payload, dtype="<f8", offset=4)
+            block = codec.decode_raw_block(payload)
             acc = acc.add(SparseSuperaccumulator.from_floats(block, self.radix))
-        return acc.to_bytes()
+        return codec.encode_sparse(acc)
 
     def postprocess(self, values: Sequence[bytes]) -> float:
         acc = SparseSuperaccumulator.sum_many(
-            (SparseSuperaccumulator.from_bytes(v) for v in values), self.radix
+            (codec.decode_sparse(v) for v in values), self.radix
         )
         return acc.to_float(self.mode)
 
@@ -282,18 +229,16 @@ class NaiveSumJob(MapReduceJob):
     """Inexact control: ordinary float summation in every phase."""
 
     def combine(self, block: np.ndarray) -> bytes:
-        return struct.pack("<d", float(np.sum(block)))
+        return codec.encode_float(float(np.sum(block)))
 
     def reduce(self, values: Sequence[bytes]) -> bytes:
         total = 0.0
         for payload in values:
-            (v,) = struct.unpack("<d", payload)
-            total += v
-        return struct.pack("<d", total)
+            total += codec.decode_float(payload)
+        return codec.encode_float(total)
 
     def postprocess(self, values: Sequence[bytes]) -> float:
         total = 0.0
         for payload in values:
-            (v,) = struct.unpack("<d", payload)
-            total += v
+            total += codec.decode_float(payload)
         return total

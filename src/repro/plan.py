@@ -1,0 +1,381 @@
+"""Backend planner: pick plane x kernel x tier for a summation task.
+
+Every execution plane in this repo — serial, streaming, serving,
+MapReduce, external memory, BSP, PRAM — consumes the same
+:class:`~repro.kernels.base.SumKernel` protocol, so "where should this
+sum run" is a scheduling decision, not an algorithmic one. This module
+makes that decision explicit and inspectable:
+
+* :class:`DataDescriptor` says what the input looks like (size, whether
+  it is already in memory or sitting in a ``.f64`` dataset file, how
+  many workers the caller can spend);
+* :func:`plan_sum` turns a descriptor into a :class:`SumPlan` — the
+  chosen plane, kernel and tier plus a human-readable reason;
+* :meth:`SumPlan.execute` runs the plan and returns the correctly
+  rounded float, bit-identical across every choice the planner could
+  have made (that is the whole point of the kernel protocol).
+
+:func:`run_plane` is the shared dispatch the planner, the ``repro
+plan`` CLI and the cross-plane bit-identity matrix test all use, so a
+plane listed in :data:`PLANES` is by construction a plane the planner
+can schedule onto and the test suite checks.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.digits import DEFAULT_RADIX, RadixConfig
+from repro.kernels import get_kernel, kernel_names, kernel_sum
+
+__all__ = [
+    "DataDescriptor",
+    "SumPlan",
+    "plan_sum",
+    "run_plane",
+    "PLANES",
+]
+
+#: Default items per block, shared with the MapReduce driver.
+DEFAULT_BLOCK_ITEMS = 1 << 17
+
+#: In-memory inputs below this size never leave the serial plane: the
+#: cost of standing up workers exceeds folding the data where it lies.
+SMALL_INPUT_ITEMS = 1 << 16
+
+
+# ---------------------------------------------------------------------------
+# plane runners
+
+
+def _chunks(arr: np.ndarray, block_items: int):
+    if arr.size == 0:
+        yield arr
+        return
+    for start in range(0, arr.size, block_items):
+        yield arr[start : start + block_items]
+
+
+def _run_serial(kernel_name, values, *, radix, mode, workers, block_items):
+    kernel = get_kernel(kernel_name, radix=radix)
+    return kernel_sum(kernel, _chunks(values, block_items), mode=mode)
+
+
+def _run_streaming(kernel_name, values, *, radix, mode, workers, block_items):
+    kernel = get_kernel(kernel_name, radix=radix)
+    stream = kernel.new_stream()
+    for chunk in _chunks(values, block_items):
+        kernel.fold_into(stream, chunk)
+    return stream.value(mode)
+
+
+def _run_serve(kernel_name, values, *, radix, mode, workers, block_items):
+    import asyncio
+
+    from repro.serve import InProcessClient, ReproService, ServeConfig
+
+    async def run() -> float:
+        config = ServeConfig(shards=max(1, workers), kernel=kernel_name)
+        async with ReproService(config, radix=radix) as service:
+            client = InProcessClient(service)
+            for chunk in _chunks(values, block_items):
+                await client.add_array("plan", chunk)
+            return await client.value("plan", mode=mode)
+
+    return asyncio.run(run())
+
+
+def _run_mapreduce(kernel_name, values, *, radix, mode, workers, block_items):
+    from repro.mapreduce import parallel_sum
+
+    return parallel_sum(
+        values,
+        workers=workers,
+        method=kernel_name,
+        block_items=block_items,
+        radix=radix,
+        mode=mode,
+    )
+
+
+def _run_extmem(kernel_name, values, *, radix, mode, workers, block_items):
+    from repro.extmem import BlockDevice, ExtArray, extmem_sum_scan
+
+    block = max(8, min(block_items, 1 << 12))
+    device = BlockDevice(block_size=block, memory=block * 64)
+    source = ExtArray.from_numpy(device, "plan-input", values)
+    result = extmem_sum_scan(
+        device, source, radix=radix, mode=mode,
+        kernel=get_kernel(kernel_name, radix=radix),
+    )
+    return result.value
+
+
+def _run_bsp(kernel_name, values, *, radix, mode, workers, block_items):
+    from repro.bsp import exact_allreduce_sum
+
+    ranks = max(2, workers)
+    result = exact_allreduce_sum(
+        np.array_split(np.asarray(values, dtype=np.float64), ranks),
+        radix=radix, mode=mode, kernel=get_kernel(kernel_name, radix=radix),
+    )
+    return result.values[0]
+
+
+def _run_pram(kernel_name, values, *, radix, mode, workers, block_items):
+    from repro.pram import pram_exact_sum
+
+    result = pram_exact_sum(
+        values, radix=radix, mode=mode,
+        kernel=get_kernel(kernel_name, radix=radix),
+    )
+    return result.value
+
+
+#: Every schedulable plane, by name. The bit-identity matrix test walks
+#: this mapping, so adding a plane here enrolls it in the invariant.
+PLANES = {
+    "serial": _run_serial,
+    "streaming": _run_streaming,
+    "serve": _run_serve,
+    "mapreduce": _run_mapreduce,
+    "extmem": _run_extmem,
+    "bsp": _run_bsp,
+    "pram": _run_pram,
+}
+
+
+def run_plane(
+    plane: str,
+    kernel_name: str,
+    values,
+    *,
+    radix: RadixConfig = DEFAULT_RADIX,
+    mode: str = "nearest",
+    workers: int = 1,
+    block_items: int = DEFAULT_BLOCK_ITEMS,
+) -> float:
+    """Sum ``values`` on one named plane with one named kernel.
+
+    The uniform entry point behind :meth:`SumPlan.execute`; every plane
+    returns the same bits for the same input, whatever the kernel.
+    """
+    if plane not in PLANES:
+        raise ValueError(f"unknown plane {plane!r}; expected one of {sorted(PLANES)}")
+    if kernel_name not in kernel_names():
+        raise ValueError(
+            f"unknown kernel {kernel_name!r}; expected one of {list(kernel_names())}"
+        )
+    arr = np.asarray(values, dtype=np.float64)
+    return PLANES[plane](
+        kernel_name, arr, radix=radix, mode=mode,
+        workers=workers, block_items=block_items,
+    )
+
+
+# ---------------------------------------------------------------------------
+# descriptors and plans
+
+
+@dataclass
+class DataDescriptor:
+    """What the planner knows about the input.
+
+    Attributes:
+        n: element count (0 allowed).
+        layout: ``"memory"`` (an array the caller holds) or ``"file"``
+            (a ``.f64`` dataset on disk, summed without loading it all).
+        workers: workers the caller is willing to spend (>= 1).
+        path: dataset path when ``layout == "file"``.
+        values: the array when ``layout == "memory"`` and the caller
+            provided one (optional — plans can also be made from sizes
+            alone and fed data at execute time).
+    """
+
+    n: int
+    layout: str = "memory"
+    workers: int = 1
+    path: Optional[str] = None
+    values: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.layout not in ("memory", "file"):
+            raise ValueError(f"unknown layout {self.layout!r}")
+        if self.n < 0:
+            raise ValueError("n must be >= 0")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.layout == "file" and not self.path:
+            raise ValueError("file layout needs a path")
+
+    @classmethod
+    def describe_array(cls, values, workers: int = 1) -> "DataDescriptor":
+        arr = np.asarray(values, dtype=np.float64)
+        return cls(n=int(arr.size), layout="memory", workers=workers, values=arr)
+
+    @classmethod
+    def describe_file(
+        cls, path: Union[str, Path], workers: int = 1
+    ) -> "DataDescriptor":
+        from repro.data import dataset_len
+
+        return cls(
+            n=dataset_len(path), layout="file", workers=workers, path=str(path)
+        )
+
+
+@dataclass
+class SumPlan:
+    """An executable decision: plane x kernel x tier (+ why).
+
+    Attributes:
+        plane: key into :data:`PLANES`.
+        kernel: registered kernel name.
+        tier: ``"speculative"`` (certified fast path, exact escalation
+            on a failed proof) or ``"exact"`` (superaccumulator all the
+            way down).
+        workers: workers the plan will use.
+        block_items: fold granularity.
+        reason: one line of planner rationale, shown by ``repro plan``.
+    """
+
+    plane: str
+    kernel: str
+    tier: str
+    workers: int
+    block_items: int
+    reason: str
+    descriptor: DataDescriptor
+    mode: str = "nearest"
+    radix: RadixConfig = DEFAULT_RADIX
+
+    def describe(self) -> Dict[str, Any]:
+        """Flat summary for printing / JSON."""
+        return {
+            "plane": self.plane,
+            "kernel": self.kernel,
+            "tier": self.tier,
+            "workers": self.workers,
+            "block_items": self.block_items,
+            "n": self.descriptor.n,
+            "layout": self.descriptor.layout,
+            "reason": self.reason,
+        }
+
+    def execute(self, values=None, *, mode: Optional[str] = None) -> float:
+        """Run the plan; returns the correctly rounded sum.
+
+        Args:
+            values: in-memory data, when the descriptor was built from
+                sizes alone. File-layout plans read their dataset.
+            mode: overrides the plan's rounding mode.
+        """
+        if values is None:
+            if self.descriptor.layout == "file":
+                from repro.data import map_dataset
+
+                values = map_dataset(self.descriptor.path)
+            elif self.descriptor.values is not None:
+                values = self.descriptor.values
+            else:
+                raise ValueError("plan has no data; pass values=")
+        return run_plane(
+            self.plane,
+            self.kernel,
+            values,
+            radix=self.radix,
+            mode=mode if mode is not None else self.mode,
+            workers=self.workers,
+            block_items=self.block_items,
+        )
+
+
+def plan_sum(
+    descriptor: DataDescriptor,
+    *,
+    kernel: Optional[str] = None,
+    mode: str = "nearest",
+    radix: RadixConfig = DEFAULT_RADIX,
+    block_items: int = DEFAULT_BLOCK_ITEMS,
+) -> SumPlan:
+    """Choose a plane, kernel and tier for a summation task.
+
+    Heuristics (each encoded in the returned plan's ``reason``):
+
+    * small in-memory inputs stay serial — worker spin-up costs more
+      than folding the data in place;
+    * multi-worker requests go to the MapReduce plane when the host has
+      the cores (the driver itself falls back to its simulated executor
+      otherwise);
+    * file-backed data with one worker streams: one pass over the
+      mapped dataset, O(1) memory;
+    * the kernel defaults to the condition-adaptive cascade for nearest
+      rounding (certified fast paths, exact escalation) and the sparse
+      superaccumulator for directed modes, which the certifying tiers
+      cannot prove.
+    """
+    if kernel is None:
+        kernel = "adaptive" if mode == "nearest" else "sparse"
+    if kernel not in kernel_names():
+        raise ValueError(
+            f"unknown kernel {kernel!r}; expected one of {list(kernel_names())}"
+        )
+    k = get_kernel(kernel, radix=radix)
+    tier = "speculative" if (not k.exact and mode == "nearest") else "exact"
+    if not k.exact and mode != "nearest":
+        # Directed rounding cannot ride a certificate; the plan runs
+        # the kernel's exact variant implicitly (every plane swaps it
+        # in), so report the truth.
+        tier = "exact"
+
+    n = descriptor.n
+    workers = descriptor.workers
+    cpus = os.cpu_count() or 1
+
+    if descriptor.layout == "file":
+        if workers > 1:
+            plane = "mapreduce"
+            reason = (
+                f"file dataset (n={n:,}) with {workers} workers: map the "
+                f"file and fan blocks out to the MapReduce plane"
+            )
+        else:
+            plane = "streaming"
+            reason = (
+                f"file dataset (n={n:,}), single worker: one streaming "
+                f"pass over the mapped data, O(1) memory"
+            )
+    elif workers > 1 and n >= 2 * block_items:
+        plane = "mapreduce"
+        exec_note = "process pool" if cpus >= workers else "simulated cluster"
+        reason = (
+            f"in-memory n={n:,} across {workers} workers ({exec_note}): "
+            f"block folds dominate scheduling at this size"
+        )
+    elif workers > 1:
+        plane = "serial"
+        workers = 1
+        reason = (
+            f"in-memory n={n:,} is below {2 * block_items:,} items: "
+            f"worker spin-up would cost more than the fold; running serially"
+        )
+    else:
+        plane = "serial"
+        reason = f"in-memory n={n:,}, single worker: fold in place"
+
+    return SumPlan(
+        plane=plane,
+        kernel=kernel,
+        tier=tier,
+        workers=workers,
+        block_items=block_items,
+        reason=reason,
+        descriptor=descriptor,
+        mode=mode,
+        radix=radix,
+    )

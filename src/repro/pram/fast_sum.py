@@ -33,7 +33,8 @@ import numpy as np
 
 from repro.core.digits import DEFAULT_RADIX, RadixConfig
 from repro.core.rounding import round_digits
-from repro.core.sparse import SparseSuperaccumulator
+from repro.errors import CertificationError
+from repro.kernels import SumKernel, get_kernel
 from repro.pram.machine import PRAM, PRAMStats
 from repro.pram.primitives import parallel_prefix
 from repro.util.validation import check_finite_array, ensure_float64_array
@@ -106,18 +107,16 @@ def pram_carry_propagate(
     return out
 
 
-def _merge_level(
-    machine: PRAM, nodes: List[SparseSuperaccumulator]
-) -> List[SparseSuperaccumulator]:
+def _merge_level(machine: PRAM, nodes: List, kernel: SumKernel) -> List:
     """Sum adjacent node pairs; charge level cost as (max rounds, sum work)."""
-    nxt: List[SparseSuperaccumulator] = []
+    nxt: List = []
     level_rounds = 0
     level_work = 0
     level_procs = 0
     for i in range(0, len(nodes) - 1, 2):
         a, b = nodes[i], nodes[i + 1]
-        m = a.active_count + b.active_count
-        merged = a.add(b)
+        m = kernel.width(a) + kernel.width(b)
+        merged = kernel.combine(a, b)
         # Cost model: rank-based merge of the two exponent lists
         # (O(log m) rounds, O(m log m) work via per-element binary
         # search — Lemma 3) plus the O(1)-depth carry-free digit sum.
@@ -139,12 +138,21 @@ def pram_exact_sum(
     machine: Optional[PRAM] = None,
     mode: str = "nearest",
     cascade: bool = False,
+    kernel: Optional[SumKernel] = None,
 ) -> PRAMSumResult:
     """Faithfully rounded sum on the simulated EREW PRAM (Theorem 2).
 
     Args:
         values: finite float64 inputs (the leaves of the tree).
         radix: digit configuration of the superaccumulators.
+        kernel: the :class:`~repro.kernels.base.SumKernel` whose
+            partials live at the tree nodes (default ``"sparse"``, the
+            paper's algorithm). Kernels whose root partial exposes
+            dense regularized digits run the Section 3 carry-propagate
+            finish; others round through the kernel directly, and a
+            speculative kernel whose certificate fails reruns the tree
+            exactly on the same machine (costs charged twice — a
+            retry, never a wrong bit).
         machine: accountant to charge; a fresh one is created (and
             returned in the result) when omitted.
         mode: rounding direction for the final conversion.
@@ -168,15 +176,24 @@ def pram_exact_sum(
     arr = ensure_float64_array(values)
     check_finite_array(arr)
     m = machine if machine is not None else PRAM()
+    if kernel is None:
+        kernel = get_kernel("sparse", radix=radix)
+    if mode != "nearest" and not kernel.exact:
+        kernel = kernel.exact_variant()
 
     # Steps 1-2: tree build + leaf conversion (O(1) rounds, O(n) work).
     m.charge(rounds=1, work=int(arr.size), processors=int(arr.size))
-    nodes = [SparseSuperaccumulator.from_float(float(x), radix) for x in arr]
+    nodes = [kernel.fold_scalar(float(x)) for x in arr]
     m.charge(rounds=1, work=int(arr.size), processors=int(arr.size))
 
     if not nodes:
         return PRAMSumResult(0.0, m.stats, 0)
 
+    if cascade and not hasattr(nodes[0], "indices"):
+        raise ValueError(
+            "cascade accounting needs sparse exponent lists; "
+            f"kernel {kernel.name!r} has none"
+        )
     if cascade and len(nodes) > 1:
         # Step 3 via the pipeline: builds every node's sorted exponent
         # list in O(log n) stages; its rounds/work are charged by the
@@ -197,9 +214,9 @@ def pram_exact_sum(
             work = 0
             procs = 0
             for i in range(0, len(nodes) - 1, 2):
-                merged = nodes[i].add(nodes[i + 1])
-                work += merged.active_count
-                procs += max(merged.active_count, 1)
+                merged = kernel.combine(nodes[i], nodes[i + 1])
+                work += kernel.width(merged)
+                procs += max(kernel.width(merged), 1)
                 nxt.append(merged)
             if len(nodes) % 2:
                 nxt.append(nodes[-1])
@@ -209,20 +226,40 @@ def pram_exact_sum(
     else:
         # Steps 3-5: bottom-up carry-free summation, level by level.
         while len(nodes) > 1:
-            nodes = _merge_level(m, nodes)
+            nodes = _merge_level(m, nodes, kernel)
         root = nodes[0]
 
-    # Step 6: signed-carry propagation by parallel prefix.
-    dense, base = root.to_dense_digits()
-    nonoverlap = pram_carry_propagate(m, dense, radix)
+    root_width = kernel.width(root)
+    if hasattr(root, "to_dense_digits"):
+        # Step 6: signed-carry propagation by parallel prefix.
+        dense, base = root.to_dense_digits()
+        nonoverlap = pram_carry_propagate(m, dense, radix)
 
-    # Step 7: locate the leading component and round (O(log sigma)
-    # rounds via a max-reduction; O(sigma) work).
-    sigma = int(nonoverlap.size)
+        # Step 7: locate the leading component and round (O(log sigma)
+        # rounds via a max-reduction; O(sigma) work).
+        sigma = int(nonoverlap.size)
+        m.charge(
+            rounds=max(1, math.ceil(math.log2(max(sigma, 2)))),
+            work=sigma,
+            processors=sigma,
+        )
+        value = round_digits(nonoverlap, base, radix, mode)
+        return PRAMSumResult(value, m.stats, root_width)
+
+    # Kernels without dense regularized digits round directly; a failed
+    # certificate reruns the whole tree with the exact kernel, charges
+    # accumulating on the same machine.
+    sigma = max(1, root_width)
     m.charge(
         rounds=max(1, math.ceil(math.log2(max(sigma, 2)))),
         work=sigma,
         processors=sigma,
     )
-    value = round_digits(nonoverlap, base, radix, mode)
-    return PRAMSumResult(value, m.stats, root.active_count)
+    try:
+        value = kernel.round(root, mode)
+    except CertificationError:
+        return pram_exact_sum(
+            arr, radix=radix, machine=m, mode=mode, cascade=cascade,
+            kernel=kernel.exact_variant(),
+        )
+    return PRAMSumResult(value, m.stats, root_width)

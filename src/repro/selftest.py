@@ -132,6 +132,41 @@ def _check_stats() -> None:
     assert exact_variance(np.array([1e8 + 1, 1e8 + 2, 1e8 + 3, 1e8 + 4])) == 1.25
 
 
+def _check_kernels() -> None:
+    from repro.kernels import get_kernel, kernel_names, kernel_sum
+
+    rng = np.random.default_rng(8)
+    x = (rng.random(1500) - 0.5) * 10.0 ** rng.integers(-60, 60, 1500)
+    want = _ref(x)
+    blocks = np.array_split(x, 7)
+    for name in kernel_names():
+        kernel = get_kernel(name)
+        assert kernel_sum(kernel, blocks) == want, name
+        # wire round-trip through the codec registry (speculative
+        # kernels may refuse to round a truncated/uncertified partial,
+        # so assert frame stability, and the value only when exact)
+        part = kernel.fold(x)
+        frame = kernel.to_wire(part)
+        assert kernel.to_wire(kernel.from_wire(frame)) == frame, name
+        if kernel.exact:
+            assert kernel.round(kernel.from_wire(frame)) == want, name
+
+
+def _check_plan() -> None:
+    from repro.plan import DataDescriptor, plan_sum
+
+    rng = np.random.default_rng(9)
+    x = (rng.random(1200) - 0.5) * 10.0 ** rng.integers(-40, 40, 1200)
+    want = _ref(x)
+    plan = plan_sum(DataDescriptor.describe_array(x))
+    assert plan.plane == "serial", plan.plane
+    assert plan.execute() == want
+    big = plan_sum(DataDescriptor(n=1 << 20, layout="memory", workers=4))
+    assert big.plane == "mapreduce", big.plane
+    directed = plan_sum(DataDescriptor.describe_array(x), mode="down")
+    assert directed.tier == "exact", directed.tier
+
+
 def _check_serve() -> None:
     import asyncio
 
@@ -158,6 +193,8 @@ _CHECKS: List[Tuple[str, Callable[[], None]]] = [
     ("BSP allreduce", _check_bsp),
     ("geometry predicates", _check_geometry),
     ("exact statistics", _check_stats),
+    ("kernel registry", _check_kernels),
+    ("backend planner", _check_plan),
     ("serving plane", _check_serve),
 ]
 

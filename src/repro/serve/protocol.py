@@ -24,9 +24,9 @@ from __future__ import annotations
 import asyncio
 import base64
 import json
-import struct
 from typing import Any, Dict, List, Optional
 
+from repro.codec import LENGTH_PREFIX
 from repro.errors import ProtocolError
 
 __all__ = [
@@ -44,8 +44,6 @@ __all__ = [
 #: Frames above this many payload bytes are rejected (both directions).
 #: 48 MiB fits an ``add_array`` of ~2M values in JSON text form.
 DEFAULT_MAX_FRAME = 48 * 1024 * 1024
-
-LENGTH_PREFIX = struct.Struct("!I")
 
 
 def _fatal(message: str) -> ProtocolError:

@@ -21,9 +21,10 @@ folds enqueued before it (FIFO), so a read observes every add that was
 *acknowledged* before the read was issued. Acks fire after the fold
 lands, giving read-your-writes to any client that awaits its adds.
 
-**Persistence.** Stream state round-trips through the
-:meth:`ExactRunningSum.to_bytes` wire format — the same bytes the
-MapReduce shuffle uses — via the ``snapshot``/``restore``/``drain``
+**Persistence.** Stream state round-trips through the configured
+kernel's stream wire format (``ERSM`` for the default ``running``
+kernel — the same bytes the MapReduce shuffle uses — ``KSTR``-framed
+kernel partials otherwise) via the ``snapshot``/``restore``/``drain``
 endpoints and :meth:`save_state`/:meth:`load_state`.
 """
 
@@ -49,6 +50,7 @@ from repro.errors import (
     ServiceError,
 )
 from repro.adaptive import AdaptiveFolder
+from repro.kernels import get_kernel, kernel_names
 from repro.mapreduce.dataplane import BlockRef, resolve_block
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.protocol import (
@@ -58,7 +60,6 @@ from repro.serve.protocol import (
 )
 from repro.serve.shards import AccumulatorShard
 from repro.stats import round_fraction
-from repro.streaming import ExactRunningSum
 from repro.util.validation import check_finite_array, ensure_float64_array
 
 __all__ = ["ServeConfig", "ReproService"]
@@ -75,6 +76,10 @@ class ServeConfig:
     max_frame: int = DEFAULT_MAX_FRAME
     scatter_chunk: int = 8192
     allow_shutdown: bool = True
+    #: registry name of the kernel backing every stream; the service
+    #: always uses the kernel's exact variant (stateful streams cannot
+    #: un-fold a speculated value)
+    kernel: str = "running"
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -83,6 +88,11 @@ class ServeConfig:
             raise ValueError(f"unknown backpressure policy {self.policy!r}")
         if self.scatter_chunk < 1:
             raise ValueError("scatter_chunk must be >= 1")
+        if self.kernel not in kernel_names():
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; "
+                f"expected one of {list(kernel_names())}"
+            )
 
 
 def _require_stream(request: Dict[str, Any]) -> str:
@@ -104,6 +114,13 @@ class ReproService:
         self.config = config if config is not None else ServeConfig()
         self.radix = radix
         self.metrics = ServiceMetrics()
+        # One kernel instance serves the whole service: shard writers
+        # fold through it, reads recombine through it, and snapshots
+        # use its wire format. exact_variant() pins stateful streams to
+        # the exact fold path.
+        self._kernel = get_kernel(
+            self.config.kernel, radix=radix, counters=self.metrics.tiering
+        ).exact_variant()
         self.shards: List[AccumulatorShard] = [
             AccumulatorShard(
                 i,
@@ -112,6 +129,7 @@ class ReproService:
                 retry_after=self.config.retry_after,
                 metrics=self.metrics,
                 radix=radix,
+                kernel=self._kernel,
             )
             for i in range(self.config.shards)
         ]
@@ -216,21 +234,21 @@ class ReproService:
         folds = [self._next_shard().fold(stream, piece) for piece in pieces]
         return sum(await asyncio.gather(*folds))
 
-    async def _gather_partials(self, stream: str) -> List[ExactRunningSum]:
+    async def _gather_partials(self, stream: str) -> List[Any]:
         """Sequence-point read of every shard's partial for ``stream``."""
-        def read(streams: Dict[str, ExactRunningSum]) -> Optional[ExactRunningSum]:
+        def read(streams: Dict[str, Any]) -> Optional[Any]:
             rs = streams.get(stream)
             if rs is None:
                 return None
-            out = ExactRunningSum(self.radix)
+            out = self._kernel.new_stream()
             out.merge(rs)  # deep-ish copy: merge duplicates the exact state
             return out
 
         partials = await asyncio.gather(*(s.call(read) for s in self.shards))
         return [p for p in partials if p is not None]
 
-    async def _merged_state(self, stream: str) -> ExactRunningSum:
-        merged = ExactRunningSum(self.radix)
+    async def _merged_state(self, stream: str) -> Any:
+        merged = self._kernel.new_stream()
         for partial in await self._gather_partials(stream):
             merged.merge(partial)
         return merged
@@ -341,7 +359,7 @@ class ReproService:
         merged = await self._merged_state(stream)
         if merged.count == 0:
             raise EmptyStreamError(f"mean of empty stream {stream!r}")
-        mean = round_fraction(merged.exact_state().to_fraction() / merged.count)
+        mean = round_fraction(merged.exact_fraction() / merged.count)
         return {"mean": mean, "count": merged.count, "hex": mean.hex()}
 
     async def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
@@ -352,7 +370,7 @@ class ReproService:
         return {"stats": snap}
 
     async def _op_streams(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        def counts(streams: Dict[str, ExactRunningSum]) -> Dict[str, int]:
+        def counts(streams: Dict[str, Any]) -> Dict[str, int]:
             return {name: rs.count for name, rs in streams.items()}
 
         totals: Dict[str, int] = {}
@@ -377,13 +395,13 @@ class ReproService:
         if src == dst:
             raise ServiceError("merge src and dst must differ")
 
-        def merge_local(streams: Dict[str, ExactRunningSum]) -> int:
+        def merge_local(streams: Dict[str, Any]) -> int:
             partial = streams.pop(src, None)
             if partial is None:
                 return 0
             rs = streams.get(dst)
             if rs is None:
-                rs = streams[dst] = ExactRunningSum(self.radix)
+                rs = streams[dst] = self._kernel.new_stream()
             rs.merge(partial)
             return partial.count
 
@@ -404,14 +422,14 @@ class ReproService:
         stream = _require_stream(request)
         payload = decode_bytes_field(request.get("snapshot"))
         try:
-            restored = ExactRunningSum.from_bytes(payload, self.radix)
+            restored = self._kernel.stream_from_bytes(payload)
         except ValueError as exc:
             raise ServiceError(f"corrupt snapshot: {exc}") from exc
 
-        def absorb(streams: Dict[str, ExactRunningSum]) -> int:
+        def absorb(streams: Dict[str, Any]) -> int:
             rs = streams.get(stream)
             if rs is None:
-                rs = streams[stream] = ExactRunningSum(self.radix)
+                rs = streams[stream] = self._kernel.new_stream()
             rs.merge(restored)
             return rs.count
 
@@ -422,10 +440,10 @@ class ReproService:
         """Atomically read out and remove a stream (exact hand-off)."""
         stream = _require_stream(request)
 
-        def pop(streams: Dict[str, ExactRunningSum]) -> Optional[ExactRunningSum]:
+        def pop(streams: Dict[str, Any]) -> Optional[Any]:
             return streams.pop(stream, None)
 
-        merged = ExactRunningSum(self.radix)
+        merged = self._kernel.new_stream()
         for partial in await asyncio.gather(*(s.call(pop) for s in self.shards)):
             if partial is not None:
                 merged.merge(partial)

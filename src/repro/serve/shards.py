@@ -1,15 +1,18 @@
 """Sharded single-writer accumulator state with microbatched ingest.
 
 Each :class:`AccumulatorShard` owns a private ``{stream name ->
-ExactRunningSum}`` map mutated by exactly one asyncio task — the
-shard's *writer loop* — so the hot path needs no locks. Work arrives
-through a bounded queue as two op kinds:
+stream}`` map — streams come from the configured
+:class:`~repro.kernels.base.SumKernel`'s ``new_stream()`` (the native
+:class:`~repro.streaming.ExactRunningSum` for the default ``running``
+kernel, a :class:`~repro.kernels.base.KernelStream` otherwise) —
+mutated by exactly one asyncio task, the shard's *writer loop*, so the
+hot path needs no locks. Work arrives through a bounded queue as two
+op kinds:
 
 * **fold** — append an already-validated float64 array to a stream.
   The writer drains every op sitting in the queue, coalesces
   *contiguous runs* of folds per stream into one ``np.concatenate`` +
-  one :meth:`ExactRunningSum.add_array`, and only then resolves their
-  futures. That is the microbatching win: k concurrent small adds cost
+  one bulk ``add_array``, and only then resolves their futures. That is the microbatching win: k concurrent small adds cost
   one superaccumulator fold, not k.
 * **call** — run an arbitrary function against the shard's stream map
   (reads, merges, drains). Calls are *sequence points*: coalescing
@@ -36,11 +39,10 @@ from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.adaptive import AdaptiveFolder
 from repro.core.digits import DEFAULT_RADIX, RadixConfig
 from repro.errors import BackpressureError
+from repro.kernels import SumKernel, get_kernel
 from repro.serve.metrics import ServiceMetrics
-from repro.streaming import ExactRunningSum
 
 __all__ = ["AccumulatorShard"]
 
@@ -57,7 +59,7 @@ class _Op:
         *,
         stream: Optional[str] = None,
         array: Optional[np.ndarray] = None,
-        fn: Optional[Callable[[Dict[str, ExactRunningSum]], Any]] = None,
+        fn: Optional[Callable[[Dict[str, Any]], Any]] = None,
     ) -> None:
         self.kind = kind
         self.stream = stream
@@ -81,6 +83,7 @@ class AccumulatorShard:
         retry_after: float = 0.05,
         metrics: Optional[ServiceMetrics] = None,
         radix: RadixConfig = DEFAULT_RADIX,
+        kernel: Optional[SumKernel] = None,
     ) -> None:
         if queue_depth < 1:
             raise ValueError("queue_depth must be >= 1")
@@ -93,12 +96,16 @@ class AccumulatorShard:
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self._queue: "asyncio.Queue[Any]" = asyncio.Queue(maxsize=queue_depth)
         self._task: Optional["asyncio.Task[None]"] = None
-        self._streams: Dict[str, ExactRunningSum] = {}
-        # Folds route through the adaptive engine's folder so tier
-        # telemetry lands in the shared ServiceMetrics tally; stateful
-        # streams always take the exact bulk path (counted as Tier-2
-        # folds), the certifying tiers serve the stateless `sum` op.
-        self._folder = AdaptiveFolder(radix=radix, counters=self.metrics.tiering)
+        self._streams: Dict[str, Any] = {}
+        # Folds route through the kernel so tier telemetry lands in the
+        # shared ServiceMetrics tally; stateful streams always take the
+        # exact bulk path (exact_variant, counted as Tier-2 folds) —
+        # the certifying tiers serve the stateless `sum` op.
+        if kernel is None:
+            kernel = get_kernel(
+                "running", radix=radix, counters=self.metrics.tiering
+            )
+        self._kernel = kernel.exact_variant()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -155,7 +162,7 @@ class AccumulatorShard:
         await self._submit(_Op("fold", fut, stream=stream, array=array))
         return int(array.size)
 
-    async def call(self, fn: Callable[[Dict[str, ExactRunningSum]], Any]) -> Any:
+    async def call(self, fn: Callable[[Dict[str, Any]], Any]) -> Any:
         """Run ``fn`` against the stream map inside the writer loop.
 
         FIFO-ordered after every previously enqueued fold — the
@@ -204,8 +211,8 @@ class AccumulatorShard:
             try:
                 rs = self._streams.get(stream)
                 if rs is None:
-                    rs = self._streams[stream] = ExactRunningSum(self.radix)
-                self._folder.fold_into(rs, merged)
+                    rs = self._streams[stream] = self._kernel.new_stream()
+                self._kernel.fold_into(rs, merged)
             except Exception as exc:  # defensive: inputs are pre-validated
                 for op in ops:
                     if not op.future.cancelled():

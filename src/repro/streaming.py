@@ -7,14 +7,20 @@ methods (whose corrections don't subtract). Everything here maintains
 exact internal state and rounds only at query time, so query results
 are correctly rounded and independent of the update order that
 produced the state.
+
+Streams accept ``method="adaptive"`` to route reads through the
+condition-adaptive tier ladder (:mod:`repro.adaptive`): folds stay
+exact — a stateful stream can never un-fold a speculated value — but
+queries on still-pending data take the certified Tier-0/1 fast path,
+and every tier decision lands in the stream's
+:attr:`~ExactRunningSum.tier_counters` telemetry.
 """
 
 from __future__ import annotations
 
 import math
-import struct
 from collections import deque
-from typing import Deque, Iterable
+from typing import Deque, Iterable, Optional
 
 import numpy as np
 
@@ -26,10 +32,8 @@ from repro.util.validation import check_finite_array, ensure_float64_array
 
 __all__ = ["ExactRunningSum", "SlidingWindowSum", "RunningStats", "exact_cumsum"]
 
-#: Wire header for a serialized :class:`ExactRunningSum`: magic + the
-#: observation count, followed by the sparse accumulator payload.
-_ERS_HEADER = struct.Struct("<4sq")
-_ERS_MAGIC = b"ERSM"
+#: Accepted fold-routing methods for streaming state.
+_STREAM_METHODS = ("exact", "adaptive")
 
 
 #: Deferred-fold buffer cap (elements). Batches are staged here and
@@ -37,6 +41,14 @@ _ERS_MAGIC = b"ERSM"
 #: merge per call — the same microbatching win the serving plane gets,
 #: now built into the stream itself.
 _PENDING_CAP = 1 << 16
+
+
+def _check_stream_method(method: str) -> str:
+    if method not in _STREAM_METHODS:
+        raise ValueError(
+            f"unknown method {method!r}; expected one of {_STREAM_METHODS}"
+        )
+    return method
 
 
 class ExactRunningSum:
@@ -53,14 +65,32 @@ class ExactRunningSum:
     behaviour and observable state are unchanged; only the fold cost
     moves. Exactness is unaffected: superaccumulator addition is
     associative, so fold timing can never change a single bit.
+
+    With ``method="adaptive"``, reads over purely pending data go
+    through the certified tier ladder (bit-identical, often much
+    cheaper), bulk folds are tallied, and :attr:`tier_counters` exposes
+    the decisions.
     """
 
-    def __init__(self, radix: RadixConfig = DEFAULT_RADIX) -> None:
+    def __init__(
+        self, radix: RadixConfig = DEFAULT_RADIX, *, method: str = "exact"
+    ) -> None:
+        self.method = _check_stream_method(method)
         self._acc = SparseSuperaccumulator.zero(radix)
         self.count = 0
         self._pending_scalars: list = []
         self._pending_arrays: list = []
         self._pending_items = 0
+        self._counters: Optional[object] = None
+        if self.method == "adaptive":
+            from repro.adaptive import TierCounters
+
+            self._counters = TierCounters()
+
+    @property
+    def tier_counters(self):
+        """Tier telemetry (``None`` unless ``method="adaptive"``)."""
+        return self._counters
 
     def add(self, x: float) -> None:
         """Fold one value in exactly."""
@@ -89,19 +119,26 @@ class ExactRunningSum:
             if self._pending_items >= _PENDING_CAP:
                 self._flush()
 
-    def _flush(self) -> None:
+    def _pending_merged(self) -> Optional[np.ndarray]:
         if self._pending_items == 0:
-            return
+            return None
         parts = list(self._pending_arrays)
         if self._pending_scalars:
             parts.append(np.array(self._pending_scalars, dtype=np.float64))
-        merged = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    def _flush(self) -> None:
+        merged = self._pending_merged()
+        if merged is None:
+            return
         self._acc = self._acc.add(
             SparseSuperaccumulator.from_floats(merged, self._acc.radix)
         )
         self._pending_scalars = []
         self._pending_arrays = []
         self._pending_items = 0
+        if self._counters is not None:
+            self._counters.record_bulk_fold()
 
     def merge(self, other: "ExactRunningSum") -> None:
         """Absorb another stream's exact state."""
@@ -112,6 +149,22 @@ class ExactRunningSum:
 
     def value(self, mode: str = "nearest") -> float:
         """Correctly rounded current total (0.0 for an empty stream)."""
+        if (
+            self._counters is not None
+            and mode == "nearest"
+            and self._acc.is_zero()
+        ):
+            merged = self._pending_merged()
+            if merged is not None:
+                # Certified read over still-pending data: bit-identical
+                # to flush-then-round (the ladder proves it), usually a
+                # single cascade pass instead of an accumulator build.
+                # Pending stays staged so later adds keep batching.
+                from repro.adaptive import adaptive_sum_detail
+
+                result = adaptive_sum_detail(merged, radix=self._acc.radix)
+                self._counters.record(result)
+                return result.value
         self._flush()
         return self._acc.to_float(mode)
 
@@ -123,8 +176,12 @@ class ExactRunningSum:
         """
         if self.count == 0:
             raise EmptyStreamError("mean of empty running sum")
+        return round_fraction(self.exact_fraction() / self.count)
+
+    def exact_fraction(self):
+        """The exact total as a :class:`fractions.Fraction`."""
         self._flush()
-        return round_fraction(self._acc.to_fraction() / self.count)
+        return self._acc.to_fraction()
 
     def exact_state(self) -> SparseSuperaccumulator:
         """The exact accumulator (copy) for checkpointing/transport."""
@@ -134,41 +191,41 @@ class ExactRunningSum:
     def to_bytes(self) -> bytes:
         """Serialize exact state **and** count (service snapshot format).
 
-        Layout: ``ERSM`` magic + int64 count, then the
-        :meth:`SparseSuperaccumulator.to_bytes` payload — one wire
-        format shared by service snapshots and streaming checkpoints.
+        The ``ERSM`` frame (:func:`repro.codec.encode_running`): magic +
+        int64 count, then the embedded ``SSUP`` accumulator frame — one
+        wire format shared by service snapshots, streaming checkpoints,
+        and the running-sum kernel.
         """
         self._flush()
-        return _ERS_HEADER.pack(_ERS_MAGIC, self.count) + self._acc.to_bytes()
+        from repro import codec
+
+        return codec.encode_running(self.count, self._acc)
 
     @classmethod
     def from_bytes(
-        cls, payload: bytes, radix: RadixConfig = DEFAULT_RADIX
+        cls,
+        payload: bytes,
+        radix: RadixConfig = DEFAULT_RADIX,
+        *,
+        method: str = "exact",
     ) -> "ExactRunningSum":
         """Inverse of :meth:`to_bytes`.
 
         Raises:
-            ValueError: on malformed payloads (wrong magic, negative
+            CodecError: on malformed payloads (wrong magic, negative
                 count, or a corrupt embedded accumulator); snapshots
                 cross process boundaries, so corruption surfaces as a
-                clean error.
+                clean ``ValueError`` subclass.
+            ValueError: on a radix mismatch with the requesting caller.
         """
-        if len(payload) < _ERS_HEADER.size:
-            raise ValueError(
-                f"ExactRunningSum payload truncated: {len(payload)} bytes "
-                f"< {_ERS_HEADER.size}-byte header"
-            )
-        magic, count = _ERS_HEADER.unpack_from(payload, 0)
-        if magic != _ERS_MAGIC:
-            raise ValueError("not an ExactRunningSum payload")
-        if count < 0:
-            raise ValueError(f"corrupt header: negative count {count}")
-        acc = SparseSuperaccumulator.from_bytes(payload[_ERS_HEADER.size :])
+        from repro import codec
+
+        count, acc = codec.decode_running(payload)
         if acc.radix != radix:
             raise ValueError(
                 f"radix mismatch: payload w={acc.radix.w}, expected w={radix.w}"
             )
-        out = cls(radix)
+        out = cls(radix, method=method)
         out._acc = acc
         out.count = int(count)
         return out
@@ -215,13 +272,25 @@ class RunningStats:
     squaring) so ``mean()`` and ``variance()`` are correctly rounded at
     any point in the stream; ``merge`` combines shards exactly, so
     distributed statistics come out bit-identical to a serial pass.
+
+    The value sum is held as an :class:`ExactRunningSum`, so
+    ``method="adaptive"`` gives ``sum()`` the same certified read fast
+    path and exposes :attr:`tier_counters`.
     """
 
-    def __init__(self, radix: RadixConfig = DEFAULT_RADIX) -> None:
+    def __init__(
+        self, radix: RadixConfig = DEFAULT_RADIX, *, method: str = "exact"
+    ) -> None:
         self._radix = radix
+        self.method = _check_stream_method(method)
         self._n = 0
-        self._sum = SparseSuperaccumulator.zero(radix)
+        self._sum = ExactRunningSum(radix, method=method)
         self._sum_sq = SparseSuperaccumulator.zero(radix)
+
+    @property
+    def tier_counters(self):
+        """Tier telemetry (``None`` unless ``method="adaptive"``)."""
+        return self._sum.tier_counters
 
     def add_array(self, values: Iterable[float]) -> None:
         """Fold a batch in exactly."""
@@ -230,9 +299,7 @@ class RunningStats:
         if arr.size == 0:
             return
         self._n += int(arr.size)
-        self._sum = self._sum.add(
-            SparseSuperaccumulator.from_floats(arr, self._radix)
-        )
+        self._sum.add_array(arr)
         # error-free squares: x^2 = p + e exactly (normal-range split;
         # out-of-range magnitudes handled by exact decomposition)
         from repro.stats import _exact_square_sum_fraction
@@ -254,7 +321,7 @@ class RunningStats:
     def merge(self, other: "RunningStats") -> None:
         """Absorb another shard's exact state."""
         self._n += other._n
-        self._sum = self._sum.add(other._sum)
+        self._sum.merge(other._sum)
         self._sum_sq = self._sum_sq.add(other._sum_sq)
 
     @property
@@ -263,7 +330,7 @@ class RunningStats:
 
     def sum(self, mode: str = "nearest") -> float:
         """Correctly rounded running sum."""
-        return self._sum.to_float(mode)
+        return self._sum.value(mode)
 
     def mean(self) -> float:
         """Correctly rounded running mean.
@@ -273,7 +340,7 @@ class RunningStats:
         """
         if self._n == 0:
             raise EmptyStreamError("mean of empty stream")
-        return round_fraction(self._sum.to_fraction() / self._n)
+        return round_fraction(self._sum.exact_fraction() / self._n)
 
     def variance(self, ddof: int = 0) -> float:
         """Correctly rounded running variance.
@@ -283,7 +350,7 @@ class RunningStats:
         """
         if self._n - ddof <= 0:
             raise EmptyStreamError("need more observations than ddof")
-        s = self._sum.to_fraction()
+        s = self._sum.exact_fraction()
         ss = self._sum_sq.to_fraction()
         return round_fraction((ss - s * s / self._n) / (self._n - ddof))
 

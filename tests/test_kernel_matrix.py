@@ -1,0 +1,90 @@
+"""Cross-plane bit-identity matrix (PR 4 invariant).
+
+Every registered kernel, on every execution plane, over adversarial
+inputs, must produce the *bitwise identical* float the serial sparse
+superaccumulator produces. This is the repo's central claim — exact
+summation makes the answer independent of representation, schedule and
+topology — stated as one parameterized test.
+
+The process-executor leg honours ``REPRO_START_METHOD`` (``fork`` /
+``spawn``) so CI runs the matrix under both worker bootstrap paths.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import exact_sum
+from repro.data import generate
+from repro.kernels import kernel_names
+from repro.plan import PLANES, run_plane
+
+#: Adversarial panels: massive cancellation (escalation pressure),
+#: near-ulp rounding ties (certificate boundary pressure), Anderson's
+#: zero-mean deviations (the paper's hard statistical panel).
+DATASETS = {
+    name: generate(name, 400, delta=300, seed=13)
+    for name in ("cancel", "tie", "anderson")
+}
+
+REFERENCE = {
+    name: exact_sum(data, method="sparse") for name, data in DATASETS.items()
+}
+
+
+def _start_method():
+    return os.environ.get("REPRO_START_METHOD") or None
+
+
+@pytest.mark.parametrize("kernel", sorted(kernel_names()))
+@pytest.mark.parametrize("plane", sorted(PLANES))
+@pytest.mark.parametrize("dataset", sorted(DATASETS))
+def test_every_kernel_on_every_plane_matches_serial_sparse(
+    plane, kernel, dataset
+):
+    data = DATASETS[dataset]
+    value = run_plane(plane, kernel, data, workers=2, block_items=64)
+    ref = REFERENCE[dataset]
+    assert value == ref, (
+        f"{kernel} on {plane} over {dataset}: {value!r} != {ref!r}"
+    )
+
+
+@pytest.mark.parametrize("kernel", sorted(kernel_names()))
+def test_kernel_matrix_under_process_executor(kernel):
+    """The mapreduce plane on a real worker pool, under the start
+    method CI selects via REPRO_START_METHOD."""
+    from repro.mapreduce.runtime import MultiprocessExecutor, run_job
+    from repro.mapreduce.sum_job import KernelSumJob
+
+    data = DATASETS["cancel"]
+    blocks = [np.asarray(b) for b in np.array_split(data, 6)]
+    job = KernelSumJob(kernel_name=kernel)
+    with MultiprocessExecutor(2, start_method=_start_method()) as exe:
+        try:
+            result = run_job(job, blocks, reducers=2, executor=exe)
+            value = result.value
+        except Exception as exc:
+            from repro.errors import CertificationError
+
+            if not isinstance(exc, CertificationError):
+                raise
+            # Speculative kernels may fail the global certificate on
+            # this panel; the driver's contract is an exact rerun.
+            fallback = KernelSumJob(kernel_name="sparse")
+            value = run_job(fallback, blocks, reducers=2, executor=exe).value
+    assert value == REFERENCE["cancel"]
+
+
+def test_planner_choices_are_in_the_matrix():
+    """plan_sum can only schedule onto planes this matrix verifies."""
+    from repro.plan import DataDescriptor, plan_sum
+
+    for workers in (1, 4):
+        for n in (100, 1 << 21):
+            plan = plan_sum(DataDescriptor(n=n, layout="memory", workers=workers))
+            assert plan.plane in PLANES
+            assert plan.kernel in kernel_names()
