@@ -178,6 +178,7 @@ def certified_cascade_sum(arr: np.ndarray) -> CascadeCertificate:
                 errs = errs[errs != 0]  # compact when mostly exact pairs
             buf2 = np.empty(errs.size, dtype=np.float64)
             e, m2 = _cascade(errs, buf2)
+            # reprolint: disable-next-line=FP003 -- bound accumulator; inflated by gamma(k) below
             t2 = float(np.sum(np.abs(buf2[:m2]))) if m2 else 0.0
 
     # res + r == main + e exactly (scalar TwoSum).
@@ -198,7 +199,7 @@ def certified_cascade_sum(arr: np.ndarray) -> CascadeCertificate:
     if t2 > 0.0:
         beta += _SUBNORMAL_ULP  # guards against the inflation rounding down
 
-    if res == 0.0:
+    if res == 0.0:  # reprolint: disable=FP002 -- exact-zero test to normalize -0.0
         res = 0.0  # normalize -0.0 to the accumulator rounding convention
 
     if not (math.isfinite(res) and math.isfinite(r) and math.isfinite(beta)):
@@ -206,7 +207,7 @@ def certified_cascade_sum(arr: np.ndarray) -> CascadeCertificate:
             res if math.isfinite(res) else math.inf, math.inf, False, -math.inf, n
         )
 
-    if beta == 0.0:
+    if beta == 0.0:  # reprolint: disable=FP002 -- beta==0 certifies every residual was captured
         # sum(errs) == e exactly, so main + e == sum(x) and res is the
         # hardware's nearest-even rounding of the exact sum — correctly
         # rounded by construction, midpoint ties included.

@@ -196,6 +196,7 @@ def _tier1_margin_bits(t: TruncatedSparseSuperaccumulator, y: float) -> float:
     if bound == 0:
         return math.inf
     half_cell = Fraction(math.ulp(y)) / 2
+    # reprolint: disable-next-line=FP004 -- diagnostic margin only; log2 absorbs the rounding slack
     return math.log2(float(half_cell / bound)) if half_cell > bound else 0.0
 
 

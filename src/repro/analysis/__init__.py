@@ -1,0 +1,58 @@
+"""``repro.analysis`` — reprolint, the float-safety & invariant linter.
+
+A plugin-based AST static-analysis pass enforcing the invariants that
+keep this repository's exact-summation guarantee true. Three rule
+families:
+
+=========  ==========================================================
+FP001      builtin ``sum()`` / loop ``+=`` accumulation over floats
+FP002      float ``==`` / ``!=`` comparison
+FP003      ``math.fsum`` / ``np.sum`` bypassing the kernel layer
+FP004      unguarded ``float(Fraction)`` narrowing
+ARCH001    ``struct`` framing outside ``repro.codec``
+ARCH002    registered kernel missing SumKernel protocol members
+ARCH003    ``to_wire`` frame not registered in the codec table
+ARCH004    cross-plane import bypassing ``plan.PLANES``
+CC001      blocking I/O inside ``serve/`` async functions
+CC002      shard accumulator state touched outside its writer
+CC003      shared-memory segment written after publish
+=========  ==========================================================
+
+Run it with ``python -m repro lint src/`` (or via pre-commit / CI).
+Suppress a finding with a justified trailing comment::
+
+    total = naive()  # reprolint: disable=FP001 -- naive is the subject here
+
+See ``docs/ANALYSIS.md`` for the full catalogue and suppression policy.
+"""
+
+from repro.analysis.core import (
+    Finding,
+    LintResult,
+    ModuleUnit,
+    ProjectContext,
+    Rule,
+    get_rules,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    register_rule,
+    rule_catalogue,
+)
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "ModuleUnit",
+    "ProjectContext",
+    "Rule",
+    "get_rules",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "rule_catalogue",
+    "render_json",
+    "render_text",
+]

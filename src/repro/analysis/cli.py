@@ -1,0 +1,96 @@
+"""The ``repro lint`` subcommand: argument schema and entry point.
+
+Exit codes: 0 clean, 1 findings, 2 usage error — the same contract
+pre-commit and the CI ``lint`` job rely on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.core import lint_paths, rule_catalogue
+from repro.analysis.reporters import REPORTERS
+
+__all__ = ["add_lint_parser", "run_lint"]
+
+
+def add_lint_parser(sub: "argparse._SubParsersAction") -> None:
+    """Attach the ``lint`` subparser to the top-level repro CLI."""
+    p = sub.add_parser(
+        "lint",
+        help="run reprolint (float-safety & architecture invariants)",
+        description=(
+            "AST static analysis enforcing the repo's float-safety and "
+            "architecture invariants. Exit 0 when clean, 1 on findings."
+        ),
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories (default: the src/ tree, else cwd)",
+    )
+    p.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    p.add_argument(
+        "--ignore",
+        default=None,
+        help="comma-separated rule ids to skip",
+    )
+    p.add_argument(
+        "--format",
+        choices=sorted(REPORTERS),
+        default="text",
+        dest="fmt",
+        help="report format (default: text)",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    p.set_defaults(fn=run_lint)
+
+
+def _split(arg: Optional[str]) -> Optional[List[str]]:
+    if arg is None:
+        return None
+    return [part.strip() for part in arg.split(",") if part.strip()]
+
+
+def _default_paths() -> List[str]:
+    for candidate in ("src/repro", "src", "repro"):
+        if Path(candidate).is_dir():
+            return [candidate]
+    return ["."]
+
+
+def _print_catalogue() -> None:
+    for cls in rule_catalogue():
+        print(f"{cls.id:<9s} {cls.title}")
+        if cls.rationale:
+            print(f"          why : {cls.rationale}")
+        if cls.fixit:
+            print(f"          fix : {cls.fixit}")
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        _print_catalogue()
+        return 0
+    try:
+        result = lint_paths(
+            args.paths or _default_paths(),
+            select=_split(args.select),
+            ignore=_split(args.ignore),
+        )
+    except ValueError as exc:  # unknown rule id in --select/--ignore
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    print(REPORTERS[args.fmt](result))
+    return 0 if result.ok else 1

@@ -1,0 +1,251 @@
+"""Concurrency-invariant rules: single-writer shards, event-loop hygiene.
+
+The serving plane's exactness story leans on two disciplines no test
+can fully pin down: shard state is mutated by exactly one writer task
+(so folds need no locks and FIFO queue order *is* the snapshot
+consistency model), and the event loop never blocks (so backpressure
+and latency numbers mean what they claim). The shared-memory data
+plane adds a third: a published segment is immutable (workers hold
+zero-copy views into it). These rules encode all three.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.analysis.core import Finding, ModuleUnit, Rule, register_rule
+
+__all__ = [
+    "BlockingIoInAsync",
+    "ShardStateEscape",
+    "SegmentWriteAfterPublish",
+]
+
+#: Module-level calls that block the event loop.
+_BLOCKING_MODULE_CALLS = {
+    ("time", "sleep"),
+    ("os", "system"),
+    ("subprocess", "run"),
+    ("subprocess", "call"),
+    ("subprocess", "check_call"),
+    ("subprocess", "check_output"),
+    ("subprocess", "Popen"),
+    ("socket", "create_connection"),
+    ("requests", "get"),
+    ("requests", "post"),
+}
+#: Blocking filesystem methods regardless of receiver (Path-style I/O).
+_BLOCKING_METHOD_NAMES = {
+    "read_text",
+    "write_text",
+    "read_bytes",
+    "write_bytes",
+}
+
+
+@register_rule
+class BlockingIoInAsync(Rule):
+    """CC001: blocking I/O inside ``serve/`` async functions.
+
+    One blocking call in a handler stalls every shard queue behind the
+    same loop — backpressure readings, microbatch coalescing windows,
+    and p99 latency all silently degrade. Blocking work moves to
+    ``await asyncio.to_thread(...)``.
+    """
+
+    id = "CC001"
+    title = "blocking I/O on the serving event loop"
+    rationale = (
+        "a blocked loop freezes every shard writer and poisons the "
+        "latency/backpressure numbers the service reports"
+    )
+    fixit = "wrap the call in 'await asyncio.to_thread(...)'"
+
+    def applies_to(self, unit: ModuleUnit) -> bool:
+        return "serve" in unit.parts
+
+    def check(self, unit: ModuleUnit) -> Iterable[Finding]:
+        for node in ast.walk(unit.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                label = self._blocking_label(sub)
+                if label is not None:
+                    yield self.finding(
+                        unit,
+                        sub,
+                        f"blocking call {label} inside async "
+                        f"'{node.name}' stalls the event loop",
+                    )
+
+    @staticmethod
+    def _blocking_label(call: ast.Call) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            return "open()"
+        if isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Name)
+                and (func.value.id, func.attr) in _BLOCKING_MODULE_CALLS
+            ):
+                return f"{func.value.id}.{func.attr}()"
+            if func.attr in _BLOCKING_METHOD_NAMES:
+                return f".{func.attr}()"
+        return None
+
+
+@register_rule
+class ShardStateEscape(Rule):
+    """CC002: shard accumulator state touched outside its writer.
+
+    ``AccumulatorShard._streams`` is single-writer state: only the
+    shard's own methods (executed by its writer loop) may read or
+    mutate it. Any ``other._streams`` access from outside the class
+    races the writer — reads see torn microbatches, writes corrupt
+    exact state without failing loudly.
+    """
+
+    id = "CC002"
+    title = "shard accumulator state accessed outside the owning shard"
+    rationale = (
+        "the lock-free fold path is sound only while one task owns "
+        "the stream map; outside access reintroduces the race the "
+        "queue exists to remove"
+    )
+    fixit = (
+        "route the access through shard.call(fn) so it runs inside "
+        "the writer loop at a queue sequence point"
+    )
+
+    #: Attributes that constitute the shard's private mutable state.
+    _PROTECTED = {"_streams"}
+    _OWNER = "AccumulatorShard"
+
+    def applies_to(self, unit: ModuleUnit) -> bool:
+        return "serve" in unit.parts
+
+    def check(self, unit: ModuleUnit) -> Iterable[Finding]:
+        for node in ast.walk(unit.tree):
+            if (
+                not isinstance(node, ast.Attribute)
+                or node.attr not in self._PROTECTED
+            ):
+                continue
+            cls = unit.enclosing_class(node)
+            inside_owner = (
+                cls is not None
+                and cls.name == self._OWNER
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            )
+            if not inside_owner:
+                yield self.finding(
+                    unit,
+                    node,
+                    f"'{node.attr}' accessed outside {self._OWNER}'s own "
+                    f"methods (single-writer discipline)",
+                )
+
+
+@register_rule
+class SegmentWriteAfterPublish(Rule):
+    """CC003: writes into a shared-memory segment view after publish.
+
+    ``ShmDataPlane`` publishes segments whose bytes workers read
+    through zero-copy views; the placement copy inside the plane is
+    the *only* legal write. A store through ``resolve_block(...)`` or
+    an ``np.frombuffer(seg.buf, ...)`` view outside the plane mutates
+    data concurrently visible to every worker mid-fold.
+    """
+
+    id = "CC003"
+    title = "shared-memory segment written after publish"
+    rationale = (
+        "workers fold straight out of the segment; a post-publish "
+        "write is a data race that silently changes the sum being "
+        "computed"
+    )
+    fixit = (
+        "copy the view (np.array(view)) and mutate the copy, or place "
+        "new data through ShmDataPlane before publishing"
+    )
+
+    _OWNER = "ShmDataPlane"
+
+    def check(self, unit: ModuleUnit) -> Iterable[Finding]:
+        # Collect, per function scope, names bound to segment views.
+        for node in ast.walk(unit.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    yield from self._check_store(unit, node, target)
+
+    def _view_names(self, unit: ModuleUnit, scope) -> set:
+        names = set()
+        for name, values in unit.bindings(scope).items():
+            for value in values:
+                if self._is_view_expr(value):
+                    names.add(name)
+        return names
+
+    @staticmethod
+    def _is_view_expr(node: ast.expr) -> bool:
+        """``resolve_block(...)`` or ``np.frombuffer(*.buf, ...)``."""
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "resolve_block":
+            return True
+        if isinstance(func, ast.Attribute) and func.attr == "resolve_block":
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "frombuffer"
+            and any(
+                isinstance(arg, ast.Attribute) and arg.attr == "buf"
+                for arg in node.args
+            )
+        ):
+            return True
+        return False
+
+    def _check_store(
+        self, unit: ModuleUnit, stmt: ast.AST, target: ast.expr
+    ) -> Iterable[Finding]:
+        cls = unit.enclosing_class(stmt)
+        if cls is not None and cls.name == self._OWNER:
+            return
+        # view[...] = ...  or  np.frombuffer(seg.buf)[...] = ...
+        if isinstance(target, ast.Subscript):
+            base = target.value
+            if self._is_view_expr(base):
+                yield self.finding(
+                    unit, stmt, "store into a fresh segment view after publish"
+                )
+                return
+            if isinstance(base, ast.Name):
+                scope = unit.enclosing_function(stmt)
+                if base.id in self._view_names(unit, scope):
+                    yield self.finding(
+                        unit,
+                        stmt,
+                        f"store into segment view '{base.id}' after publish",
+                    )
+        # view.flags.writeable = True re-arms writes on a published view
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr == "writeable"
+            and isinstance(stmt, ast.Assign)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is True
+        ):
+            yield self.finding(
+                unit,
+                stmt,
+                "re-enabling writes on a published segment view",
+            )

@@ -1,0 +1,655 @@
+"""The reprolint engine: rules, findings, suppressions, and the runner.
+
+``reprolint`` is a plugin-based AST static-analysis pass enforcing the
+invariants that keep this repository's exact-summation guarantee true:
+no code path may silently do naive float accumulation, float equality,
+ad-hoc wire framing, or cross-plane coupling outside the certified
+kernels. Rules register themselves with :func:`register_rule`; the
+runner parses each file once, hands every rule a :class:`ModuleUnit`
+(source + AST + scope metadata), and filters the produced
+:class:`Finding` objects through per-line suppressions.
+
+**Suppressions.** A finding on line ``L`` is silenced by a trailing
+comment on that line (or a ``disable-next-line`` comment on ``L - 1``)::
+
+    x = naive_thing()  # reprolint: disable=FP001 -- naive is the point here
+
+The justification after ``--`` is mandatory: a suppression without one
+does not suppress anything and additionally raises a ``SUPP001``
+finding, so every silenced rule carries its reviewable why.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "ModuleUnit",
+    "ProjectContext",
+    "LintResult",
+    "register_rule",
+    "rule_catalogue",
+    "get_rules",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+    "SUPPRESSION_RULE_ID",
+]
+
+#: Meta rule id reported for malformed / unjustified suppressions.
+SUPPRESSION_RULE_ID = "SUPP001"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int
+    severity: str = "error"
+    fixit: Optional[str] = None
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fixit": self.fixit,
+        }
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set the class metadata below and implement
+    :meth:`check`. Register with :func:`register_rule`; the id is the
+    selection key (``repro lint --select FP001``) and the suppression
+    key (``# reprolint: disable=FP001 -- why``).
+    """
+
+    id: str = "?"
+    title: str = "?"
+    severity: str = "error"
+    rationale: str = ""
+    #: One-line generic remediation, shown as ``hint:`` in text output.
+    fixit: str = ""
+
+    def applies_to(self, unit: "ModuleUnit") -> bool:
+        """Scope hook: return False to skip a file entirely."""
+        return True
+
+    def check(self, unit: "ModuleUnit") -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, unit: "ModuleUnit", node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            message=message,
+            path=unit.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            severity=self.severity,
+            fixit=self.fixit or None,
+        )
+
+
+_RULES: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule to the registry under its ``id``."""
+    if not cls.id or cls.id == "?":
+        raise ValueError(f"rule class {cls!r} needs a distinct 'id'")
+    if cls.id in _RULES:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    _RULES[cls.id] = cls
+    return cls
+
+
+def rule_catalogue() -> List[Type[Rule]]:
+    """Every registered rule class, sorted by id."""
+    _load_builtin_rules()
+    return [_RULES[k] for k in sorted(_RULES)]
+
+
+def get_rules(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Rule]:
+    """Instantiate the selected rules (all when ``select`` is None)."""
+    _load_builtin_rules()
+    known = set(_RULES)
+    for requested in list(select or []) + list(ignore or []):
+        if requested not in known:
+            raise ValueError(
+                f"unknown rule {requested!r}; expected one of {sorted(known)}"
+            )
+    wanted = set(select) if select else known
+    wanted -= set(ignore or [])
+    return [_RULES[k]() for k in sorted(wanted)]
+
+
+def _load_builtin_rules() -> None:
+    # Imported lazily so `import repro.analysis.core` never cycles.
+    from repro.analysis import architecture, concurrency, floatsafety  # noqa: F401
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable(?:-next-line)?)"
+    r"\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"\s*(?:--\s*(?P<why>.*\S))?\s*$"
+)
+_MALFORMED_RE = re.compile(r"#\s*reprolint\b")
+
+
+@dataclass
+class Suppression:
+    """One parsed suppression comment and its justification."""
+
+    line: int  # line the suppression *covers*
+    comment_line: int  # line the comment sits on
+    rules: Set[str]
+    justification: str
+    used: bool = False
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.justification)
+
+
+def parse_suppressions(
+    source: str,
+) -> Tuple[Dict[int, List[Suppression]], List[Tuple[int, str]]]:
+    """Scan for suppression comments.
+
+    Returns ``(by_covered_line, malformed)`` where ``malformed`` lists
+    ``(line, problem)`` pairs for ``# reprolint`` comments the parser
+    could not understand (those are reported, never silently ignored).
+    Only real comment tokens count — a suppression spelled inside a
+    string or docstring (e.g. documentation showing the syntax) is
+    neither honored nor flagged.
+    """
+    by_line: Dict[int, List[Suppression]] = {}
+    malformed: List[Tuple[int, str]] = []
+    for lineno, text in _comment_tokens(source):
+        if "reprolint" not in text:
+            continue
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            if _MALFORMED_RE.search(text):
+                malformed.append(
+                    (
+                        lineno,
+                        "malformed reprolint comment; expected "
+                        "'# reprolint: disable=RULE -- justification'",
+                    )
+                )
+            continue
+        rules = {r.strip() for r in match.group("rules").split(",") if r.strip()}
+        covered = lineno + 1 if match.group("kind").endswith("next-line") else lineno
+        supp = Suppression(
+            line=covered,
+            comment_line=lineno,
+            rules=rules,
+            justification=(match.group("why") or "").strip(),
+        )
+        by_line.setdefault(covered, []).append(supp)
+    return by_line, malformed
+
+
+def _comment_tokens(source: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line, text)`` for each comment token in *source*."""
+    reader = io.StringIO(source).readline
+    try:
+        for tok in tokenize.generate_tokens(reader):
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The AST parse gates linting, so this is unreachable for real
+        # files; bail quietly rather than invent suppressions.
+        return
+
+
+# ----------------------------------------------------------------------
+# module + project context
+# ----------------------------------------------------------------------
+
+
+def module_parts(path: str) -> Tuple[str, ...]:
+    """Dotted-module parts of a file path, rooted at the ``repro`` package.
+
+    ``src/repro/serve/shards.py`` -> ``("repro", "serve", "shards")``.
+    Paths outside a ``repro`` package tree return ``()``; scoped rules
+    then fall back to their most generic behavior.
+    """
+    parts = Path(path).as_posix().split("/")
+    if "repro" not in parts:
+        return ()
+    idx = len(parts) - 1 - parts[::-1].index("repro")
+    tail = parts[idx:]
+    if tail[-1].endswith(".py"):
+        tail[-1] = tail[-1][:-3]
+    if tail[-1] == "__init__":
+        tail = tail[:-1]
+    return tuple(tail)
+
+
+class ModuleUnit:
+    """One parsed file: source, AST, parent links, and scope metadata."""
+
+    def __init__(
+        self,
+        source: str,
+        display_path: str,
+        context: "ProjectContext",
+    ) -> None:
+        self.source = source
+        self.display_path = display_path
+        self.context = context
+        self.tree = ast.parse(source, filename=display_path)
+        self.parts = module_parts(display_path)
+        self.suppressions, self.malformed_suppressions = parse_suppressions(source)
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    # -- tree navigation -------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        cur = self._parents.get(node)
+        while cur is not None:
+            yield cur
+            cur = self._parents.get(cur)
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        for anc in self.ancestors(node):
+            if isinstance(anc, ast.ClassDef):
+                return anc
+        return None
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> Optional[ast.AST]:
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return None
+
+    def in_loop(self, node: ast.AST) -> bool:
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.For, ast.While, ast.AsyncFor)):
+                return True
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return False
+        return False
+
+    # -- scope helpers ---------------------------------------------------
+
+    def in_package(self, name: str) -> bool:
+        """Whether this module sits under ``repro.<name>``."""
+        return len(self.parts) >= 2 and self.parts[1] == name
+
+    @property
+    def module_name(self) -> str:
+        return ".".join(self.parts) if self.parts else self.display_path
+
+    def bindings(self, scope: Optional[ast.AST]) -> Dict[str, List[ast.expr]]:
+        """``{name: [assigned exprs]}`` for one function scope.
+
+        Nested function/class bodies are excluded so bindings stay
+        local; module scope is the ``None`` key.
+        """
+        root = scope if scope is not None else self.tree
+        out: Dict[str, List[ast.expr]] = {}
+
+        def visit(node: ast.AST, top: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ) and not (top and child is root):
+                    continue
+                if isinstance(child, ast.Assign):
+                    for target in child.targets:
+                        for name in _target_names(target):
+                            out.setdefault(name, []).append(child.value)
+                elif isinstance(child, ast.AnnAssign) and child.value is not None:
+                    for name in _target_names(child.target):
+                        out.setdefault(name, []).append(child.value)
+                elif isinstance(child, ast.AugAssign):
+                    for name in _target_names(child.target):
+                        out.setdefault(name, []).append(child.value)
+                visit(child, False)
+
+        visit(root, True)
+        return out
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_names(elt)
+
+
+class ProjectContext:
+    """Cross-file facts rules may need (the codec table, package root).
+
+    Built once per run. ``codec_encoders`` may be injected (tests) or
+    is parsed lazily from the project's ``repro/codec.py`` registry.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Path] = None,
+        codec_encoders: Optional[Set[str]] = None,
+    ) -> None:
+        self.root = root
+        self._codec_encoders = codec_encoders
+        self._codec_loaded = codec_encoders is not None
+
+    @property
+    def codec_encoders(self) -> Optional[Set[str]]:
+        """Names of ``encode_*`` functions registered in the codec table.
+
+        ``None`` when no codec registry can be located (rules needing
+        it then skip rather than guess).
+        """
+        if not self._codec_loaded:
+            self._codec_loaded = True
+            self._codec_encoders = self._parse_codec_table()
+        return self._codec_encoders
+
+    def _codec_path(self) -> Optional[Path]:
+        candidates = []
+        if self.root is not None:
+            candidates.append(Path(self.root) / "repro" / "codec.py")
+            candidates.append(Path(self.root) / "src" / "repro" / "codec.py")
+        for cand in candidates:
+            if cand.is_file():
+                return cand
+        return None
+
+    def _parse_codec_table(self) -> Optional[Set[str]]:
+        path = self._codec_path()
+        if path is None:
+            return None
+        try:
+            tree = ast.parse(path.read_text(), filename=str(path))
+        except (OSError, SyntaxError):
+            return None
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                names = [node.target.id]
+            else:
+                continue
+            if "_DECODERS" not in names or not isinstance(node.value, ast.Dict):
+                continue
+            encoders: Set[str] = set()
+            for value in node.value.values:
+                fn: Optional[ast.expr] = None
+                if isinstance(value, ast.Tuple) and len(value.elts) == 2:
+                    fn = value.elts[1]
+                elif isinstance(value, ast.Name):
+                    fn = value
+                if isinstance(fn, ast.Name) and fn.id.startswith("decode_"):
+                    encoders.add("encode_" + fn.id[len("decode_") :])
+            return encoders or None
+        return None
+
+
+def find_project_root(start: Path) -> Optional[Path]:
+    """Directory whose ``repro/codec.py`` (or ``src/repro/codec.py``) exists."""
+    cur = start.resolve()
+    if cur.is_file():
+        cur = cur.parent
+    for cand in [cur, *cur.parents]:
+        if (cand / "repro" / "codec.py").is_file():
+            return cand
+        if (cand / "src" / "repro" / "codec.py").is_file():
+            return cand
+    return None
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def sorted_findings(self) -> List[Finding]:
+        return sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "findings": [f.to_json() for f in self.sorted_findings()],
+            "summary": {
+                "findings": len(self.findings),
+                "suppressed": self.suppressed,
+                "files_checked": self.files_checked,
+                "ok": self.ok,
+            },
+        }
+
+
+def _apply_suppressions(
+    unit: ModuleUnit,
+    raw: List[Finding],
+    selected_ids: Set[str],
+) -> Tuple[List[Finding], int]:
+    """Filter findings through the unit's suppressions.
+
+    A justified suppression naming the rule silences the finding. An
+    unjustified one does not — and earns a SUPP001 finding of its own,
+    as does any malformed reprolint comment.
+    """
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        silenced = False
+        for supp in unit.suppressions.get(finding.line, []):
+            if finding.rule not in supp.rules and "all" not in supp.rules:
+                continue
+            supp.used = True
+            if supp.justified:
+                silenced = True
+            else:
+                kept.append(
+                    Finding(
+                        rule=SUPPRESSION_RULE_ID,
+                        message=(
+                            f"suppression of {finding.rule} has no "
+                            f"justification; write '# reprolint: "
+                            f"disable={finding.rule} -- <why>'"
+                        ),
+                        path=unit.display_path,
+                        line=supp.comment_line,
+                        col=1,
+                        severity="error",
+                    )
+                )
+        if silenced:
+            suppressed += 1
+        else:
+            kept.append(finding)
+    for lineno, problem in unit.malformed_suppressions:
+        kept.append(
+            Finding(
+                rule=SUPPRESSION_RULE_ID,
+                message=problem,
+                path=unit.display_path,
+                line=lineno,
+                col=1,
+                severity="error",
+            )
+        )
+    # Suppressions naming selected rules that silenced nothing are noise
+    # drift (the violation moved or was fixed); keep the tree honest.
+    for supps in unit.suppressions.values():
+        for supp in supps:
+            if supp.used or not (supp.rules & selected_ids):
+                continue
+            kept.append(
+                Finding(
+                    rule=SUPPRESSION_RULE_ID,
+                    message=(
+                        "useless suppression: no "
+                        + "/".join(sorted(supp.rules & selected_ids))
+                        + " finding on the covered line"
+                    ),
+                    path=unit.display_path,
+                    line=supp.comment_line,
+                    col=1,
+                    severity="error",
+                )
+            )
+    return kept, suppressed
+
+
+def lint_source(
+    source: str,
+    filename: str = "<snippet>",
+    *,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    context: Optional[ProjectContext] = None,
+) -> LintResult:
+    """Lint one source string (the fixture-test entry point)."""
+    rules = get_rules(select, ignore)
+    ctx = context if context is not None else ProjectContext()
+    result = LintResult(files_checked=1)
+    _lint_unit(source, filename, ctx, rules, result)
+    return result
+
+
+def _lint_unit(
+    source: str,
+    display_path: str,
+    context: ProjectContext,
+    rules: Sequence[Rule],
+    result: LintResult,
+) -> None:
+    try:
+        unit = ModuleUnit(source, display_path, context)
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(
+                rule="E999",
+                message=f"syntax error: {exc.msg}",
+                path=display_path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+            )
+        )
+        return
+    raw: List[Finding] = []
+    for rule in rules:
+        if rule.applies_to(unit):
+            raw.extend(rule.check(unit))
+    kept, suppressed = _apply_suppressions(
+        unit, raw, {rule.id for rule in rules}
+    )
+    result.findings.extend(kept)
+    result.suppressed += suppressed
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Expand files/directories into sorted ``.py`` files."""
+    seen: Set[Path] = set()
+    for item in paths:
+        p = Path(item)
+        if p.is_dir():
+            candidates: Iterable[Path] = sorted(p.rglob("*.py"))
+        else:
+            candidates = [p]
+        for cand in candidates:
+            if cand not in seen:
+                seen.add(cand)
+                yield cand
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    context: Optional[ProjectContext] = None,
+) -> LintResult:
+    """Lint files and directories; the ``repro lint`` entry point."""
+    rules = get_rules(select, ignore)
+    ctx = context
+    result = LintResult()
+    for path in iter_python_files(paths):
+        if ctx is None:
+            ctx = ProjectContext(root=find_project_root(path))
+        try:
+            source = path.read_text()
+        except (OSError, UnicodeDecodeError) as exc:
+            result.findings.append(
+                Finding(
+                    rule="E998",
+                    message=f"cannot read file: {exc}",
+                    path=str(path),
+                    line=1,
+                    col=1,
+                )
+            )
+            continue
+        result.files_checked += 1
+        _lint_unit(source, str(path), ctx, rules, result)
+    return result

@@ -1,0 +1,41 @@
+"""Finding reporters: human text and machine JSON.
+
+Both render a :class:`~repro.analysis.core.LintResult`; the JSON shape
+is versioned (``{"version": 1, "findings": [...], "summary": {...}}``)
+because CI consumes it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict
+
+from repro.analysis.core import LintResult
+
+__all__ = ["render_text", "render_json", "REPORTERS"]
+
+
+def render_text(result: LintResult) -> str:
+    """One ``path:line:col: RULE message`` line per finding + summary."""
+    lines = []
+    for f in result.sorted_findings():
+        lines.append(f"{f.location()}: {f.rule} {f.message}")
+        if f.fixit:
+            lines.append(f"    hint: {f.fixit}")
+    noun = "finding" if len(result.findings) == 1 else "findings"
+    lines.append(
+        f"{len(result.findings)} {noun} "
+        f"({result.suppressed} suppressed) in {result.files_checked} file(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Versioned JSON document (the ``--format json`` CI contract)."""
+    return json.dumps(result.to_json(), indent=2, sort_keys=True)
+
+
+REPORTERS: Dict[str, Callable[[LintResult], str]] = {
+    "text": render_text,
+    "json": render_json,
+}

@@ -38,9 +38,9 @@ def grow_expansion(expansion: Sequence[float], b: float) -> List[float]:
     q = b
     for e in expansion:
         q, h = two_sum(q, e)
-        if h != 0.0:
+        if h != 0.0:  # reprolint: disable=FP002 -- TwoSum residuals are exact; zero test drops true zeros
             out.append(h)
-    if q != 0.0:
+    if q != 0.0:  # reprolint: disable=FP002 -- TwoSum residuals are exact; zero test drops true zeros
         out.append(q)
     return out
 
@@ -63,6 +63,7 @@ def compress(expansion: Sequence[float]) -> List[float]:
     Two sweeps of FastTwoSum; the result has no zero components and its
     largest component approximates the total to within an ulp.
     """
+    # reprolint: disable-next-line=FP002 -- exact-zero components carry no value
     e = [v for v in expansion if v != 0.0]
     if not e:
         return []
@@ -71,7 +72,7 @@ def compress(expansion: Sequence[float]) -> List[float]:
     q = e[-1]
     for v in reversed(e[:-1]):
         q, small = fast_two_sum(q, v)
-        if small != 0.0:
+        if small != 0.0:  # reprolint: disable=FP002 -- TwoSum residuals are exact; zero test drops true zeros
             g.append(q)
             q = small
     g.append(q)
@@ -81,7 +82,7 @@ def compress(expansion: Sequence[float]) -> List[float]:
     q = g[0]
     for v in g[1:]:
         q, small = fast_two_sum(v, q)
-        if small != 0.0:
+        if small != 0.0:  # reprolint: disable=FP002 -- TwoSum residuals are exact; zero test drops true zeros
             out.append(small)
     out.append(q)
     return out

@@ -46,6 +46,7 @@ __all__ = ["ifastsum", "round_three_exact"]
 
 def round_three_exact(a: float, b: float, c: float, mode: str = "nearest") -> float:
     """Correctly rounded ``a + b + c`` in O(1) exact integer arithmetic."""
+    # reprolint: disable-next-line=FP002 -- exact-zero terms contribute nothing
     parts = [decompose(v) for v in (a, b, c) if v != 0.0]
     if not parts:
         return 0.0
@@ -66,7 +67,7 @@ def _distill_pass(x: List[float], n: int) -> "tuple[int, float, float]":
     sm = 0.0
     for i in range(n):
         st, err = two_sum(st, x[i])
-        if err != 0.0:
+        if err != 0.0:  # reprolint: disable=FP002 -- TwoSum residual is exact
             x[count] = err
             count += 1
             ast = abs(st)
@@ -115,9 +116,10 @@ def ifastsum(values: Iterable[float]) -> float:
         count += 1
         n = count
 
-        if em == 0.0:
+        if em == 0.0:  # reprolint: disable=FP002 -- em is a computed max, exact when zero
             # Residual is exactly st: one exact 2-term rounding decides.
             return round_three_exact(s, st, 0.0)
+        # reprolint: disable-next-line=FP002 -- exact-zero guard before the ulp test
         if s != 0.0 and em < 0.5 * math.ulp(s):
             w_hi = round_three_exact(s, st, em)
             w_lo = round_three_exact(s, st, -em)
@@ -135,6 +137,6 @@ def _exact_fallback(terms: List[float], s: float) -> float:
     from repro.core.sparse import SparseSuperaccumulator
 
     acc = SparseSuperaccumulator.from_floats(terms)
-    if s != 0.0:
+    if s != 0.0:  # reprolint: disable=FP002 -- exact-zero guard, not a tolerance
         acc = acc.add(SparseSuperaccumulator.from_float(s))
     return acc.to_float()

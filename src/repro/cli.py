@@ -11,7 +11,9 @@ Commands:
 * ``plan`` — show which execution plane / kernel / tier the backend
   planner (:mod:`repro.plan`) would schedule for a given input shape;
 * ``serve`` — run the sharded exact-aggregation service
-  (:mod:`repro.serve`) until SIGINT or a client ``shutdown`` op.
+  (:mod:`repro.serve`) until SIGINT or a client ``shutdown`` op;
+* ``lint`` — run reprolint (:mod:`repro.analysis`), the AST
+  float-safety & architecture-invariant linter, over a source tree.
 
 Example::
 
@@ -36,6 +38,7 @@ from repro.core import condition_number, exact_sum
 from repro.core.fpinfo import exponent_span
 from repro.data import DISTRIBUTIONS, generate, read_dataset, write_dataset
 from repro.mapreduce import parallel_sum
+from repro.util.bits import same_float
 
 __all__ = ["main"]
 
@@ -52,6 +55,7 @@ _METHODS: Dict[str, Callable[[np.ndarray, argparse.Namespace], float]] = {
     "mapreduce-small": lambda x, a: parallel_sum(
         x, method="small", workers=a.workers, executor="auto"
     ),
+    # reprolint: disable-next-line=FP003 -- 'naive' is the measured control, not a sum path
     "naive": lambda x, a: float(np.sum(x)),
 }
 
@@ -77,9 +81,9 @@ def _cmd_sum(args: argparse.Namespace) -> int:
     print(f"time   : {elapsed:.4f} s")
     if args.check and args.method != "naive":
         ref = exact_sum(data, method="sparse")
-        status = "OK (correctly rounded)" if result == ref else f"MISMATCH vs {ref!r}"
-        print(f"check  : {status}")
-        if result != ref:
+        ok = same_float(result, ref)
+        print(f"check  : {'OK (correctly rounded)' if ok else f'MISMATCH vs {ref!r}'}")
+        if not ok:
             return 1
     return 0
 
@@ -92,10 +96,10 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"exponent span  : {exponent_span(data)}")
     print(f"min / max      : {data.min():.6g} / {data.max():.6g}")
     exact = exact_sum(data)
-    naive = float(np.sum(data))
+    naive = float(np.sum(data))  # reprolint: disable=FP003 -- diagnostic shows the naive error
     print(f"exact sum      : {exact!r}")
     print(f"naive np.sum   : {naive!r}")
-    print(f"naive correct  : {naive == exact}")
+    print(f"naive correct  : {same_float(naive, exact)}")
     cond = condition_number(data)
     print(f"condition C(X) : {cond:.6g}")
     return 0
@@ -172,6 +176,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     t = sub.add_parser("selftest", help="fast whole-install verification")
     t.set_defaults(fn=_cmd_selftest)
+
+    from repro.analysis.cli import add_lint_parser
+
+    add_lint_parser(sub)
 
     v = sub.add_parser("serve", help="run the exact-aggregation service")
     v.add_argument("--host", default="127.0.0.1")

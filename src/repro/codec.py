@@ -5,8 +5,9 @@ this package — MapReduce shuffle payloads, BSP messages, service
 snapshots, streaming checkpoints, dataset files — is a *magic-tagged
 frame*: a 4-byte ASCII magic identifying the format, followed by a
 format-specific body. This module owns all of those layouts; nothing
-else in the package touches :mod:`struct`. (CI enforces that with a
-grep gate.)
+else in the package touches :mod:`struct`. (reprolint rule ``ARCH001``
+enforces that — see :mod:`repro.analysis` — and CI runs it as a
+blocking check.)
 
 Registered frame formats:
 

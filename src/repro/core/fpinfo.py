@@ -113,7 +113,7 @@ def decompose(x: float) -> Tuple[int, int]:
     Raises:
         NonFiniteInputError: for NaN or infinities.
     """
-    if x == 0.0:
+    if x == 0.0:  # reprolint: disable=FP002 -- exact-zero special case of decompose
         return 0, 0
     if not math.isfinite(x):
         raise NonFiniteInputError(f"cannot decompose non-finite value {x!r}")
@@ -174,6 +174,7 @@ def exponent_of(x: float) -> int:
 
     ``2**exponent_of(x) <= |x| < 2**(exponent_of(x) + 1)``.
     """
+    # reprolint: disable-next-line=FP002 -- exact-zero has no msb exponent
     if x == 0.0 or not math.isfinite(x):
         raise ValueError(f"exponent_of requires finite non-zero x, got {x!r}")
     return math.frexp(x)[1] - 1
@@ -187,7 +188,7 @@ def exponent_span(values: np.ndarray) -> int:
     output and so the harness can report the *effective* delta (which
     Anderson's distribution collapses — Figure 2 discussion).
     """
-    nz = values[values != 0.0]
+    nz = values[values != 0.0]  # reprolint: disable=FP002 -- exact-zero mask, not a tolerance
     if nz.size == 0:
         return 0
     _, e = np.frexp(nz)

@@ -190,6 +190,7 @@ def stopping_condition_addtwo(y: float, n: int, e_min: int) -> bool:
         bound = math.ldexp(float(n), e_min)
     except OverflowError:
         return False
+    # reprolint: disable-next-line=FP002 -- the AddTwo test IS this exact comparison (paper Lemma)
     return y == y + bound and y == y - bound
 
 
@@ -203,7 +204,7 @@ def stopping_condition_exponent(y: float, n: int, e_min: int) -> bool:
     """
     if n <= 0:
         return True
-    if y == 0.0:
+    if y == 0.0:  # reprolint: disable=FP002 -- exact-zero carries no magnitude information
         return False  # no information about the magnitude of the sum
     # lsb exponent of y: ulp(y) = 2**lsb for normal y.
     lsb = math.frexp(math.ulp(y))[1] - 1

@@ -54,13 +54,13 @@ def product_expansion(factors: Sequence[float]) -> List[float]:
         for t in terms:
             p, e = two_product(t, f)
             # fold the running partials with TwoSum to keep everything exact
-            if e != 0.0:
+            if e != 0.0:  # reprolint: disable=FP002 -- EFT residual is exact; zero test drops true zeros
                 new_terms.append(e)
             s, c = two_sum(carry, p)
             carry = s
-            if c != 0.0:
+            if c != 0.0:  # reprolint: disable=FP002 -- EFT residual is exact; zero test drops true zeros
                 new_terms.append(c)
-        if carry != 0.0:
+        if carry != 0.0:  # reprolint: disable=FP002 -- EFT residual is exact; zero test drops true zeros
             new_terms.append(carry)
         terms = new_terms if new_terms else [0.0]
     return terms

@@ -10,6 +10,7 @@ execution plane.
 
 from __future__ import annotations
 
+from fractions import Fraction
 from typing import Any
 
 import numpy as np
@@ -61,7 +62,7 @@ class SparseKernel(SumKernel):
     def width(self, partial: SparseSuperaccumulator) -> int:
         return partial.active_count
 
-    def exact_fraction(self, partial: SparseSuperaccumulator):
+    def exact_fraction(self, partial: SparseSuperaccumulator) -> Fraction:
         return partial.to_fraction()
 
 
@@ -101,7 +102,7 @@ class DenseKernel(SumKernel):
     def width(self, partial: DenseSuperaccumulator) -> int:
         return int(np.count_nonzero(partial.limbs))
 
-    def exact_fraction(self, partial: DenseSuperaccumulator):
+    def exact_fraction(self, partial: DenseSuperaccumulator) -> Fraction:
         return partial.to_fraction()
 
 
@@ -170,7 +171,7 @@ class RunningSumKernel(SumKernel):
     def width(self, partial: Any) -> int:
         return partial.exact_state().active_count
 
-    def exact_fraction(self, partial: Any):
+    def exact_fraction(self, partial: Any) -> Fraction:
         return partial.exact_fraction()
 
     def new_stream(self) -> Any:

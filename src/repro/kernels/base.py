@@ -29,7 +29,8 @@ return ``a`` (it must never corrupt ``b``'s value). Callers that need
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Dict, Iterable, Optional, Sequence
+from fractions import Fraction
+from typing import Any, Callable, Dict, Iterable, Optional, Sequence, TypeVar
 
 import numpy as np
 
@@ -118,7 +119,7 @@ class SumKernel(ABC):
         """Inverse of :meth:`to_wire`; raises
         :class:`~repro.errors.CodecError` on malformed frames."""
 
-    def exact_fraction(self, partial: Any):
+    def exact_fraction(self, partial: Any) -> Fraction:
         """Exact value of a partial as a :class:`fractions.Fraction`.
 
         Defined for exact kernels (it backs the serving plane's exact
@@ -221,7 +222,7 @@ class KernelStream:
             raise EmptyStreamError("mean of empty stream")
         return round_fraction(self.exact_fraction() / self.count)
 
-    def exact_fraction(self):
+    def exact_fraction(self) -> Fraction:
         return self.kernel.exact_fraction(self.partial)
 
     def to_bytes(self) -> bytes:
@@ -236,8 +237,10 @@ class KernelStream:
 
 _REGISTRY: Dict[str, Callable[..., SumKernel]] = {}
 
+_KernelClass = TypeVar("_KernelClass", bound=Callable[..., SumKernel])
 
-def register_kernel(cls: Callable[..., SumKernel]) -> Callable[..., SumKernel]:
+
+def register_kernel(cls: _KernelClass) -> _KernelClass:
     """Class decorator: register a kernel under its ``name``."""
     name = getattr(cls, "name", None)
     if not isinstance(name, str) or not name or name == "?":

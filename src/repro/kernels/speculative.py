@@ -50,8 +50,9 @@ def sum_bounds_upper(bounds: Sequence[float]) -> float:
     relative inflation plus a subnormal quantum strictly dominates the
     true sum — keeping every downstream certificate comparison sound.
     """
+    # reprolint: disable-next-line=FP003 -- fsum feeds a bound, not the sum; inflated below
     total = math.fsum(bounds)
-    if total == 0.0:
+    if total == 0.0:  # reprolint: disable=FP002 -- all-zero bounds mean exact contributions
         return 0.0
     return total * (1.0 + 2.0**-50) + 5e-324
 
@@ -65,7 +66,7 @@ def certify_rounding(
     :class:`CertificationError` when the proof fails. ``bound_total ==
     0`` means every contribution was exact — nothing to prove.
     """
-    if bound_total == 0.0:
+    if bound_total == 0.0:  # reprolint: disable=FP002 -- zero bound means nothing was truncated
         return math.inf
     lo = math.nextafter(y, -math.inf)
     hi = math.nextafter(y, math.inf)
@@ -83,6 +84,7 @@ def certify_rounding(
             "certificate mass reaches a rounding-cell boundary; rerun exactly"
         )
     half_cell = Fraction(math.ulp(y)) / 2
+    # reprolint: disable-next-line=FP004 -- margin telemetry only; log2 absorbs the rounding slack
     return math.log2(float(half_cell / bound)) if half_cell > bound else 0.0
 
 
@@ -160,6 +162,7 @@ class AdaptiveCascadeKernel(SumKernel):
         if partial.acc is not None:
             return partial.acc
         value, remainder, _ = partial.cert
+        # reprolint: disable-next-line=FP002 -- exact-zero remainder carries no mass
         floats = [value, remainder] if remainder != 0.0 else [value]
         return SparseSuperaccumulator.from_floats(
             np.array(floats, dtype=np.float64), self.radix
@@ -180,6 +183,7 @@ class AdaptiveCascadeKernel(SumKernel):
         self, partial: AdaptivePartial, mode: str = "nearest"
     ) -> Tuple[float, dict]:
         """Rounded value plus the tier telemetry of this reduction."""
+        # reprolint: disable-next-line=FP002 -- exact-zero bound gate, not a tolerance
         if partial.bound != 0.0 and mode != "nearest":
             raise CertificationError(
                 "adaptive certificates only prove nearest rounding; rerun exactly"

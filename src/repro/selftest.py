@@ -14,6 +14,8 @@ from typing import Callable, List, Tuple
 
 import numpy as np
 
+from repro.util.bits import same_float
+
 __all__ = ["run_selftest"]
 
 
@@ -31,10 +33,13 @@ def _ref(values) -> float:
 
 def _check_environment() -> None:
     # round-to-nearest-even and no surprise FMA contraction
+    # reprolint: disable-next-line=FP002 -- probes the hardware rounding mode on purpose
     assert 1.0 + 2.0**-53 == 1.0, "rounding mode is not nearest-even"
+    # reprolint: disable-next-line=FP002 -- probes the precision of the double format
     assert 1.0 + 2.0**-52 != 1.0, "double precision narrower than expected"
     x, y = 1e16, 1.0
     s = x + y
+    # reprolint: disable-next-line=FP002 -- TwoSum residual is exact by construction
     assert (x - (s - (s - x))) + (y - (s - x)) == 1.0, "TwoSum algebra broken"
 
 
@@ -66,7 +71,8 @@ def _check_adaptive() -> None:
     assert detail.tier > 0, "certificate accepted a massive cancellation"
     # An exact rounding tie: hardware and superaccumulator must agree.
     t = np.array([1.0, 2.0**-53])
-    assert adaptive_sum_detail(t).value == exact_sum(t, method="sparse") == 1.0
+    assert same_float(adaptive_sum_detail(t).value, 1.0)
+    assert same_float(exact_sum(t, method="sparse"), 1.0)
 
 
 def _check_baselines() -> None:
@@ -129,7 +135,7 @@ def _check_geometry() -> None:
 def _check_stats() -> None:
     from repro.stats import exact_variance
 
-    assert exact_variance(np.array([1e8 + 1, 1e8 + 2, 1e8 + 3, 1e8 + 4])) == 1.25
+    assert same_float(exact_variance(np.array([1e8 + 1, 1e8 + 2, 1e8 + 3, 1e8 + 4])), 1.25)
 
 
 def _check_kernels() -> None:
@@ -176,10 +182,29 @@ def _check_serve() -> None:
         async with ReproService(ServeConfig(shards=2)) as service:
             client = InProcessClient(service)
             await client.add_array("t", [1e16, 1.0, -1e16])
-            assert await client.value("t") == 1.0
+            assert same_float(await client.value("t"), 1.0)
             assert await client.count("t") == 3
 
     asyncio.run(roundtrip())
+
+
+def _check_analysis() -> None:
+    from pathlib import Path
+
+    from repro.analysis import lint_paths, lint_source, rule_catalogue
+
+    assert len(rule_catalogue()) >= 11, "builtin rule families failed to register"
+    # The linter must still catch a planted violation...
+    planted = lint_source("def f(xs):\n    return sum(float(x) for x in xs)\n")
+    assert any(f.rule == "FP001" for f in planted.findings), "FP001 went blind"
+    # ...and the installed tree must be clean under every rule.
+    import repro
+
+    pkg_dir = Path(repro.__file__).parent
+    result = lint_paths([str(pkg_dir)])
+    assert result.ok, "\n".join(
+        f.location() + ": " + f.rule for f in result.sorted_findings()
+    )
 
 
 _CHECKS: List[Tuple[str, Callable[[], None]]] = [
@@ -196,6 +221,7 @@ _CHECKS: List[Tuple[str, Callable[[], None]]] = [
     ("kernel registry", _check_kernels),
     ("backend planner", _check_plan),
     ("serving plane", _check_serve),
+    ("static analysis", _check_analysis),
 ]
 
 

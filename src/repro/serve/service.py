@@ -51,6 +51,7 @@ from repro.errors import (
 )
 from repro.adaptive import AdaptiveFolder
 from repro.kernels import get_kernel, kernel_names
+# reprolint: disable-next-line=ARCH004 -- dataplane is the shared zero-copy layer, not a plane entry point
 from repro.mapreduce.dataplane import BlockRef, resolve_block
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.protocol import (
@@ -471,14 +472,13 @@ class ReproService:
         for name in listing["streams"]:
             snap = await self._op_snapshot({"stream": name})
             states[name] = snap["snapshot"]
-        Path(path).write_text(
-            json.dumps({"format": "repro-serve-state-v1", "streams": states})
-        )
+        payload = json.dumps({"format": "repro-serve-state-v1", "streams": states})
+        await asyncio.to_thread(Path(path).write_text, payload)
         return len(states)
 
     async def load_state(self, path: Union[str, Path]) -> int:
         """Restore a :meth:`save_state` file; returns stream count."""
-        doc = json.loads(Path(path).read_text())
+        doc = json.loads(await asyncio.to_thread(Path(path).read_text))
         if doc.get("format") != "repro-serve-state-v1":
             raise ServiceError(f"unrecognized state file format in {path}")
         streams = doc.get("streams", {})

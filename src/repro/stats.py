@@ -78,6 +78,7 @@ def _exact_square_sum_fraction(arr: np.ndarray) -> Fraction:
     integer squares for magnitudes whose float squares would under- or
     overflow (where TwoProduct stops being error-free)."""
     a = np.abs(arr)
+    # reprolint: disable-next-line=FP002 -- exact-zero mask, not a tolerance
     safe = ((a > _SAFE_LO) & (a < _SAFE_HI)) | (a == 0.0)
     total = Fraction(0)
     s = arr[safe]
@@ -136,12 +137,13 @@ def exact_norm2(values: Iterable[float]) -> float:
         est = math.ldexp(math.sqrt(round_fraction(ss / Fraction(4) ** k)), k)
     except OverflowError:
         est = math.inf
+    # reprolint: disable-next-line=FP002 -- infinity compare is exact by definition
     if est == math.inf or est >= MAX_FINITE:
         # overflow region: nearest rounds to inf iff sqrt(ss) reaches
         # the overflow midpoint 2**1024 - 2**970
         mid = Fraction(2) ** 1024 - Fraction(2) ** 970
         return math.inf if ss >= mid * mid else MAX_FINITE
-    if est == 0.0:
+    if est == 0.0:  # reprolint: disable=FP002 -- exact-zero seeds the subnormal walk
         est = 2.0**-1074
     lo = est
     # walk (at most a few ulps) until lo^2 <= ss < nextafter(lo)^2
@@ -149,11 +151,12 @@ def exact_norm2(values: Iterable[float]) -> float:
         lo = math.nextafter(lo, 0.0)
     while True:
         hi = math.nextafter(lo, math.inf)
+        # reprolint: disable-next-line=FP002 -- infinity compare is exact by definition
         if hi == math.inf or Fraction(hi) * Fraction(hi) > ss:
             break
         lo = hi
     hi = math.nextafter(lo, math.inf)
-    if hi == math.inf:
+    if hi == math.inf:  # reprolint: disable=FP002 -- infinity compare is exact by definition
         mid = Fraction(2) ** 1024 - Fraction(2) ** 970
         return math.inf if ss >= mid * mid else lo
     # decide nearest by comparing ss against the midpoint's square
@@ -190,7 +193,7 @@ def exact_dot_fraction(x: Iterable[float], y: Iterable[float]) -> Fraction:
         & (ap > 2.0**-1000)
         & (np.abs(xa) < 2.0**996)
         & (np.abs(ya) < 2.0**996)
-    ) | (xa == 0.0) | (ya == 0.0)
+    ) | (xa == 0.0) | (ya == 0.0)  # reprolint: disable=FP002 -- exact-zero mask, not a tolerance
     total = Fraction(0)
     if safe.any():
         xs, ys, ps = xa[safe], ya[safe], p[safe]

@@ -7,7 +7,32 @@ the vectorized NumPy paths agree bit-for-bit.
 
 from __future__ import annotations
 
-__all__ = ["bit_length", "floor_div", "floor_mod", "trailing_zeros"]
+import math
+import struct
+
+__all__ = [
+    "bit_length",
+    "floor_div",
+    "floor_mod",
+    "same_float",
+    "trailing_zeros",
+]
+
+
+def same_float(a: float, b: float) -> bool:
+    """True when ``a`` and ``b`` carry the same IEEE-754 bit pattern.
+
+    The correctly-rounded contract is *bit identity*, which plain
+    ``==`` does not test: ``0.0 == -0.0`` is true and ``nan == nan``
+    is false, yet the first pair differs in bits and the second pair
+    (for a quiet NaN of the same payload) does not. Use this helper —
+    not ``==`` — whenever two results are asserted identical.
+    """
+    if math.isnan(a) or math.isnan(b):
+        # reprolint: disable-next-line=ARCH001 -- bit-pattern compare, not wire framing
+        return struct.pack("<d", a) == struct.pack("<d", b)
+    # reprolint: disable-next-line=FP002 -- this IS the one sanctioned bit-identity site
+    return a == b and math.copysign(1.0, a) == math.copysign(1.0, b)
 
 
 def bit_length(value: int) -> int:

@@ -1,0 +1,503 @@
+"""reprolint: per-rule fixtures, suppression handling, repo cleanliness.
+
+Each rule family gets positive fixtures (a planted violation the rule
+must catch) and negative fixtures (idiomatic code it must not flag) —
+precision over recall is the engine's contract, so both directions are
+load-bearing. The suppression grammar is exercised end to end:
+justified comments silence, unjustified ones surface as SUPP001 while
+the original finding survives, malformed and useless comments are
+reported. The closing test asserts the installed tree itself lints
+clean under every rule, which is what keeps CI's gate meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    LintResult,
+    ProjectContext,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+    rule_catalogue,
+)
+from repro.analysis.core import module_parts
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def rules_of(result: LintResult):
+    return [f.rule for f in result.sorted_findings()]
+
+
+def lint(source: str, filename: str = "repro/somewhere/mod.py", **kw) -> LintResult:
+    return lint_source(source, filename, **kw)
+
+
+# ----------------------------------------------------------------------
+# registry & catalogue
+# ----------------------------------------------------------------------
+
+
+def test_catalogue_has_all_rule_families():
+    ids = {cls.id for cls in rule_catalogue()}
+    expected = {
+        "FP001", "FP002", "FP003", "FP004",
+        "ARCH001", "ARCH002", "ARCH003", "ARCH004",
+        "CC001", "CC002", "CC003",
+    }
+    assert expected <= ids
+
+
+def test_every_rule_carries_metadata():
+    for cls in rule_catalogue():
+        assert cls.id and cls.title, cls
+        assert cls.severity in ("error", "warning"), cls.id
+        assert cls.rationale, cls.id
+
+
+def test_unknown_rule_id_rejected():
+    with pytest.raises(ValueError, match="unknown rule"):
+        lint("x = 1\n", select=["NOPE999"])
+
+
+def test_module_parts_resolution():
+    assert module_parts("src/repro/serve/shards.py") == ("repro", "serve", "shards")
+    assert module_parts("repro/codec.py") == ("repro", "codec")
+    assert module_parts("repro/kernels/__init__.py") == ("repro", "kernels")
+    assert module_parts("elsewhere/thing.py") == ()
+
+
+# ----------------------------------------------------------------------
+# FP family
+# ----------------------------------------------------------------------
+
+
+def test_fp001_flags_builtin_sum_over_floats():
+    result = lint("def f(xs):\n    return sum(float(x) for x in xs)\n")
+    assert "FP001" in rules_of(result)
+
+
+def test_fp001_flags_loop_accumulation():
+    src = (
+        "def f(xs):\n"
+        "    total = 0.0\n"
+        "    for x in xs:\n"
+        "        total += x\n"
+        "    return total\n"
+    )
+    assert "FP001" in rules_of(lint(src))
+
+
+def test_fp001_ignores_integer_accumulation():
+    src = (
+        "def f(xs):\n"
+        "    count = 0\n"
+        "    for x in xs:\n"
+        "        count += 1\n"
+        "    return count + sum(len(x) for x in xs)\n"
+    )
+    assert rules_of(lint(src, select=["FP001"])) == []
+
+
+def test_fp001_exempts_baselines():
+    src = "def f(xs):\n    return sum(float(x) for x in xs)\n"
+    assert rules_of(lint(src, filename="repro/baselines/naive.py")) == []
+
+
+def test_fp002_flags_float_equality():
+    assert "FP002" in rules_of(lint("def f(a):\n    return a == 0.5\n"))
+    assert "FP002" in rules_of(lint("def f(a):\n    return float(a) != a\n"))
+
+
+def test_fp002_ignores_unknown_and_integer_compares():
+    src = "def f(a, b):\n    return a == b and len(a) != 0\n"
+    assert rules_of(lint(src, select=["FP002"])) == []
+
+
+def test_fp003_flags_kernel_bypass():
+    src = "import math\nimport numpy as np\n\ndef f(xs):\n    return math.fsum(xs) + np.sum(xs)\n"
+    assert rules_of(lint(src, select=["FP003"])) == ["FP003", "FP003"]
+
+
+def test_fp003_ignores_boolean_method_sum():
+    # ndarray.sum() on a boolean mask is integer counting, not folding.
+    src = "def f(mask):\n    return (mask != 0).sum()\n"
+    assert rules_of(lint(src, select=["FP003"])) == []
+
+
+def test_fp004_flags_unguarded_fraction_narrowing():
+    src = (
+        "from fractions import Fraction\n"
+        "def f(x):\n"
+        "    return float(Fraction(x) / 3)\n"
+    )
+    assert "FP004" in rules_of(lint(src))
+
+
+def test_fp004_ignores_plain_float_casts():
+    assert rules_of(lint("def f(x):\n    return float(x)\n", select=["FP004"])) == []
+
+
+# ----------------------------------------------------------------------
+# ARCH family
+# ----------------------------------------------------------------------
+
+
+def test_arch001_flags_struct_outside_codec():
+    src = "import struct\n\ndef f(v):\n    return struct.pack('<d', v)\n"
+    assert "ARCH001" in rules_of(lint(src, filename="repro/mapreduce/x.py"))
+    assert "ARCH001" in rules_of(
+        lint("from struct import pack\n", filename="repro/serve/x.py")
+    )
+
+
+def test_arch001_allows_codec_itself():
+    src = "import struct\nHEADER = struct.Struct('<4sq')\n"
+    assert rules_of(lint(src, filename="repro/codec.py")) == []
+
+
+KERNEL_FIXTURE = """
+class BrokenKernel:
+    name = "broken"
+
+    def zero(self):
+        return None
+
+    def fold(self, block):
+        return None
+
+BrokenKernel = register_kernel(BrokenKernel)
+"""
+
+
+def test_arch002_flags_incomplete_kernel():
+    src = (
+        "@register_kernel\n"
+        "class BrokenKernel:\n"
+        "    name = 'broken'\n"
+        "    def zero(self):\n"
+        "        return None\n"
+        "    def fold(self, block):\n"
+        "        return None\n"
+    )
+    result = lint(src, select=["ARCH002"])
+    assert rules_of(result) == ["ARCH002"]
+    assert "combine" in result.findings[0].message
+
+
+def test_arch002_flags_missing_registry_name():
+    src = (
+        "@register_kernel\n"
+        "class Anon:\n"
+        "    def zero(self): ...\n"
+        "    def fold(self, b): ...\n"
+        "    def combine(self, a, b): ...\n"
+        "    def round(self, p, mode='nearest'): ...\n"
+        "    def to_wire(self, p): ...\n"
+        "    def from_wire(self, payload): ...\n"
+    )
+    result = lint(src, select=["ARCH002"])
+    assert rules_of(result) == ["ARCH002"]
+    assert "name" in result.findings[0].message
+
+
+def test_arch002_accepts_inheritance_chain():
+    src = (
+        "class Base:\n"
+        "    def zero(self): ...\n"
+        "    def fold(self, b): ...\n"
+        "    def combine(self, a, b): ...\n"
+        "    def round(self, p, mode='nearest'): ...\n"
+        "    def to_wire(self, p): ...\n"
+        "    def from_wire(self, payload): ...\n"
+        "@register_kernel\n"
+        "class Derived(Base):\n"
+        "    name = 'derived'\n"
+    )
+    assert rules_of(lint(src, select=["ARCH002"])) == []
+
+
+def test_arch002_unregistered_classes_unchecked():
+    assert rules_of(lint("class NotAKernel:\n    pass\n", select=["ARCH002"])) == []
+
+
+def test_arch003_flags_unregistered_encoder_and_adhoc_magic():
+    ctx = ProjectContext(codec_encoders={"encode_sparse"})
+    src = (
+        "class K:\n"
+        "    def to_wire(self, p):\n"
+        "        return encode_mystery(p) + b'XXXX'\n"
+    )
+    result = lint_source(src, "repro/kernels/k.py", select=["ARCH003"], context=ctx)
+    messages = " / ".join(f.message for f in result.findings)
+    assert len(result.findings) == 2
+    assert "encode_mystery" in messages and "XXXX" in messages
+
+
+def test_arch003_accepts_registered_encoder():
+    ctx = ProjectContext(codec_encoders={"encode_sparse"})
+    src = (
+        "class K:\n"
+        "    def to_wire(self, p):\n"
+        "        return encode_sparse(p)\n"
+    )
+    result = lint_source(src, "repro/kernels/k.py", select=["ARCH003"], context=ctx)
+    assert rules_of(result) == []
+
+
+def test_arch003_real_codec_table_is_parsed():
+    ctx = ProjectContext(root=REPO_SRC.parent)
+    assert ctx.codec_encoders is not None
+    assert "encode_sparse" in ctx.codec_encoders
+    assert "encode_float" in ctx.codec_encoders
+
+
+def test_arch004_flags_cross_plane_import():
+    src = "from repro.bsp import allreduce_sum\n"
+    result = lint(src, filename="repro/pram/tree.py", select=["ARCH004"])
+    assert rules_of(result) == ["ARCH004"]
+    assert "'pram'" in result.findings[0].message
+
+
+def test_arch004_allows_shared_layers_and_own_plane():
+    src = (
+        "from repro.kernels import get_kernel\n"
+        "from repro import codec\n"
+        "from repro.pram.tree import tree_sum\n"
+    )
+    assert rules_of(lint(src, filename="repro/pram/scan.py", select=["ARCH004"])) == []
+
+
+def test_arch004_does_not_apply_outside_planes():
+    src = "from repro.mapreduce import parallel_sum\n"
+    assert rules_of(lint(src, filename="repro/cli.py", select=["ARCH004"])) == []
+
+
+# ----------------------------------------------------------------------
+# CC family
+# ----------------------------------------------------------------------
+
+
+def test_cc001_flags_blocking_io_in_async():
+    src = (
+        "import time\n"
+        "async def handler(path):\n"
+        "    time.sleep(1)\n"
+        "    return open(path).read()\n"
+    )
+    result = lint(src, filename="repro/serve/service.py", select=["CC001"])
+    assert rules_of(result) == ["CC001", "CC001"]
+
+
+def test_cc001_ignores_sync_functions_and_other_packages():
+    src = "import time\n\ndef handler(path):\n    time.sleep(1)\n"
+    assert rules_of(lint(src, filename="repro/serve/x.py", select=["CC001"])) == []
+    async_src = "import time\nasync def f():\n    time.sleep(1)\n"
+    assert rules_of(lint(async_src, filename="repro/extmem/x.py", select=["CC001"])) == []
+
+
+def test_cc002_flags_state_access_outside_owner():
+    src = (
+        "def peek(shard):\n"
+        "    return shard._streams\n"
+    )
+    result = lint(src, filename="repro/serve/service.py", select=["CC002"])
+    assert rules_of(result) == ["CC002"]
+
+
+def test_cc002_allows_owner_methods():
+    src = (
+        "class AccumulatorShard:\n"
+        "    def fold(self, name, value):\n"
+        "        self._streams[name] = value\n"
+    )
+    assert rules_of(lint(src, filename="repro/serve/shards.py", select=["CC002"])) == []
+
+
+def test_cc003_flags_write_into_published_view():
+    src = (
+        "def poke(ref, registry):\n"
+        "    view = resolve_block(ref, registry)\n"
+        "    view[0] = 1.0\n"
+    )
+    result = lint(src, filename="repro/mapreduce/x.py", select=["CC003"])
+    assert rules_of(result) == ["CC003"]
+
+
+def test_cc003_allows_copies_and_plane_internals():
+    src = (
+        "def safe(ref, registry, np):\n"
+        "    block = np.array(resolve_block(ref, registry))\n"
+        "    block[0] = 1.0\n"
+        "    return block\n"
+    )
+    assert rules_of(lint(src, filename="repro/mapreduce/x.py", select=["CC003"])) == []
+    owner = (
+        "class ShmDataPlane:\n"
+        "    def place(self, np, seg, arr):\n"
+        "        view = np.frombuffer(seg.buf, dtype='<f8')\n"
+        "        view[: arr.size] = arr\n"
+    )
+    assert rules_of(lint(owner, filename="repro/mapreduce/dataplane.py", select=["CC003"])) == []
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+
+VIOLATION = "def f(a):\n    return a == 0.5{comment}\n"
+
+
+def test_justified_suppression_silences():
+    src = VIOLATION.format(
+        comment="  # reprolint: disable=FP002 -- exact-zero test by design"
+    )
+    result = lint(src, select=["FP002"])
+    assert result.ok and result.suppressed == 1
+
+
+def test_disable_next_line_variant():
+    src = (
+        "def f(a):\n"
+        "    # reprolint: disable-next-line=FP002 -- bit identity on purpose\n"
+        "    return a == 0.5\n"
+    )
+    result = lint(src, select=["FP002"])
+    assert result.ok and result.suppressed == 1
+
+
+def test_unjustified_suppression_keeps_finding_and_adds_supp001():
+    src = VIOLATION.format(comment="  # reprolint: disable=FP002")
+    result = lint(src, select=["FP002"])
+    assert sorted(rules_of(result)) == ["FP002", "SUPP001"]
+    assert result.suppressed == 0
+
+
+def test_malformed_comment_reported():
+    src = "x = 1  # reprolint: disable FP002 oops\n"
+    result = lint(src)
+    assert rules_of(result) == ["SUPP001"]
+    assert "malformed" in result.findings[0].message
+
+
+def test_useless_suppression_reported():
+    src = "x = 1  # reprolint: disable=FP002 -- nothing here to silence\n"
+    result = lint(src, select=["FP002"])
+    assert rules_of(result) == ["SUPP001"]
+    assert "useless" in result.findings[0].message
+
+
+def test_useless_check_respects_selection():
+    # A suppression for a rule outside the run's selection is not noise.
+    src = "x = 1  # reprolint: disable=FP002 -- covered elsewhere\n"
+    assert rules_of(lint(src, select=["FP001"])) == []
+
+
+def test_suppression_in_docstring_is_inert():
+    src = '"""Example: x = y  # reprolint: disable=FP002 -- demo"""\nx = 1\n'
+    result = lint(src)
+    assert result.ok and result.suppressed == 0
+
+
+def test_wrong_rule_suppression_does_not_silence():
+    src = VIOLATION.format(comment="  # reprolint: disable=FP001 -- wrong rule")
+    result = lint(src, select=["FP001", "FP002"])
+    assert "FP002" in rules_of(result)
+
+
+# ----------------------------------------------------------------------
+# reporters & CLI
+# ----------------------------------------------------------------------
+
+
+def test_text_reporter_shape():
+    result = lint(VIOLATION.format(comment=""), select=["FP002"])
+    text = render_text(result)
+    assert "FP002" in text and "1 finding" in text
+
+
+def test_json_reporter_is_versioned_and_parsable():
+    result = lint(VIOLATION.format(comment=""), select=["FP002"])
+    doc = json.loads(render_json(result))
+    assert doc["version"] == 1
+    assert doc["summary"]["ok"] is False
+    assert doc["findings"][0]["rule"] == "FP002"
+
+
+def test_syntax_error_becomes_finding():
+    result = lint("def broken(:\n")
+    assert rules_of(result) == ["E999"]
+
+
+def test_cli_exit_codes(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import math\n\ndef f(xs):\n    return math.fsum(xs)\n")
+    env_src = str(REPO_SRC)
+    base = [sys.executable, "-m", "repro", "lint"]
+
+    def run(*extra):
+        return subprocess.run(
+            [*base, *extra],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"},
+        )
+
+    dirty = run(str(bad))
+    assert dirty.returncode == 1
+    assert "FP003" in dirty.stdout
+
+    clean = run(str(bad), "--ignore", "FP003")
+    assert clean.returncode == 0
+
+    usage = run(str(bad), "--select", "BOGUS1")
+    assert usage.returncode == 2
+
+    as_json = run(str(bad), "--format", "json")
+    assert as_json.returncode == 1
+    assert json.loads(as_json.stdout)["summary"]["findings"] >= 1
+
+
+# ----------------------------------------------------------------------
+# the tree itself
+# ----------------------------------------------------------------------
+
+
+def test_repo_tree_is_clean_under_every_rule():
+    result = lint_paths([str(REPO_SRC / "repro")])
+    assert result.files_checked > 50
+    offenders = "\n".join(
+        f"{f.location()}: {f.rule} {f.message}" for f in result.sorted_findings()
+    )
+    assert result.ok, f"tree is not lint-clean:\n{offenders}"
+    # The sweep left justified suppressions behind; they must stay used.
+    assert result.suppressed > 0
+
+
+def test_arch001_selection_matches_ci_gate():
+    # The CI job runs exactly this: ARCH001 over src/ as JSON.
+    result = lint_paths([str(REPO_SRC)], select=["ARCH001"])
+    assert result.ok
+
+
+MYPY_AVAILABLE = shutil.which("mypy") is not None
+
+
+@pytest.mark.skipif(not MYPY_AVAILABLE, reason="mypy not installed (CI-only tool)")
+def test_mypy_strict_surface_is_clean():
+    proc = subprocess.run(
+        [shutil.which("mypy"), "--config-file", str(REPO_SRC.parent / "pyproject.toml")],
+        capture_output=True,
+        text=True,
+        cwd=REPO_SRC.parent,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
