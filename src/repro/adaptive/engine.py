@@ -22,10 +22,11 @@ sum) and differ only in how much work they spend proving it:
 * **Tier 2** — the full exact path. When Tier 1 already built the
   per-block accumulators, escalation just merges them (the tree was
   shared, so an adversarial input pays ~2% over a direct exact sum).
-  On a cold start with multiple cores, large inputs are folded
-  thread-parallel: each worker drives GIL-releasing bincount kernels
-  into a private :class:`SmallSuperaccumulator` and the partials merge
-  via ``add_accumulator``.
+  On a cold start the fold is the binned kernel's vectorized
+  exponent-bin deposit (:mod:`repro.kernels.binned`) — and on
+  multi-core hosts large inputs run it thread-parallel, each worker
+  driving GIL-releasing bincount kernels into a private bin array,
+  merged carry-free at the end.
 
 Counters (:class:`TierCounters`) record every decision — tier hits,
 escalations, certificate margins — and are threaded through
@@ -46,7 +47,6 @@ import numpy as np
 from repro.adaptive.cascade import certified_cascade_sum
 from repro.core.digits import DEFAULT_RADIX, RadixConfig
 from repro.core.sparse import SparseSuperaccumulator
-from repro.core.superaccumulator import SmallSuperaccumulator
 from repro.core.truncated import TruncatedSparseSuperaccumulator
 from repro.util.validation import check_finite_array, ensure_float64_array
 
@@ -214,23 +214,28 @@ def _tier2_threaded(
 ) -> float:
     """Cold-start Tier 2 on multi-core hosts: thread-parallel fold.
 
-    ``SmallSuperaccumulator.add_array`` spends its time in NumPy
-    bincount/ufunc kernels that release the GIL, so plain threads give
-    real parallel speedup without pickling a single byte.
+    Each worker drives the binned kernel's exponent-bin deposit — NumPy
+    bincount/bit-op kernels that release the GIL — into a private
+    :class:`~repro.kernels.binned.BinnedPartial`; the per-thread bin
+    arrays then merge carry-free (detfp's ``if64Sum`` shape). Real
+    parallel speedup without pickling a single byte, and bit-identical
+    to the serial exact path because every partial is exact.
     """
+    from repro.kernels.binned import BinnedPartial
+
     chunks = np.array_split(arr, workers)
 
-    def fold(chunk: np.ndarray) -> SmallSuperaccumulator:
-        acc = SmallSuperaccumulator(radix)
+    def fold(chunk: np.ndarray) -> BinnedPartial:
+        acc = BinnedPartial(radix)
         if chunk.size:
-            acc.add_array(chunk)
+            acc.deposit(np.ascontiguousarray(chunk))
         return acc
 
     with ThreadPoolExecutor(max_workers=workers) as pool:
         partials = list(pool.map(fold, chunks))
     total = partials[0]
     for part in partials[1:]:
-        total.add_accumulator(part)
+        total = total.merge(part)
     return total.to_float(mode)
 
 
@@ -292,6 +297,14 @@ def _tier2_cold(
     workers = min(config.max_workers, os.cpu_count() or 1)
     if workers > 1 and arr.size >= config.parallel_threshold:
         return _tier2_threaded(arr, radix, workers, mode)
+    if radix.supports_vectorized:
+        # The exponent-bin fold is the fastest exact path (~5x the
+        # sparse bulk fold); exact partials, so the bits cannot differ.
+        from repro.kernels.binned import BinnedPartial
+
+        acc = BinnedPartial(radix)
+        acc.deposit(arr)
+        return acc.to_float(mode)
     return SparseSuperaccumulator.from_floats(arr, radix).to_float(mode)
 
 

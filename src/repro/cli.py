@@ -44,6 +44,7 @@ __all__ = ["main"]
 
 _METHODS: Dict[str, Callable[[np.ndarray, argparse.Namespace], float]] = {
     "adaptive": lambda x, a: exact_sum(x, method="adaptive"),
+    "binned": lambda x, a: exact_sum(x, method="binned"),
     "sparse": lambda x, a: exact_sum(x, method="sparse"),
     "small": lambda x, a: exact_sum(x, method="small"),
     "dense": lambda x, a: exact_sum(x, method="dense"),
@@ -116,12 +117,22 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         desc = DataDescriptor.describe_file(args.file, workers=workers)
     else:
         desc = DataDescriptor(n=args.n, layout="memory", workers=workers)
-    plan = plan_sum(desc, kernel=args.kernel, mode=args.mode)
+    try:
+        plan = plan_sum(desc, kernel=args.kernel, mode=args.mode)
+    except ValueError as exc:
+        print(f"plan: {exc}", file=sys.stderr)
+        return 2
     info = plan.describe()
     for key in ("plane", "kernel", "tier", "workers", "block_items", "n", "layout"):
         print(f"{key:<12s}: {info[key]:,}" if isinstance(info[key], int)
               else f"{key:<12s}: {info[key]}")
     print(f"{'reason':<12s}: {info['reason']}")
+    if args.explain:
+        print("candidates  :")
+        for cand in plan.candidates:
+            mark = "+" if cand.accepted else "-"
+            chosen = "  (selected)" if cand.name == plan.kernel else ""
+            print(f"  {mark} {cand.name:<12s}{chosen} {cand.reason}")
     if args.run:
         if args.file is None:
             print("plan: --run needs --file (no data for a size-only plan)",
@@ -170,6 +181,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="force a kernel (default: planner's choice)")
     p.add_argument("--mode", default="nearest",
                    help="rounding mode the plan must honor")
+    p.add_argument("--explain", action="store_true",
+                   help="show why each candidate kernel was accepted or rejected")
     p.add_argument("--run", action="store_true",
                    help="execute the plan (needs --file)")
     p.set_defaults(fn=_cmd_plan)

@@ -22,6 +22,9 @@ magic     payload                                            producer
 ``KSTR``  generic kernel stream: count + any embedded frame  serve
 ``TSUP``  gamma-truncated sparse: gamma, drop accounting +   truncated
           embedded ``SSUP``                                  kernel
+``BSUP``  binned superaccumulator: chunk budget, non-zero    binned
+          exponent bins (index/lo/hi) + embedded ``SSUP``    kernels
+          spill
 ``ACRT``  adaptive certificate: (value, remainder, bound)    adaptive
 ``ACMP``  adaptive composite: (bound, certs, fulls) +        adaptive
           embedded ``SSUP``
@@ -60,6 +63,7 @@ __all__ = [
     "MAGIC_RUNNING",
     "MAGIC_STREAM",
     "MAGIC_TRUNCATED",
+    "MAGIC_BINNED",
     "MAGIC_CERT",
     "MAGIC_COMPOSITE",
     "MAGIC_RAW_BLOCK",
@@ -80,6 +84,8 @@ __all__ = [
     "decode_stream",
     "encode_truncated",
     "decode_truncated",
+    "encode_binned",
+    "decode_binned",
     "encode_cert",
     "decode_cert",
     "encode_composite",
@@ -97,6 +103,7 @@ MAGIC_DENSE = b"DSUP"
 MAGIC_RUNNING = b"ERSM"
 MAGIC_STREAM = b"KSTR"
 MAGIC_TRUNCATED = b"TSUP"
+MAGIC_BINNED = b"BSUP"
 MAGIC_CERT = b"ACRT"
 MAGIC_COMPOSITE = b"ACMP"
 MAGIC_RAW_BLOCK = b"RAWB"
@@ -107,6 +114,7 @@ _SPARSE_HEADER = struct.Struct("<4sBq")  # magic, w, ncomponents
 _DENSE_HEADER = struct.Struct("<4sBqqq")  # magic, w, base_index, nlimbs, count
 _COUNT_HEADER = struct.Struct("<4sq")  # magic, count (ERSM / KSTR / F64D)
 _TRUNC_HEADER = struct.Struct("<4sqq?q")  # magic, gamma, drops, flag, max_idx
+_BINNED_HEADER = struct.Struct("<4sqq")  # magic, chunk budget used, nbins
 _CERT_FRAME = struct.Struct("<4sddd")  # magic, value, remainder, bound
 _COMPOSITE_HEADER = struct.Struct("<4sdqq")  # magic, bound, certs, fulls
 _FLOAT_FRAME = struct.Struct("<4sd")  # magic, value
@@ -334,6 +342,107 @@ def decode_truncated(
 
 
 # ----------------------------------------------------------------------
+# BSUP — exponent-binned superaccumulator
+# ----------------------------------------------------------------------
+
+
+def encode_binned(
+    chunks: int,
+    indices: np.ndarray,
+    bins_lo: np.ndarray,
+    bins_hi: np.ndarray,
+    spill: "SparseSuperaccumulator",
+) -> bytes:
+    """``BSUP`` frame: bin accounting + non-zero bins + embedded ``SSUP``.
+
+    ``indices`` are the (strictly increasing) occupied biased-exponent
+    bins; ``bins_lo``/``bins_hi`` their int64 low/high mantissa-unit
+    sums; ``chunks`` the deferred-carry budget already consumed (bounds
+    the bin magnitudes the decoder will accept).
+    """
+    header = _BINNED_HEADER.pack(MAGIC_BINNED, chunks, indices.size)
+    return (
+        header
+        + np.asarray(indices, dtype="<i8").tobytes()
+        + np.asarray(bins_lo, dtype="<i8").tobytes()
+        + np.asarray(bins_hi, dtype="<i8").tobytes()
+        + encode_sparse(spill)
+    )
+
+
+def decode_binned(
+    payload: bytes,
+) -> Tuple[int, np.ndarray, np.ndarray, np.ndarray, "SparseSuperaccumulator"]:
+    """Inverse of :func:`encode_binned`.
+
+    Returns ``(chunks, indices, bins_lo, bins_hi, spill)``. Structural
+    validation is strict because these frames cross process boundaries:
+    the chunk budget must respect the kernel's int64 safety bound, bin
+    indices must be strictly increasing finite biased exponents, and
+    every bin magnitude must be achievable within the declared budget.
+    """
+    from repro.kernels.binned import BIN_COUNT, RESOLVE_CHUNKS
+
+    _check_header(payload, _BINNED_HEADER, "BinnedPartial")
+    magic, chunks, nbins = _BINNED_HEADER.unpack_from(payload, 0)
+    if magic != MAGIC_BINNED:
+        raise CodecError("not a BinnedPartial payload")
+    if not 0 <= chunks <= RESOLVE_CHUNKS:
+        raise CodecError(
+            f"corrupt header: chunk budget {chunks} outside "
+            f"[0, {RESOLVE_CHUNKS}]"
+        )
+    if not 0 <= nbins <= BIN_COUNT:
+        raise CodecError(
+            f"corrupt header: bin count {nbins} outside [0, {BIN_COUNT}]"
+        )
+    off = _BINNED_HEADER.size
+    body = 24 * nbins
+    if len(payload) < off + body:
+        raise CodecError(
+            f"BinnedPartial payload truncated: expected at least "
+            f"{off + body} bytes for {nbins} bins, got {len(payload)}"
+        )
+    indices = np.frombuffer(payload, dtype="<i8", count=nbins, offset=off)
+    off += 8 * nbins
+    bins_lo = np.frombuffer(payload, dtype="<i8", count=nbins, offset=off)
+    off += 8 * nbins
+    bins_hi = np.frombuffer(payload, dtype="<i8", count=nbins, offset=off)
+    off += 8 * nbins
+    if nbins:
+        if indices[0] < 1 or indices[-1] >= BIN_COUNT:
+            raise CodecError(
+                "corrupt bins: index outside the finite biased-exponent range"
+            )
+        if nbins > 1 and not (np.diff(indices) > 0).all():
+            raise CodecError("corrupt bins: indices must be strictly increasing")
+        # Each deposit chunk contributes < 2**52 (low) / 2**41 (high)
+        # per bin, so a magnitude beyond chunks * bound cannot be the
+        # output of any legal fold — reject rather than resolve garbage.
+        # Two-sided compares, not np.abs: abs(int64 min) wraps negative
+        # and would sneak past a magnitude check.
+        lo_bound = int(chunks) << 52
+        hi_bound = int(chunks) << 41
+        if (
+            (bins_lo > lo_bound).any()
+            or (bins_lo < -lo_bound).any()
+            or (bins_hi > hi_bound).any()
+            or (bins_hi < -hi_bound).any()
+        ):
+            raise CodecError(
+                "corrupt bins: magnitude exceeds the declared chunk budget"
+            )
+    spill = decode_sparse(payload[off:])
+    return (
+        int(chunks),
+        indices.astype(np.int64),
+        bins_lo.astype(np.int64),
+        bins_hi.astype(np.int64),
+        spill,
+    )
+
+
+# ----------------------------------------------------------------------
 # ACRT / ACMP — adaptive certificates and composites
 # ----------------------------------------------------------------------
 
@@ -471,6 +580,7 @@ _DECODERS: Dict[bytes, Tuple[str, Callable[[bytes], Any]]] = {
     MAGIC_RUNNING: ("running-sum", decode_running),
     MAGIC_STREAM: ("kernel-stream", decode_stream),
     MAGIC_TRUNCATED: ("truncated-superaccumulator", decode_truncated),
+    MAGIC_BINNED: ("binned-superaccumulator", decode_binned),
     MAGIC_CERT: ("adaptive-certificate", decode_cert),
     MAGIC_COMPOSITE: ("adaptive-composite", decode_composite),
     MAGIC_RAW_BLOCK: ("raw-block", decode_raw_block),

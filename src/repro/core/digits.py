@@ -39,6 +39,7 @@ __all__ = [
     "DEFAULT_RADIX",
     "split_float",
     "split_floats_vec",
+    "split_scaled_ints_vec",
     "regularize_pair_vec",
     "normalize_digit_array",
     "check_regularized",
@@ -177,6 +178,69 @@ def split_floats_vec(
     # Digits k >= 1 are right shifts by k*w - s <= 62 (clipped: mantissa
     # has < 64 significant bits, so any shift >= 63 yields zero anyway).
     for k in range(1, ndig):
+        shift = np.minimum(k * w - s, 63).astype(np.uint64)
+        dk = (a >> shift) & mask
+        parts_idx.append(j0 + k)
+        parts_dig.append(dk.astype(np.int64) * sign)
+
+    idx = np.concatenate(parts_idx)
+    dig = np.concatenate(parts_dig)
+    keep = dig != 0
+    return idx[keep], dig[keep]
+
+
+def split_scaled_ints_vec(
+    values: np.ndarray,
+    exponents: np.ndarray,
+    radix: RadixConfig = DEFAULT_RADIX,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized GSD split of scaled integers ``v_i * 2**e_i``.
+
+    The generalization of :func:`split_floats_vec` from 53-bit float
+    significands to arbitrary int64 magnitudes ``|v_i| < 2**63`` — the
+    shape a resolved exponent-bin array produces (per-bin int64 sums at
+    a known bit exponent; see :mod:`repro.kernels.binned`).
+
+    Args:
+        values: int64 array of signed integer parts ``v_i``
+            (``|v_i| < 2**63``, i.e. not ``int64`` min).
+        exponents: int64 array of bit exponents ``e_i`` (same length).
+
+    Returns:
+        ``(indices, digits)`` int64 arrays: the concatenated non-zero
+        GSD digits of every element, exactly representing
+        ``sum(v_i * 2**e_i)``. Same-sign digits per element, hence
+        regularized; no ordering guarantee — callers accumulate with
+        :func:`accumulate_digits`.
+    """
+    if not radix.supports_vectorized:
+        raise ValueError(
+            f"vectorized split requires w <= {MAX_VECTOR_W}, got w={radix.w}"
+        )
+    v = np.asarray(values, dtype=np.int64)
+    e = np.asarray(exponents, dtype=np.int64)
+    if v.shape != e.shape:
+        raise ValueError("values and exponents must have equal shape")
+    if (v == np.iinfo(np.int64).min).any():
+        raise ValueError("scaled-int split requires |v| < 2**63")
+    w = radix.w
+    j0 = e // w  # floored by NumPy semantics
+    s = e - j0 * w  # in [0, w)
+    sign = np.sign(v)
+    a = np.abs(v).astype(np.uint64)
+    mask = np.uint64(radix.mask)
+
+    # A 63-bit magnitude shifted left by up to w - 1 bits spans at most
+    # 62 + w bits: ceil(62 / w) + 1 digits.
+    ndig = -(-62 // w) + 1
+    parts_idx = []
+    parts_dig = []
+    low = (a & (mask >> s.astype(np.uint64))) << s.astype(np.uint64)
+    parts_idx.append(j0)
+    parts_dig.append(low.astype(np.int64) * sign)
+    for k in range(1, ndig):
+        # Shifts >= 63 would be UB in C but are clipped here: bit 63 of
+        # |v| is zero, so a 63-bit shift already yields the empty digit.
         shift = np.minimum(k * w - s, 63).astype(np.uint64)
         dk = (a >> shift) & mask
         parts_idx.append(j0 + k)

@@ -152,6 +152,24 @@ class SparseSuperaccumulator:
         cls, arr: np.ndarray, radix: RadixConfig
     ) -> "SparseSuperaccumulator":
         idx, dig = split_floats_vec(arr, radix)
+        return cls.from_digit_pairs(idx, dig, radix)
+
+    @classmethod
+    def from_digit_pairs(
+        cls, indices: np.ndarray, digits: np.ndarray,
+        radix: RadixConfig = DEFAULT_RADIX,
+    ) -> "SparseSuperaccumulator":
+        """Accumulator from raw ``(index, digit)`` deposits (n-ary add).
+
+        The deposit + single-renormalization tail shared by the bulk
+        float fold and the binned kernel's carry resolution: pairs are
+        scatter-added into a compact limb range (per-limb raw sums must
+        stay within int64 — callers bound their deposit counts), then
+        reduced once to regularized form. Positions touched by any
+        deposit are active even when they cancel to zero.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        dig = np.asarray(digits, dtype=np.int64)
         if idx.size == 0:
             return cls(radix)
         lo = int(idx.min())

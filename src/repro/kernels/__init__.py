@@ -26,6 +26,8 @@ from repro.kernels.accumulators import (
     SmallKernel,
     SparseKernel,
 )
+from repro.kernels.binned import BinnedKernel, BinnedPartial
+from repro.kernels.binned_jit import BinnedJitKernel  # registers iff numba present
 from repro.kernels.speculative import (
     AdaptiveCascadeKernel,
     AdaptivePartial,
@@ -43,6 +45,9 @@ __all__ = [
     "DenseKernel",
     "SmallKernel",
     "RunningSumKernel",
+    "BinnedKernel",
+    "BinnedPartial",
+    "BinnedJitKernel",
     "AdaptiveCascadeKernel",
     "AdaptivePartial",
     "TruncatedKernel",

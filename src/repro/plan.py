@@ -26,7 +26,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -36,9 +36,13 @@ from repro.kernels import get_kernel, kernel_names, kernel_sum
 __all__ = [
     "DataDescriptor",
     "SumPlan",
+    "KernelCandidate",
+    "kernel_candidates",
     "plan_sum",
     "run_plane",
     "PLANES",
+    "KERNEL_RATES",
+    "OPTIONAL_KERNEL_REQUIREMENTS",
 ]
 
 #: Default items per block, shared with the MapReduce driver.
@@ -47,6 +51,132 @@ DEFAULT_BLOCK_ITEMS = 1 << 17
 #: In-memory inputs below this size never leave the serial plane: the
 #: cost of standing up workers exceeds folding the data where it lies.
 SMALL_INPUT_ITEMS = 1 << 16
+
+#: Measured single-thread bulk-fold rates in Melem/s on the reference
+#: host (``benchmarks/bench_native.py`` → ``BENCH_native.json``,
+#: ``kernel_rates_melem_per_s``: the median over the largest cells,
+#: n = 2**22; ``adaptive`` from ``BENCH_adaptive.json``, the tier-0
+#: certified pass on the well-conditioned n = 2**20 cell — its worst
+#: case is one exact escalation on top). Only the relative order
+#: matters to the planner — it ranks candidate kernels by these and
+#: picks the fastest one that is actually available — so a different
+#: host changes the margins, not the decisions. ``binned_jit`` is
+#: credited slightly above ``binned`` because its deposit is the same
+#: fold run thread-parallel (it cannot be measured on the reference
+#: host, which has no numba — the CI optional-deps job covers it);
+#: ``running`` and ``truncated`` are unbenched estimates kept below the
+#: measured folds they wrap.
+KERNEL_RATES: Dict[str, float] = {
+    "adaptive": 70.0,
+    "binned_jit": 26.0,
+    "binned": 24.7,
+    "dense": 3.8,
+    "small": 3.7,
+    "sparse": 3.4,
+    "running": 2.7,
+    "truncated": 1.8,
+}
+
+#: Kernels that exist only when an optional capability is importable,
+#: mapped to the capability name :mod:`repro.util.capabilities` probes.
+#: The planner lists them in every candidate table (with the rejection
+#: reason when absent) but never selects one that is not registered.
+OPTIONAL_KERNEL_REQUIREMENTS: Dict[str, str] = {
+    "binned_jit": "numba",
+}
+
+#: Kernels whose fast fold needs the vectorized int64 digit paths
+#: (``w <= 31``); outside that they degrade to sparse-spill speed, so
+#: the planner stops preferring them.
+_VECTOR_FOLD_KERNELS = frozenset({"binned", "binned_jit"})
+
+
+@dataclass(frozen=True)
+class KernelCandidate:
+    """One row of the planner's kernel table: accepted or rejected, why.
+
+    Attributes:
+        name: registry (or optional-backend) kernel name.
+        accepted: whether the planner may auto-select this kernel for
+            the requested mode/radix. Rejected candidates stay in the
+            table so ``repro plan --explain`` shows *why* (missing
+            capability, directed-mode certification, digit width).
+        reason: one line of rationale.
+        rate: measured reference rate in Melem/s (None if unbenched).
+    """
+
+    name: str
+    accepted: bool
+    reason: str
+    rate: Optional[float] = None
+
+
+def kernel_candidates(
+    mode: str = "nearest", radix: RadixConfig = DEFAULT_RADIX
+) -> List[KernelCandidate]:
+    """Rank every kernel (registered or optional) for a summation task.
+
+    Returns candidates sorted fastest-first by :data:`KERNEL_RATES`;
+    the first accepted row is what :func:`plan_sum` picks when the
+    caller does not force a kernel. Unavailable backends are present
+    but rejected — the capability probe is
+    :func:`repro.util.capabilities.has_numba`-cheap, so planning never
+    imports an optional dependency.
+    """
+    available = set(kernel_names())
+    names = sorted(
+        available | set(OPTIONAL_KERNEL_REQUIREMENTS),
+        key=lambda n: (-KERNEL_RATES.get(n, 0.0), n),
+    )
+    out: List[KernelCandidate] = []
+    for name in names:
+        rate = KERNEL_RATES.get(name)
+        if name not in available:
+            capability = OPTIONAL_KERNEL_REQUIREMENTS[name]
+            out.append(
+                KernelCandidate(
+                    name,
+                    False,
+                    f"requires {capability}, which is not installed "
+                    f"(pip install 'repro[native]')",
+                    rate,
+                )
+            )
+            continue
+        k = get_kernel(name, radix=radix)
+        if not k.exact and mode != "nearest":
+            out.append(
+                KernelCandidate(
+                    name,
+                    False,
+                    f"speculative certificates prove nearest rounding only; "
+                    f"mode={mode!r} needs an exact kernel",
+                    rate,
+                )
+            )
+            continue
+        if name in _VECTOR_FOLD_KERNELS and not radix.supports_vectorized:
+            out.append(
+                KernelCandidate(
+                    name,
+                    False,
+                    f"w={radix.w} exceeds the vectorized bin-fold limit "
+                    f"(31); the fold would degrade to sparse-spill speed",
+                    rate,
+                )
+            )
+            continue
+        if not k.exact:
+            reason = (
+                "certified fast paths with exact escalation — fastest "
+                "when the input's condition admits a certificate"
+            )
+        else:
+            reason = "exact fold"
+        if rate is not None:
+            reason += f"; ~{rate:g} Melem/s measured on the reference host"
+        out.append(KernelCandidate(name, True, reason, rate))
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -253,6 +383,8 @@ class SumPlan:
     descriptor: DataDescriptor
     mode: str = "nearest"
     radix: RadixConfig = DEFAULT_RADIX
+    #: Full kernel table the decision was made from (``--explain``).
+    candidates: List[KernelCandidate] = field(default_factory=list, repr=False)
 
     def describe(self) -> Dict[str, Any]:
         """Flat summary for printing / JSON."""
@@ -314,14 +446,25 @@ def plan_sum(
       otherwise);
     * file-backed data with one worker streams: one pass over the
       mapped dataset, O(1) memory;
-    * the kernel defaults to the condition-adaptive cascade for nearest
-      rounding (certified fast paths, exact escalation) and the sparse
-      superaccumulator for directed modes, which the certifying tiers
-      cannot prove.
+    * the kernel is the fastest *available* candidate from
+      :func:`kernel_candidates` — the condition-adaptive cascade for
+      nearest rounding (certified fast paths, exact escalation), the
+      binned exponent fold for directed modes (which the certifying
+      tiers cannot prove); optional backends like ``binned_jit`` are
+      selected only when their capability is installed, never by
+      assumption.
     """
+    candidates = kernel_candidates(mode=mode, radix=radix)
     if kernel is None:
-        kernel = "adaptive" if mode == "nearest" else "sparse"
-    if kernel not in kernel_names():
+        kernel = next(c.name for c in candidates if c.accepted)
+    elif kernel not in kernel_names():
+        if kernel in OPTIONAL_KERNEL_REQUIREMENTS:
+            capability = OPTIONAL_KERNEL_REQUIREMENTS[kernel]
+            raise ValueError(
+                f"kernel {kernel!r} requires {capability}, which is not "
+                f"installed; install the [native] extra or pick one of "
+                f"{list(kernel_names())}"
+            )
         raise ValueError(
             f"unknown kernel {kernel!r}; expected one of {list(kernel_names())}"
         )
@@ -378,4 +521,5 @@ def plan_sum(
         descriptor=descriptor,
         mode=mode,
         radix=radix,
+        candidates=candidates,
     )

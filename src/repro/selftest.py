@@ -158,8 +158,28 @@ def _check_kernels() -> None:
             assert kernel.round(kernel.from_wire(frame)) == want, name
 
 
+def _check_binned() -> None:
+    from repro.core import exact_sum
+    from repro.kernels import get_kernel
+    from repro.util.capabilities import capability_report, has_numba
+
+    rng = np.random.default_rng(11)
+    x = (rng.random(3000) - 0.5) * 10.0 ** rng.integers(-250, 250, 3000)
+    x = np.concatenate([x, [5e-324, -5e-324, 3e-310, -0.0, 1e308, -1e308]])
+    want = exact_sum(x, method="sparse")
+    assert exact_sum(x, method="binned") == want
+    report = capability_report()
+    assert set(report) >= {"numba", "numba_version", "numba_threads"}
+    kernel = get_kernel("binned")
+    part = kernel.combine(kernel.fold(x[:1000]), kernel.fold(x[1000:]))
+    assert kernel.round(part) == want
+    if has_numba():
+        assert exact_sum(x, method="binned_jit") == want
+
+
 def _check_plan() -> None:
-    from repro.plan import DataDescriptor, plan_sum
+    from repro.kernels import kernel_names
+    from repro.plan import DataDescriptor, kernel_candidates, plan_sum
 
     rng = np.random.default_rng(9)
     x = (rng.random(1200) - 0.5) * 10.0 ** rng.integers(-40, 40, 1200)
@@ -171,6 +191,13 @@ def _check_plan() -> None:
     assert big.plane == "mapreduce", big.plane
     directed = plan_sum(DataDescriptor.describe_array(x), mode="down")
     assert directed.tier == "exact", directed.tier
+    # The planner must never select an unregistered optional backend,
+    # and every candidate row must carry a non-empty rationale.
+    for mode in ("nearest", "down"):
+        cands = kernel_candidates(mode=mode)
+        assert all(c.reason for c in cands)
+        chosen = plan_sum(DataDescriptor.describe_array(x), mode=mode).kernel
+        assert chosen in kernel_names(), chosen
 
 
 def _check_serve() -> None:
@@ -219,6 +246,7 @@ _CHECKS: List[Tuple[str, Callable[[], None]]] = [
     ("geometry predicates", _check_geometry),
     ("exact statistics", _check_stats),
     ("kernel registry", _check_kernels),
+    ("binned fold", _check_binned),
     ("backend planner", _check_plan),
     ("serving plane", _check_serve),
     ("static analysis", _check_analysis),

@@ -1,0 +1,111 @@
+"""Optional-dependency capability probes (the single numba gate).
+
+Every optional native acceleration in this package funnels through
+this module: nothing else imports — or even ``find_spec``s — numba, so
+the seed install path (pure numpy) is untouched, and a broken optional
+install degrades to one clear report instead of scattered
+``ImportError``s from whichever plane happened to fold first.
+
+Probes are deliberately two-phase:
+
+* :func:`has_numba` is *cheap*: an ``importlib.util.find_spec`` check,
+  used at registration time to decide whether the ``binned_jit``
+  kernel should appear in the registry at all. It never imports numba
+  (a full numba import costs seconds of LLVM setup).
+* :func:`load_numba` actually imports the module, once, on first use
+  (when a jitted fold first compiles) and caches the outcome —
+  including a *failed* import, so a broken numba install costs one
+  diagnostic, not one per fold.
+
+:func:`capability_report` is the flat summary the planner's
+``--explain`` output and ``benchmarks/harness.bench_stamp()`` embed.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+from types import ModuleType
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "has_numba",
+    "load_numba",
+    "numba_version",
+    "numba_num_threads",
+    "capability_report",
+]
+
+#: Sentinel distinguishing "not probed yet" from "probed, unavailable".
+_UNPROBED = object()
+
+_numba_module: Any = _UNPROBED
+
+
+def has_numba() -> bool:
+    """Whether a numba distribution is installed (no import performed)."""
+    if _numba_module is not _UNPROBED:
+        return _numba_module is not None
+    try:
+        return importlib.util.find_spec("numba") is not None
+    except (ImportError, ValueError):  # broken/namespace-mangled installs
+        return False
+
+
+def load_numba() -> Optional[ModuleType]:
+    """Import and return numba, or ``None`` when absent/broken (cached)."""
+    global _numba_module
+    if _numba_module is _UNPROBED:
+        try:
+            import numba
+        except Exception:  # ImportError or any init-time LLVM failure
+            _numba_module = None
+        else:
+            _numba_module = numba
+    return _numba_module  # type: ignore[no-any-return]
+
+
+def numba_version() -> Optional[str]:
+    """Installed numba version string without forcing a full import.
+
+    Reads distribution metadata when numba has not been loaded yet;
+    asks the module itself when it has.
+    """
+    if isinstance(_numba_module, ModuleType):
+        return str(getattr(_numba_module, "__version__", "unknown"))
+    if not has_numba():
+        return None
+    try:
+        from importlib.metadata import version
+
+        return version("numba")
+    except Exception:
+        return "unknown"
+
+
+def numba_num_threads() -> int:
+    """Threads a ``parallel=True`` jitted fold would use.
+
+    Exact when numba is already loaded; otherwise numba's own default
+    rule (``NUMBA_NUM_THREADS`` env override, else the CPU count) —
+    without paying the import just to stamp a benchmark record.
+    """
+    if isinstance(_numba_module, ModuleType):
+        try:
+            return int(_numba_module.get_num_threads())
+        except Exception:
+            pass
+    env = os.environ.get("NUMBA_NUM_THREADS", "")
+    if env.isdigit() and int(env) > 0:
+        return int(env)
+    return os.cpu_count() or 1
+
+
+def capability_report() -> Dict[str, Any]:
+    """Flat capability summary (planner ``--explain``, bench stamps)."""
+    available = has_numba()
+    return {
+        "numba": available,
+        "numba_version": numba_version() if available else None,
+        "numba_threads": numba_num_threads() if available else 1,
+    }

@@ -38,6 +38,8 @@ def _valid_frames():
     truncated_kernel = get_kernel("truncated")
     adaptive = get_kernel("adaptive")
     cert_part = adaptive.fold(np.ones(64))
+    binned = get_kernel("binned")
+    binned_part = binned.fold(np.array([1.0, 3e-290, -7e154, 5e-324]))
     return {
         codec.MAGIC_SPARSE: codec.encode_sparse(acc),
         codec.MAGIC_DENSE: codec.encode_dense(dense),
@@ -46,6 +48,7 @@ def _valid_frames():
         codec.MAGIC_TRUNCATED: truncated_kernel.to_wire(
             truncated_kernel.fold(np.array([1.0, 2.0, -4.0]))
         ),
+        codec.MAGIC_BINNED: binned.to_wire(binned_part),
         codec.MAGIC_CERT: codec.encode_cert(64.0, 0.0, 1e-12),
         codec.MAGIC_COMPOSITE: adaptive.to_wire(
             adaptive.combine(cert_part, adaptive.fold_exact(np.array([1e-30])))
@@ -97,6 +100,7 @@ def test_wrong_magic_raises_codec_error(magic):
         codec.MAGIC_RUNNING: codec.decode_running,
         codec.MAGIC_STREAM: codec.decode_stream,
         codec.MAGIC_TRUNCATED: codec.decode_truncated,
+        codec.MAGIC_BINNED: codec.decode_binned,
         codec.MAGIC_CERT: codec.decode_cert,
         codec.MAGIC_COMPOSITE: codec.decode_composite,
         codec.MAGIC_RAW_BLOCK: codec.decode_raw_block,

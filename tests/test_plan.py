@@ -87,7 +87,10 @@ class TestPlannerDecisions:
 
     def test_directed_mode_selects_exact_tier(self):
         plan = plan_sum(DataDescriptor(n=1000, layout="memory"), mode="down")
-        assert plan.kernel == "sparse"
+        # Fastest *available* exact kernel: the binned exponent fold
+        # (binned_jit outranks it only when numba is installed).
+        assert plan.kernel in ("binned", "binned_jit")
+        assert plan.kernel in kernel_names()
         assert plan.tier == "exact"
         forced = plan_sum(
             DataDescriptor(n=1000, layout="memory"), kernel="adaptive", mode="up"
@@ -109,6 +112,53 @@ class TestPlannerDecisions:
             "plane", "kernel", "tier", "workers", "block_items",
             "n", "layout", "reason",
         }
+
+
+class TestKernelCandidates:
+    def test_table_lists_unavailable_backends_with_reasons(self):
+        from repro.plan import kernel_candidates
+        from repro.util.capabilities import has_numba
+
+        cands = {c.name: c for c in kernel_candidates()}
+        assert "binned_jit" in cands
+        assert cands["binned_jit"].accepted == has_numba()
+        if not has_numba():
+            assert "numba" in cands["binned_jit"].reason
+        assert all(c.reason for c in cands.values())
+
+    def test_planner_never_selects_unavailable_backend(self):
+        for mode in ("nearest", "down", "up"):
+            plan = plan_sum(DataDescriptor(n=1 << 22, layout="memory"), mode=mode)
+            assert plan.kernel in kernel_names()
+
+    def test_forcing_missing_optional_kernel_names_the_capability(self):
+        from repro.util.capabilities import has_numba
+
+        if has_numba():
+            pytest.skip("numba installed: binned_jit is a real kernel here")
+        with pytest.raises(ValueError, match="requires numba"):
+            plan_sum(DataDescriptor(n=10, layout="memory"), kernel="binned_jit")
+
+    def test_wide_radix_rejects_vectorized_bin_fold(self):
+        from repro.core.digits import RadixConfig
+        from repro.plan import kernel_candidates
+
+        wide = RadixConfig(w=40)
+        cands = {c.name: c for c in kernel_candidates(mode="down", radix=wide)}
+        assert not cands["binned"].accepted
+        assert "w=40" in cands["binned"].reason
+        plan = plan_sum(
+            DataDescriptor(n=100, layout="memory"), mode="down", radix=wide
+        )
+        assert plan.kernel not in ("binned", "binned_jit")
+
+    def test_plan_carries_its_candidate_table(self):
+        plan = plan_sum(DataDescriptor(n=100, layout="memory"))
+        accepted = [c for c in plan.candidates if c.accepted]
+        assert accepted and accepted[0].name == plan.kernel
+        # sorted fastest-first by the measured-rate table
+        rates = [c.rate for c in plan.candidates if c.rate is not None]
+        assert rates == sorted(rates, reverse=True)
 
 
 class TestExecution:
