@@ -266,7 +266,14 @@ class UnregisteredWireFormat(Rule):
 
 #: repro subpackages (and the streaming module) that are execution
 #: planes: they may not import one another directly.
-_PLANE_PACKAGES = {"serve", "mapreduce", "extmem", "bsp", "pram", "streaming"}
+_PLANE_PACKAGES = {"serve", "cluster", "mapreduce", "extmem", "bsp", "pram", "streaming"}
+
+#: Sanctioned plane-to-plane dependencies. The cluster plane is, by
+#: design, a composition of serve nodes — its coordinator speaks the
+#: serve protocol and its nodes *are* WAL-fronted ReproServices — so
+#: cluster→serve is the architecture, not a violation. Everything
+#: else still goes through the kernel layer or plan.PLANES.
+_ALLOWED_PLANE_DEPS = {"cluster": {"serve"}}
 
 
 @register_rule
@@ -317,6 +324,7 @@ class CrossPlaneImport(Rule):
                     and parts[0] == "repro"
                     and parts[1] in _PLANE_PACKAGES
                     and parts[1] != own
+                    and parts[1] not in _ALLOWED_PLANE_DEPS.get(own, set())
                 ):
                     yield self.finding(
                         unit,

@@ -20,6 +20,7 @@ __all__ = [
     "BlockingIoInAsync",
     "ShardStateEscape",
     "SegmentWriteAfterPublish",
+    "BlockingIoInClusterAsync",
 ]
 
 #: Module-level calls that block the event loop.
@@ -94,6 +95,63 @@ class BlockingIoInAsync(Rule):
                 return f"{func.value.id}.{func.attr}()"
             if func.attr in _BLOCKING_METHOD_NAMES:
                 return f".{func.attr}()"
+        return None
+
+
+#: Additional blocking calls that matter on the cluster's WAL path:
+#: durability syscalls that must run inside the writer task's
+#: ``asyncio.to_thread`` hop, never on the event loop.
+_BLOCKING_FS_CALLS = {
+    ("os", "fsync"),
+    ("os", "replace"),
+    ("os", "rename"),
+    ("os", "remove"),
+    ("os", "unlink"),
+    ("shutil", "copy"),
+    ("shutil", "copyfile"),
+    ("shutil", "move"),
+}
+
+
+@register_rule
+class BlockingIoInClusterAsync(BlockingIoInAsync):
+    """CC004: blocking file I/O inside ``cluster/`` async functions.
+
+    The coordinator's scatter/gather fan-outs, the failover healing
+    path and the nodes' ingest handlers all share one event loop; a
+    synchronous WAL append or fsync on that loop freezes every node
+    handle at once — exactly when the cluster is trying to ride out a
+    failure. Durability work goes through ``asyncio.to_thread`` or
+    the WAL writer task (which batches it off-loop).
+    """
+
+    id = "CC004"
+    title = "blocking file I/O on the cluster event loop"
+    rationale = (
+        "a blocked coordinator loop stalls ingest, health probes and "
+        "failover simultaneously; WAL durability must not cost loop "
+        "latency"
+    )
+    fixit = (
+        "route the call through 'await asyncio.to_thread(...)' or "
+        "enqueue it on the WalWriter task"
+    )
+
+    def applies_to(self, unit: ModuleUnit) -> bool:
+        return "cluster" in unit.parts
+
+    @staticmethod
+    def _blocking_label(call: ast.Call) -> Optional[str]:
+        label = BlockingIoInAsync._blocking_label(call)
+        if label is not None:
+            return label
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and (func.value.id, func.attr) in _BLOCKING_FS_CALLS
+        ):
+            return f"{func.value.id}.{func.attr}()"
         return None
 
 

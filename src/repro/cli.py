@@ -208,6 +208,38 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--no-shutdown-op", action="store_true",
                    help="ignore client 'shutdown' requests")
     v.set_defaults(fn=_cmd_serve)
+
+    c = sub.add_parser("cluster", help="distributed exact-summation cluster")
+    csub = c.add_subparsers(dest="cluster_command", required=True)
+
+    cn = csub.add_parser("node", help="run one WAL-backed cluster node process")
+    cn.add_argument("--id", required=True, help="node id (stable across restarts)")
+    cn.add_argument("--host", default="127.0.0.1")
+    cn.add_argument("--port", type=int, default=0,
+                    help="TCP port (0 picks an ephemeral port)")
+    cn.add_argument("--wal", default=None,
+                    help="write-ahead log path (replayed on start)")
+    cn.add_argument("--shards", type=int, default=2)
+    cn.add_argument("--kernel", default="running")
+    cn.set_defaults(fn=_cmd_cluster_node)
+
+    cs = csub.add_parser("spawn", help="spawn a local N-node cluster")
+    cs.add_argument("--dir", required=True,
+                    help="cluster directory (WALs + cluster.json spec)")
+    cs.add_argument("-n", "--nodes", type=int, default=3)
+    cs.add_argument("--shards", type=int, default=2)
+    cs.add_argument("--kernel", default="running")
+    cs.add_argument("--replication", type=int, default=2)
+    cs.set_defaults(fn=_cmd_cluster_spawn)
+
+    ct = csub.add_parser("status", help="probe every node in a cluster spec")
+    ct.add_argument("--dir", required=True)
+    ct.set_defaults(fn=_cmd_cluster_status)
+
+    ck = csub.add_parser("kill-node", help="SIGKILL one node of a spawned cluster")
+    ck.add_argument("--dir", required=True)
+    ck.add_argument("--id", required=True)
+    ck.set_defaults(fn=_cmd_cluster_kill)
     return parser
 
 
@@ -267,6 +299,91 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("interrupted; shut down cleanly")
         return 0
+
+
+def _cmd_cluster_node(args: argparse.Namespace) -> int:
+    from repro.cluster.launcher import serve_node
+
+    try:
+        return serve_node(
+            args.id,
+            host=args.host,
+            port=args.port,
+            wal=args.wal,
+            shards=args.shards,
+            kernel=args.kernel,
+        )
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_cluster_spawn(args: argparse.Namespace) -> int:
+    from repro.cluster.launcher import spawn_local_cluster
+
+    procs = spawn_local_cluster(
+        args.nodes,
+        args.dir,
+        shards=args.shards,
+        kernel=args.kernel,
+        replication=args.replication,
+    )
+    for proc in procs:
+        spec = proc.spec()
+        print(f"{spec.node_id:<10s} {spec.host}:{spec.port}  pid={spec.pid}  "
+              f"wal={spec.wal}")
+    print(f"cluster of {len(procs)} node(s) spawned; spec in "
+          f"{args.dir}/cluster.json")
+    return 0
+
+
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.cluster import ClusterCoordinator, RemoteNodeHandle, load_spec
+
+    specs = load_spec(args.dir)
+
+    async def run() -> int:
+        handles = [
+            RemoteNodeHandle(s.node_id, s.host, s.port, timeout=5.0)
+            for s in specs
+        ]
+        coordinator = ClusterCoordinator(handles)
+        try:
+            health = await coordinator.ping_all()
+        finally:
+            await coordinator.close()
+        down = 0
+        for spec in specs:
+            state = "up" if health[spec.node_id] else "DOWN"
+            down += 0 if health[spec.node_id] else 1
+            print(f"{spec.node_id:<10s} {spec.host}:{spec.port:<6d} {state}")
+        return 1 if down else 0
+
+    return asyncio.run(run())
+
+
+def _cmd_cluster_kill(args: argparse.Namespace) -> int:
+    import os
+    import signal
+
+    from repro.cluster import load_spec
+
+    for spec in load_spec(args.dir):
+        if spec.node_id == args.id:
+            if spec.pid is None:
+                print(f"cluster: no recorded pid for {args.id}", file=sys.stderr)
+                return 2
+            try:
+                os.kill(spec.pid, signal.SIGKILL)
+            except ProcessLookupError:
+                print(f"{args.id} (pid {spec.pid}) already gone")
+                return 0
+            print(f"killed {args.id} (pid {spec.pid}); its WAL remains at "
+                  f"{spec.wal}")
+            return 0
+    print(f"cluster: unknown node id {args.id!r}", file=sys.stderr)
+    return 2
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

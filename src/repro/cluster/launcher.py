@@ -1,0 +1,282 @@
+"""Process-level cluster management: spawn, watch, kill real nodes.
+
+Each node is a separate ``python -m repro cluster node`` process — a
+:class:`~repro.cluster.node.WalService` behind a TCP
+:class:`~repro.serve.server.ReproServer`, with its own WAL file. On
+startup a node replays its WAL (crash recovery), binds an ephemeral
+port, and prints one JSON "ready line" on stdout; the launcher parses
+it to learn the port. A cluster's membership is persisted as a spec
+file (``cluster.json``) so separate CLI invocations — ``spawn``,
+``status``, ``kill-node`` — and the benchmark all agree on who is in
+the cluster.
+
+SIGKILL is used deliberately for ``kill``: the point of the WAL is
+that an *abrupt* death (no flush, no goodbye) loses nothing that was
+acknowledged, so the test/benchmark kill path must not be gentle.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = [
+    "NodeSpec",
+    "NodeProcess",
+    "spawn_local_cluster",
+    "save_spec",
+    "load_spec",
+    "serve_node",
+]
+
+#: File name of the cluster membership spec inside a cluster directory.
+SPEC_NAME = "cluster.json"
+
+
+@dataclass
+class NodeSpec:
+    """One row of the persisted cluster membership."""
+
+    node_id: str
+    host: str
+    port: int
+    wal: str
+    pid: Optional[int] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "node_id": self.node_id,
+            "host": self.host,
+            "port": self.port,
+            "wal": self.wal,
+            "pid": self.pid,
+        }
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, Any]) -> "NodeSpec":
+        return cls(
+            node_id=str(doc["node_id"]),
+            host=str(doc["host"]),
+            port=int(doc["port"]),
+            wal=str(doc["wal"]),
+            pid=doc.get("pid"),
+        )
+
+
+def save_spec(directory: Union[str, Path], specs: List[NodeSpec], **extra: Any) -> Path:
+    path = Path(directory) / SPEC_NAME
+    doc = {"format": "repro-cluster-spec-v1", "nodes": [s.to_json() for s in specs]}
+    doc.update(extra)
+    path.write_text(json.dumps(doc, indent=2))
+    return path
+
+
+def load_spec(directory: Union[str, Path]) -> List[NodeSpec]:
+    path = Path(directory) / SPEC_NAME
+    doc = json.loads(path.read_text())
+    if doc.get("format") != "repro-cluster-spec-v1":
+        raise ValueError(f"unrecognized cluster spec format in {path}")
+    return [NodeSpec.from_json(row) for row in doc["nodes"]]
+
+
+class NodeProcess:
+    """A spawned node process plus its parsed ready line."""
+
+    def __init__(
+        self,
+        node_id: str,
+        wal: Path,
+        *,
+        host: str = "127.0.0.1",
+        shards: int = 2,
+        kernel: str = "running",
+        ready_timeout: float = 30.0,
+    ) -> None:
+        self.node_id = node_id
+        self.wal = Path(wal)
+        self.host = host
+        self.shards = shards
+        self.kernel = kernel
+        self.ready_timeout = ready_timeout
+        self.port: Optional[int] = None
+        self.proc: Optional[subprocess.Popen] = None
+
+    def start(self) -> NodeSpec:
+        """Spawn the process and wait for its ready line."""
+        if self.proc is not None and self.proc.poll() is None:
+            raise RuntimeError(f"node {self.node_id!r} is already running")
+        env = dict(os.environ)
+        src = Path(__file__).resolve().parents[2]
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(src), env.get("PYTHONPATH")) if p
+        )
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "cluster", "node",
+                "--id", self.node_id,
+                "--host", self.host,
+                "--port", "0",
+                "--wal", str(self.wal),
+                "--shards", str(self.shards),
+                "--kernel", self.kernel,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+        )
+        assert self.proc.stdout is not None
+        deadline = time.monotonic() + self.ready_timeout
+        line = ""
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if line:
+                break
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"node {self.node_id!r} exited (rc={self.proc.returncode}) "
+                    f"before becoming ready"
+                )
+        try:
+            ready = json.loads(line)
+            self.port = int(ready["port"])
+        except (ValueError, KeyError, TypeError) as exc:
+            self.kill()
+            raise RuntimeError(
+                f"node {self.node_id!r} printed no valid ready line "
+                f"(got {line!r})"
+            ) from exc
+        return self.spec()
+
+    def spec(self) -> NodeSpec:
+        if self.port is None or self.proc is None:
+            raise RuntimeError(f"node {self.node_id!r} is not started")
+        return NodeSpec(
+            node_id=self.node_id,
+            host=self.host,
+            port=self.port,
+            wal=str(self.wal),
+            pid=self.proc.pid,
+        )
+
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+    def kill(self) -> None:
+        """SIGKILL — abrupt death, the crash the WAL exists to survive."""
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=30)
+
+    def terminate(self) -> None:
+        """Polite stop (SIGTERM) for teardown paths."""
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.kill()
+
+    def restart(self) -> NodeSpec:
+        """Start a fresh process on the same WAL (recovery included)."""
+        self.kill()
+        self.port = None
+        return self.start()
+
+
+def spawn_local_cluster(
+    n: int,
+    directory: Union[str, Path],
+    *,
+    shards: int = 2,
+    kernel: str = "running",
+    replication: int = 2,
+) -> List[NodeProcess]:
+    """Spawn ``n`` node processes with WALs under ``directory`` and
+    persist the membership spec there."""
+    if n < 1:
+        raise ValueError("cluster size must be >= 1")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    procs: List[NodeProcess] = []
+    try:
+        for i in range(n):
+            node = NodeProcess(
+                f"node-{i}",
+                directory / f"node-{i}.wal",
+                shards=shards,
+                kernel=kernel,
+            )
+            node.start()
+            procs.append(node)
+    except Exception:
+        for node in procs:
+            node.kill()
+        raise
+    save_spec(
+        directory,
+        [p.spec() for p in procs],
+        kernel=kernel,
+        replication=replication,
+    )
+    return procs
+
+
+def serve_node(
+    node_id: str,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    wal: Optional[str] = None,
+    shards: int = 2,
+    kernel: str = "running",
+) -> int:
+    """Blocking entry point of one node process (``repro cluster node``).
+
+    Replays the WAL, binds, prints the JSON ready line, serves until
+    SIGTERM/SIGINT. Returns the process exit code.
+    """
+    import asyncio
+
+    from repro.serve.server import ReproServer
+    from repro.serve.service import ServeConfig
+    from repro.cluster.node import WalService
+
+    async def run() -> int:
+        service = WalService(
+            ServeConfig(shards=shards, kernel=kernel), wal_path=wal
+        )
+        await service.start()
+        server = ReproServer(service, host=host, port=port)
+        async with server:
+            recovery = await service.recover()
+            print(
+                json.dumps(
+                    {
+                        "node": node_id,
+                        "host": server.host,
+                        "port": server.port,
+                        "wal": wal,
+                        "recovered_records": recovery["records"],
+                        "wal_tail_torn": recovery["truncated"],
+                    }
+                ),
+                flush=True,
+            )
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(sig, server.request_stop)
+            try:
+                await server.serve_forever()
+            finally:
+                await service.close()
+        return 0
+
+    return asyncio.run(run())

@@ -31,6 +31,8 @@ magic     payload                                            producer
 ``RAWB``  raw float64 block (no-combiner ablation)           mapreduce
 ``NF64``  one naive float (inexact control job)              mapreduce
 ``F64D``  dataset file header: item count                    data/io
+``WALR``  write-ahead-log ingest record: seq, CRC-32,        cluster
+          length-prefixed stream name + float64 payload      WAL
 ========  =================================================  =========
 
 Decoders reject truncated payloads, wrong magics, and corrupt headers
@@ -46,6 +48,7 @@ than encoding values, and is re-exported by :mod:`repro.serve.protocol`.
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import TYPE_CHECKING, Any, Callable, Dict, Tuple
 
 import numpy as np
@@ -69,8 +72,11 @@ __all__ = [
     "MAGIC_RAW_BLOCK",
     "MAGIC_FLOAT",
     "MAGIC_DATASET",
+    "MAGIC_WAL",
     "LENGTH_PREFIX",
     "DATASET_HEADER_SIZE",
+    "WAL_HEADER_SIZE",
+    "WAL_UNSEQUENCED",
     "peek_magic",
     "decode",
     "registered_formats",
@@ -96,6 +102,9 @@ __all__ = [
     "decode_float",
     "encode_dataset_header",
     "decode_dataset_header",
+    "encode_wal_record",
+    "decode_wal_record",
+    "wal_record_size",
 ]
 
 MAGIC_SPARSE = b"SSUP"
@@ -109,6 +118,7 @@ MAGIC_COMPOSITE = b"ACMP"
 MAGIC_RAW_BLOCK = b"RAWB"
 MAGIC_FLOAT = b"NF64"
 MAGIC_DATASET = b"F64D"
+MAGIC_WAL = b"WALR"
 
 _SPARSE_HEADER = struct.Struct("<4sBq")  # magic, w, ncomponents
 _DENSE_HEADER = struct.Struct("<4sBqqq")  # magic, w, base_index, nlimbs, count
@@ -118,6 +128,7 @@ _BINNED_HEADER = struct.Struct("<4sqq")  # magic, chunk budget used, nbins
 _CERT_FRAME = struct.Struct("<4sddd")  # magic, value, remainder, bound
 _COMPOSITE_HEADER = struct.Struct("<4sdqq")  # magic, bound, certs, fulls
 _FLOAT_FRAME = struct.Struct("<4sd")  # magic, value
+_WAL_HEADER = struct.Struct("<4sqIqq")  # magic, seq, crc32, stream_len, payload_len
 
 #: Serve-transport frame length prefix (network byte order uint32).
 #: Message framing, not value encoding — but it is still a byte layout,
@@ -126,6 +137,14 @@ LENGTH_PREFIX = struct.Struct("!I")
 
 #: Size in bytes of the ``.f64`` dataset file header.
 DATASET_HEADER_SIZE = _COUNT_HEADER.size
+
+#: Size in bytes of a ``WALR`` record header (the fixed-length prefix a
+#: WAL reader consumes before it knows how much body to read).
+WAL_HEADER_SIZE = _WAL_HEADER.size
+
+#: Sequence number meaning "this record carries no cluster sequence"
+#: (scatter-mode ingest; dedup does not apply).
+WAL_UNSEQUENCED = -1
 
 
 def peek_magic(payload: bytes) -> bytes:
@@ -571,6 +590,90 @@ def decode_dataset_header(raw: bytes) -> int:
 
 
 # ----------------------------------------------------------------------
+# WALR — cluster write-ahead-log ingest record
+# ----------------------------------------------------------------------
+
+
+def encode_wal_record(seq: int, stream: str, values: np.ndarray) -> bytes:
+    """``WALR`` frame: one durably logged ingest batch.
+
+    Layout: header (magic, int64 ``seq``, uint32 CRC-32, int64 stream-name
+    length, int64 value-payload length) followed by the UTF-8 stream name
+    and the raw little-endian float64 values.  The CRC covers the body
+    (name + values) so replay can distinguish a torn tail from silent
+    corruption.  ``seq`` is the cluster's per-stream sequence number;
+    :data:`WAL_UNSEQUENCED` marks scatter-mode records with no dedup
+    identity.
+
+    Raises:
+        CodecError: empty stream name or ``seq < WAL_UNSEQUENCED``.
+    """
+    if not stream:
+        raise CodecError("WAL record requires a non-empty stream name")
+    if seq < WAL_UNSEQUENCED:
+        raise CodecError(f"corrupt WAL record: sequence {seq} < -1")
+    name = stream.encode("utf-8")
+    body = np.ascontiguousarray(values, dtype="<f8").tobytes()
+    crc = zlib.crc32(name + body) & 0xFFFFFFFF
+    header = _WAL_HEADER.pack(MAGIC_WAL, seq, crc, len(name), len(body))
+    return header + name + body
+
+
+def wal_record_size(header: bytes) -> int:
+    """Total record length (header + body) from a ``WALR`` header.
+
+    Lets a WAL reader consume a fixed :data:`WAL_HEADER_SIZE` prefix,
+    learn how much body follows, and read exactly that — without the
+    length arithmetic leaking out of the codec.
+
+    Raises:
+        CodecError: truncated header, wrong magic, or negative lengths.
+    """
+    _check_header(header, _WAL_HEADER, "WAL record")
+    magic, seq, _crc, stream_len, payload_len = _WAL_HEADER.unpack_from(header, 0)
+    if magic != MAGIC_WAL:
+        raise CodecError("not a WAL record payload")
+    if stream_len <= 0 or payload_len < 0:
+        raise CodecError(
+            f"corrupt WAL header: lengths ({stream_len}, {payload_len})"
+        )
+    if seq < WAL_UNSEQUENCED:
+        raise CodecError(f"corrupt WAL header: sequence {seq} < -1")
+    return int(_WAL_HEADER.size + stream_len + payload_len)
+
+
+def decode_wal_record(payload: bytes) -> Tuple[int, str, np.ndarray]:
+    """Inverse of :func:`encode_wal_record`: ``(seq, stream, values)``.
+
+    Raises:
+        CodecError: truncation, wrong magic, corrupt lengths, a body that
+            is not a whole number of float64s, or a CRC mismatch.
+    """
+    total = wal_record_size(payload)
+    _, seq, crc, stream_len, payload_len = _WAL_HEADER.unpack_from(payload, 0)
+    if len(payload) != total:
+        raise CodecError(
+            f"WAL record length mismatch: expected {total} bytes, "
+            f"got {len(payload)}"
+        )
+    if payload_len % 8:
+        raise CodecError(
+            f"corrupt WAL record: {payload_len} value bytes is not a "
+            f"whole number of float64s"
+        )
+    body = payload[_WAL_HEADER.size :]
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise CodecError("WAL record CRC mismatch: corrupt body")
+    name = body[:stream_len]
+    try:
+        stream = name.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CodecError(f"corrupt WAL record: bad stream name: {exc}") from exc
+    values = np.frombuffer(body[stream_len:], dtype="<f8")
+    return int(seq), stream, values
+
+
+# ----------------------------------------------------------------------
 # the registry
 # ----------------------------------------------------------------------
 
@@ -586,6 +689,7 @@ _DECODERS: Dict[bytes, Tuple[str, Callable[[bytes], Any]]] = {
     MAGIC_RAW_BLOCK: ("raw-block", decode_raw_block),
     MAGIC_FLOAT: ("naive-float", decode_float),
     MAGIC_DATASET: ("dataset-header", decode_dataset_header),
+    MAGIC_WAL: ("wal-record", decode_wal_record),
 }
 
 

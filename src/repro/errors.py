@@ -13,6 +13,7 @@ __all__ = [
     "ProtocolError",
     "BackpressureError",
     "ServiceError",
+    "NodeDownError",
 ]
 
 
@@ -94,6 +95,19 @@ class ProtocolError(ServiceError, ValueError):
     """
 
     code = "protocol"
+
+
+class NodeDownError(ServiceError, ConnectionError):
+    """A cluster node could not be reached (dead, killed, or partitioned).
+
+    Raised by the coordinator when every handle that could serve a
+    request is down, and by node handles when their transport fails.
+    The coordinator treats it as a failover trigger, not a data error:
+    stream state is never lost while a replica (or the node's WAL)
+    survives.
+    """
+
+    code = "node-down"
 
 
 class BackpressureError(ServiceError, RuntimeError):

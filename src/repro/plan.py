@@ -220,6 +220,23 @@ def _run_serve(kernel_name, values, *, radix, mode, workers, block_items):
     return asyncio.run(run())
 
 
+def _run_cluster(kernel_name, values, *, radix, mode, workers, block_items):
+    import asyncio
+
+    from repro.cluster import LocalCluster
+
+    async def run() -> float:
+        async with LocalCluster(
+            nodes=max(2, workers), kernel=kernel_name, radix=radix, shards=1
+        ) as lc:
+            for chunk in _chunks(values, block_items):
+                await lc.coordinator.scatter("plan", chunk, chunk=block_items)
+            result = await lc.coordinator.gather_value("plan", mode=mode)
+            return result["value"]
+
+    return asyncio.run(run())
+
+
 def _run_mapreduce(kernel_name, values, *, radix, mode, workers, block_items):
     from repro.mapreduce import parallel_sum
 
@@ -273,6 +290,7 @@ PLANES = {
     "serial": _run_serial,
     "streaming": _run_streaming,
     "serve": _run_serve,
+    "cluster": _run_cluster,
     "mapreduce": _run_mapreduce,
     "extmem": _run_extmem,
     "bsp": _run_bsp,

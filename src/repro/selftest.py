@@ -215,6 +215,33 @@ def _check_serve() -> None:
     asyncio.run(roundtrip())
 
 
+def _check_cluster() -> None:
+    import asyncio
+
+    from repro.cluster import LocalCluster
+    from repro.core import exact_sum
+
+    rng = np.random.default_rng(13)
+    x = (rng.random(1500) - 0.5) * 10.0 ** rng.integers(-60, 60, 1500)
+    want = exact_sum(x, method="sparse")
+
+    async def roundtrip() -> None:
+        async with LocalCluster(nodes=3, replication=2) as lc:
+            co = lc.coordinator
+            for piece in np.array_split(x, 6):
+                await co.append("t", piece)
+            # replicated read survives losing the stream's primary
+            lc.kill(co._placement("t").primary)
+            placed = await co.value("t")
+            assert same_float(placed["value"], want), "placed read drifted"
+            # scatter/gather recombination is the same exact merge
+            await co.scatter("u", x, chunk=256)
+            gathered = await co.gather_value("u")
+            assert same_float(gathered["value"], want), "gather drifted"
+
+    asyncio.run(roundtrip())
+
+
 def _check_analysis() -> None:
     from pathlib import Path
 
@@ -249,6 +276,7 @@ _CHECKS: List[Tuple[str, Callable[[], None]]] = [
     ("binned fold", _check_binned),
     ("backend planner", _check_plan),
     ("serving plane", _check_serve),
+    ("cluster plane", _check_cluster),
     ("static analysis", _check_analysis),
 ]
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 import asyncio
 import json
 import math
+import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -94,6 +95,24 @@ class ServeConfig:
                 f"unknown kernel {self.kernel!r}; "
                 f"expected one of {list(kernel_names())}"
             )
+
+
+def _atomic_write_text(path: Path, payload: str) -> None:
+    """Write-then-rename so a crash mid-save never truncates the file.
+
+    ``os.replace`` is atomic on POSIX and Windows within one
+    filesystem; readers see either the old complete snapshot or the
+    new complete snapshot, never a torn one. The temp file lives next
+    to the target (same directory, ``.tmp`` suffix) to stay on the
+    same filesystem, and is fsync'd before the rename so the rename
+    cannot land before the data.
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
 
 
 def _require_stream(request: Dict[str, Any]) -> str:
@@ -473,7 +492,7 @@ class ReproService:
             snap = await self._op_snapshot({"stream": name})
             states[name] = snap["snapshot"]
         payload = json.dumps({"format": "repro-serve-state-v1", "streams": states})
-        await asyncio.to_thread(Path(path).write_text, payload)
+        await asyncio.to_thread(_atomic_write_text, Path(path), payload)
         return len(states)
 
     async def load_state(self, path: Union[str, Path]) -> int:

@@ -56,6 +56,9 @@ def _valid_frames():
         codec.MAGIC_RAW_BLOCK: codec.encode_raw_block(np.array([1.5, -2.5])),
         codec.MAGIC_FLOAT: codec.encode_float(3.25),
         codec.MAGIC_DATASET: codec.encode_dataset_header(12345),
+        codec.MAGIC_WAL: codec.encode_wal_record(
+            7, "orders", np.array([1.5, -2.25, 1e308])
+        ),
     }
 
 
@@ -106,6 +109,7 @@ def test_wrong_magic_raises_codec_error(magic):
         codec.MAGIC_RAW_BLOCK: codec.decode_raw_block,
         codec.MAGIC_FLOAT: codec.decode_float,
         codec.MAGIC_DATASET: codec.decode_dataset_header,
+        codec.MAGIC_WAL: codec.decode_wal_record,
     }[magic]
     with pytest.raises(CodecError):
         decoder(swapped)
@@ -167,3 +171,64 @@ def test_raw_block_rejects_non_whole_float64_body():
 def test_unknown_magic_lists_no_decoder():
     with pytest.raises(CodecError, match="unknown frame magic"):
         codec.decode(b"NOPE" + b"\x00" * 16)
+
+
+# ----------------------------------------------------------------------
+# WALR — the cluster write-ahead-log record (PR 7 satellite)
+# ----------------------------------------------------------------------
+
+
+def test_wal_record_roundtrip_bit_exact():
+    values = np.array([1.5, -0.0, 5e-324, -1e308, 2.0**-1074])
+    seq, stream, out = codec.decode_wal_record(
+        codec.encode_wal_record(42, "payments", values)
+    )
+    assert seq == 42
+    assert stream == "payments"
+    assert out.dtype == np.float64
+    # bit-exact including the signed zero
+    assert out.tobytes() == values.astype("<f8").tobytes()
+
+
+def test_wal_record_unsequenced_and_empty_payload():
+    blob = codec.encode_wal_record(
+        codec.WAL_UNSEQUENCED, "scatter", np.array([], dtype=np.float64)
+    )
+    seq, stream, out = codec.decode_wal_record(blob)
+    assert seq == codec.WAL_UNSEQUENCED
+    assert stream == "scatter"
+    assert out.size == 0
+
+
+def test_wal_record_size_from_header_prefix():
+    blob = codec.encode_wal_record(3, "s", np.array([1.0, 2.0]))
+    assert codec.wal_record_size(blob[: codec.WAL_HEADER_SIZE]) == len(blob)
+
+
+def test_wal_record_crc_corruption_detected():
+    blob = bytearray(codec.encode_wal_record(9, "orders", np.array([3.0, -4.0])))
+    # Flip one bit in every body byte position in turn: CRC must catch
+    # each one (the header fields have their own structural checks).
+    for pos in range(codec.WAL_HEADER_SIZE, len(blob)):
+        corrupt = bytearray(blob)
+        corrupt[pos] ^= 0x01
+        with pytest.raises(CodecError, match="CRC mismatch"):
+            codec.decode_wal_record(bytes(corrupt))
+
+
+def test_wal_record_rejects_bad_seq_and_empty_stream():
+    with pytest.raises(CodecError, match="non-empty stream"):
+        codec.encode_wal_record(0, "", np.array([1.0]))
+    with pytest.raises(CodecError, match="sequence"):
+        codec.encode_wal_record(-2, "s", np.array([1.0]))
+    blob = bytearray(codec.encode_wal_record(0, "s", np.array([1.0])))
+    # forge seq = -3 in the header; the decoder must refuse before CRC
+    blob[4:12] = (-3).to_bytes(8, "little", signed=True)
+    with pytest.raises(CodecError, match="sequence"):
+        codec.decode_wal_record(bytes(blob))
+
+
+def test_wal_record_rejects_trailing_garbage():
+    blob = codec.encode_wal_record(1, "s", np.array([1.0]))
+    with pytest.raises(CodecError, match="length mismatch"):
+        codec.decode_wal_record(blob + b"\x00")
