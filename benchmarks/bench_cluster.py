@@ -11,9 +11,17 @@ runs the two failure drills the subsystem exists for:
 * **cold restart** — start a fresh process on the dead node's WAL and
   assert it reconstructs its acked prefix bit-exactly.
 
+The ingest and kill/recover drills run once per **wire mode**:
+``json`` (boxed JSON-lines text) and ``binary`` (codec ``BBAT``
+frames whose raw float64 payloads land verbatim in ``WALR`` records —
+the zero-copy passthrough path). On the binary wire the replayed WAL
+records are therefore byte-for-byte the payloads the clients shipped,
+and the drill proves their replay is bit-identical anyway.
+
 Every cell asserts bit-identity (``float.hex`` equality) against the
 single-node reference; this benchmark may never trade exactness for
-availability. The headline is the kill/recover drill's bit-identity.
+availability. The headline is the binary-wire kill/recover drill's
+bit-identity, plus cross-wire hex equality in every drill case.
 
 Usage::
 
@@ -69,13 +77,29 @@ async def serve_reference(batches: List[np.ndarray]) -> Dict[str, Any]:
 class Drill:
     """A spawned cluster plus the coordinator driving it."""
 
-    def __init__(self, directory: str, *, nodes: int, shards: int) -> None:
+    def __init__(
+        self, directory: str, *, nodes: int, shards: int, wire: str = "binary"
+    ) -> None:
+        self.wire = wire
         self.procs = spawn_local_cluster(nodes, directory, shards=shards)
         self.by_id = {p.node_id: p for p in self.procs}
         self.coordinator = ClusterCoordinator(
-            [RemoteNodeHandle(p.node_id, p.host, p.port) for p in self.procs],
+            [
+                RemoteNodeHandle(p.node_id, p.host, p.port, wire=wire)
+                for p in self.procs
+            ],
             replication=2,
         )
+
+    def assert_wire(self) -> None:
+        """Every connected handle must have negotiated the drill's wire."""
+        for handle in self.coordinator._handles.values():
+            client = getattr(handle, "_client", None)
+            if client is not None and client.wire != self.wire:
+                raise AssertionError(
+                    f"{handle.node_id} negotiated {client.wire!r}, "
+                    f"wanted {self.wire!r}"
+                )
 
     async def close(self) -> None:
         await self.coordinator.close()
@@ -84,9 +108,14 @@ class Drill:
 
 
 async def drill_uninterrupted(
-    batches: List[np.ndarray], ref: Dict[str, Any], tmp: str, *, nodes: int
+    batches: List[np.ndarray],
+    ref: Dict[str, Any],
+    tmp: str,
+    *,
+    nodes: int,
+    wire: str = "binary",
 ) -> Dict[str, Any]:
-    drill = Drill(tmp, nodes=nodes, shards=2)
+    drill = Drill(tmp, nodes=nodes, shards=2, wire=wire)
     try:
         co = drill.coordinator
         t0 = time.perf_counter()
@@ -94,6 +123,7 @@ async def drill_uninterrupted(
             await co.append("ledger", batch)
         got = await co.value("ledger")
         elapsed = time.perf_counter() - t0
+        drill.assert_wire()
         identical = got["value"].hex() == ref["hex"] and got["count"] == ref["count"]
         if not identical:
             raise AssertionError(
@@ -103,6 +133,7 @@ async def drill_uninterrupted(
         n = sum(b.size for b in batches)
         return {
             "case": "uninterrupted",
+            "wire": wire,
             "nodes": nodes,
             "n": n,
             "seconds": elapsed,
@@ -115,11 +146,22 @@ async def drill_uninterrupted(
 
 
 async def drill_kill_recover(
-    batches: List[np.ndarray], ref: Dict[str, Any], tmp: str, *, nodes: int
+    batches: List[np.ndarray],
+    ref: Dict[str, Any],
+    tmp: str,
+    *,
+    nodes: int,
+    wire: str = "binary",
 ) -> Dict[str, Any]:
     """THE acceptance drill: SIGKILL the primary mid-ingest, fail over,
-    replay its WAL, read bit-identically."""
-    drill = Drill(tmp, nodes=nodes, shards=2)
+    replay its WAL, read bit-identically.
+
+    On the binary wire the victim's WAL records hold the client frame
+    payloads verbatim (no decode/re-encode), so this drill doubles as
+    the end-to-end proof that replaying passthrough records through the
+    vectorized fold reproduces the uninterrupted sum bit-exactly.
+    """
+    drill = Drill(tmp, nodes=nodes, shards=2, wire=wire)
     try:
         co = drill.coordinator
         half = len(batches) // 2
@@ -140,6 +182,7 @@ async def drill_kill_recover(
             )
         return {
             "case": "kill_recover",
+            "wire": wire,
             "nodes": nodes,
             "victim": victim,
             "killed_after_batches": half,
@@ -185,6 +228,7 @@ async def drill_cold_restart(
             )
         return {
             "case": "cold_restart",
+            "wire": drill.wire,
             "nodes": nodes,
             "victim": victim,
             "recovered_values": int(resp["count"]),
@@ -204,16 +248,26 @@ async def run(n: int, *, nodes: int, batch: int) -> Dict[str, Any]:
           f"count={ref['count']:,} in {ref['seconds']:.2f}s")
     rows: List[Dict[str, Any]] = []
     for drill_fn in (drill_uninterrupted, drill_kill_recover):
-        with tempfile.TemporaryDirectory(prefix="repro-bench-cluster-") as tmp:
-            row = await drill_fn(batches, ref, tmp, nodes=nodes)
-        rows.append(row)
-        print(f"  {row['case']:<14s} bit_identical={row['bit_identical']} "
-              f"({row['seconds']:.2f}s)")
+        for wire in ("json", "binary"):
+            with tempfile.TemporaryDirectory(prefix="repro-bench-cluster-") as tmp:
+                row = await drill_fn(batches, ref, tmp, nodes=nodes, wire=wire)
+            rows.append(row)
+            print(f"  {row['case']:<14s} wire={wire:<6s} "
+                  f"bit_identical={row['bit_identical']} "
+                  f"({row['seconds']:.2f}s)")
     with tempfile.TemporaryDirectory(prefix="repro-bench-cluster-") as tmp:
         row = await drill_cold_restart(batches, tmp, nodes=nodes)
     rows.append(row)
-    print(f"  {row['case']:<14s} bit_identical={row['bit_identical']} "
+    print(f"  {row['case']:<14s} wire={row['wire']:<6s} "
+          f"bit_identical={row['bit_identical']} "
           f"(recovery {row['recovery_seconds']:.2f}s)")
+    # both wires must read the same bits in every drill case
+    by_case: Dict[str, set] = {}
+    for row in rows:
+        by_case.setdefault(row["case"], set()).add(row["value_hex"])
+    for case, hexes in by_case.items():
+        if len(hexes) != 1:
+            raise AssertionError(f"wire modes disagree bitwise in {case}: {hexes}")
     return {"reference": ref, "rows": rows}
 
 
@@ -235,7 +289,11 @@ def main(argv: Sequence[str] = ()) -> int:
     print(f"cluster drills: n={n:,}, nodes={args.nodes}, batch={args.batch}")
     result = asyncio.run(run(n, nodes=args.nodes, batch=args.batch))
 
-    kill = next(r for r in result["rows"] if r["case"] == "kill_recover")
+    kill = next(
+        r
+        for r in result["rows"]
+        if r["case"] == "kill_recover" and r["wire"] == "binary"
+    )
     record = {
         "benchmark": "cluster",
         "quick": args.quick,
@@ -255,16 +313,21 @@ def main(argv: Sequence[str] = ()) -> int:
         "rows": result["rows"],
         "headline": {
             "case": "kill_recover",
+            "wire": "binary",
             "bit_identical": kill["bit_identical"],
             "failovers": kill["failovers"],
             "wal_records_replayed": kill["wal_replay"]["records"],
+            "wal_passthrough": (
+                "binary-wire WAL records hold client frame payloads "
+                "verbatim; replay folds them through the vectorized path"
+            ),
             "pass": all(r["bit_identical"] for r in result["rows"]),
         },
     }
     args.output.write_text(json.dumps(record, indent=2) + "\n")
     print(f"\nwrote {args.output}")
     ok = record["headline"]["pass"]
-    print(f"headline: kill/recover bit-identical "
+    print(f"headline: kill/recover replays binary WAL bit-identically "
           f"({'PASS' if ok else 'FAIL'})")
     return 0 if ok else 1
 

@@ -5,11 +5,16 @@ through the coordinator over TCP, then demonstrates the failure story
 the cluster exists for: SIGKILL the stream's primary mid-ingest, keep
 ingesting through failover, replay the dead node's write-ahead log,
 and read a final sum bit-identical to the serial exact reference.
-Doubles as the CI cluster smoke test.
+``--wire json|binary`` pins the coordinator's wire mode; on the
+binary wire (the default) each batch ships as a codec ``BBAT`` frame
+whose raw float64 payload lands verbatim in the node's WAL, so the
+replay below re-folds the very bytes the clients sent. Doubles as the
+CI cluster smoke test, run once per wire mode.
 """
 
 from __future__ import annotations
 
+import argparse
 import asyncio
 import tempfile
 from pathlib import Path
@@ -21,7 +26,7 @@ from repro.core import exact_sum
 from repro.data import generate
 
 
-async def main() -> None:
+async def main(wire: str) -> None:
     data = generate("sumzero", 20_000, delta=500, seed=21)
     expected = exact_sum(data)
     batches = np.array_split(data, 40)
@@ -31,12 +36,13 @@ async def main() -> None:
         procs = spawn_local_cluster(3, tmp, shards=2)
         by_id = {p.node_id: p for p in procs}
         handles = [
-            RemoteNodeHandle(p.node_id, p.host, p.port) for p in procs
+            RemoteNodeHandle(p.node_id, p.host, p.port, wire=wire)
+            for p in procs
         ]
         coordinator = ClusterCoordinator(handles, replication=2)
         for p in procs:
             print(f"spawned {p.node_id} on {p.host}:{p.port} "
-                  f"(wal={Path(p.wal).name})")
+                  f"(wal={Path(p.wal).name}, wire={wire})")
 
         try:
             # -- replicated ingest, first half ---------------------------
@@ -84,7 +90,7 @@ async def main() -> None:
             # dying; recovery must reconstruct that prefix bit-exactly.
             prefix = np.concatenate(batches[:20])
             spec = by_id[victim].restart()
-            fresh = RemoteNodeHandle(spec.node_id, spec.host, spec.port)
+            fresh = RemoteNodeHandle(spec.node_id, spec.host, spec.port, wire=wire)
             info = await fresh.request("cluster_info")
             resp = await fresh.request("value", stream="ledger")
             await fresh.close()
@@ -101,4 +107,11 @@ async def main() -> None:
 
 
 if __name__ == "__main__":
-    asyncio.run(main())
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--wire",
+        choices=("json", "binary"),
+        default="binary",
+        help="coordinator wire mode (default: binary)",
+    )
+    asyncio.run(main(parser.parse_args().wire))

@@ -1,14 +1,19 @@
 """Serving quickstart: a sharded exact-summation service end to end.
 
 Starts the TCP server in-process, then demonstrates the full client
-surface: a round-trip, a 1k-request concurrent burst of an
-ill-conditioned dataset (asserted bit-identical to the serial exact
-sum), snapshot/restore persistence, stats, and a clean shutdown.
-Doubles as the CI service smoke test.
+surface: wire negotiation (``--wire json|binary``), a round-trip, a
+1k-request concurrent burst of an ill-conditioned dataset shipped as
+numpy batches (asserted bit-identical to the serial exact sum),
+snapshot/restore persistence, stats, and a clean shutdown. On the
+binary wire each batch rides a codec ``BBAT`` frame of raw float64
+bytes; on JSON-lines the same calls box through ``add_array`` — the
+result is bit-identical either way. Doubles as the CI service smoke
+test, run once per wire mode.
 """
 
 from __future__ import annotations
 
+import argparse
 import asyncio
 
 import numpy as np
@@ -18,7 +23,7 @@ from repro.data import generate
 from repro.serve import ReproServeClient, ReproServer, ReproService, ServeConfig
 
 
-async def main() -> None:
+async def main(wire: str) -> None:
     service = ReproService(ServeConfig(shards=4, queue_depth=256))
     await service.start()
     server = ReproServer(service, port=0)  # ephemeral port
@@ -26,8 +31,10 @@ async def main() -> None:
     print(f"serving on 127.0.0.1:{server.port} (4 shards)")
 
     # -- round-trip ------------------------------------------------------
-    client = await ReproServeClient.connect(port=server.port)
-    await client.add_array("demo", [1e16, 1.0, -1e16])
+    client = await ReproServeClient.connect(port=server.port, wire=wire)
+    assert client.wire == wire, f"negotiated {client.wire}, wanted {wire}"
+    print(f"negotiated wire: {client.wire}")
+    await client.add_batch("demo", np.array([1e16, 1.0, -1e16]))
     value = await client.value("demo")
     print(f"round-trip: 1e16 + 1.0 - 1e16 = {value}")
     assert value == 1.0  # float accumulation would give 0.0
@@ -35,12 +42,14 @@ async def main() -> None:
     # -- 1k-request concurrent burst, exactness asserted -----------------
     data = generate("sumzero", 64_000, delta=600, seed=3)
     expected = exact_sum(data)
-    chunks = np.array_split(data, 1000)  # 1000 add_array requests
+    chunks = np.array_split(data, 1000)  # 1000 numpy batch requests
 
     async def producer(part_chunks) -> None:
-        c = await ReproServeClient.connect(port=server.port)
+        c = await ReproServeClient.connect(port=server.port, wire=wire)
         for chunk in part_chunks:
-            await c.add_array("burst", chunk)
+            # numpy batch API: one frame per array — a codec BBAT frame
+            # on the binary wire, an add_array op on JSON-lines
+            await c.add_batch("burst", chunk)
         await c.close()
 
     producers = [producer(chunks[i::8]) for i in range(8)]
@@ -65,6 +74,13 @@ async def main() -> None:
         f"mean batch {stats['mean_batch_values']:.0f} values, "
         f"p99 {stats['latency_p99_ms']:.2f} ms"
     )
+    wire_stats = stats["wire"].get(wire, {})
+    print(
+        f"wire[{wire}]: {wire_stats.get('frames', 0)} value frames, "
+        f"{wire_stats.get('values', 0):,} values, "
+        f"{wire_stats.get('payload_bytes', 0):,} payload bytes"
+    )
+    assert wire_stats.get("values", 0) >= data.size
 
     # -- clean shutdown --------------------------------------------------
     resp = await client.shutdown()
@@ -76,4 +92,11 @@ async def main() -> None:
 
 
 if __name__ == "__main__":
-    asyncio.run(main())
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--wire",
+        choices=("json", "binary"),
+        default="binary",
+        help="wire mode to negotiate (default: binary)",
+    )
+    asyncio.run(main(parser.parse_args().wire))

@@ -24,6 +24,7 @@ __all__ = [
     "KernelProtocolConformance",
     "UnregisteredWireFormat",
     "CrossPlaneImport",
+    "BoxedFloatWirePayload",
 ]
 
 _STRUCT_ATTRS = {
@@ -332,3 +333,94 @@ class CrossPlaneImport(Rule):
                         f"plane '{own}' imports plane '{parts[1]}' "
                         f"({target}) directly",
                     )
+
+
+#: Networked subpackages whose value-bearing payloads have a codec
+#: fast path: boxing floats there is a silent 3-10x wire regression.
+_WIRE_PACKAGES = {"serve", "cluster"}
+
+
+def _is_float_boxing(node: ast.expr) -> bool:
+    """``[float(v) for v in ...]`` — the boxed-payload signature."""
+    if not isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+        return False
+    elt = node.elt
+    return (
+        isinstance(elt, ast.Call)
+        and isinstance(elt.func, ast.Name)
+        and elt.func.id == "float"
+    )
+
+
+@register_rule
+class BoxedFloatWirePayload(Rule):
+    """ARCH005: value-bearing wire/WAL payloads must use the codec.
+
+    The serve and cluster planes carry float64 batches as codec frames
+    (``BBAT`` on the wire, ``WALR`` in the log): raw little-endian
+    bytes, bit-exact by construction, zero boxing. Building a payload
+    as ``values=[float(v) for v in ...]`` — or ``json.dumps`` of such
+    a sequence — inside those packages re-routes the batch through
+    per-value Python boxing and JSON text, silently forfeiting the
+    binary fast path. The JSON-lines *fallback* wire is the one
+    sanctioned boxing site; mark it with a justified suppression.
+    """
+
+    id = "ARCH005"
+    title = "boxed float payload on a codec-capable wire path"
+    rationale = (
+        "float batches boxed into JSON lists bypass the BBAT/WALR "
+        "codec frames, costing ~3x wire bytes and per-value boxing on "
+        "paths that have a bit-identical binary fast path"
+    )
+    fixit = (
+        "ship the batch as an ndarray through request_batch/add_batch "
+        "(codec BBAT frame), or suppress with a justification if this "
+        "is the JSON-lines fallback wire itself"
+    )
+
+    def applies_to(self, unit: ModuleUnit) -> bool:
+        return len(unit.parts) >= 2 and unit.parts[1] in _WIRE_PACKAGES
+
+    def check(self, unit: ModuleUnit) -> Iterable[Finding]:
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                is_dumps = (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "dumps"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "json"
+                )
+                if is_dumps:
+                    for arg in list(node.args) + [k.value for k in node.keywords]:
+                        for sub in ast.walk(arg):
+                            if _is_float_boxing(sub):
+                                yield self.finding(
+                                    unit,
+                                    sub,
+                                    "json.dumps of a boxed float sequence; "
+                                    "value payloads ride codec frames",
+                                )
+                for kw in node.keywords:
+                    if kw.arg == "values" and _is_float_boxing(kw.value):
+                        yield self.finding(
+                            unit,
+                            kw.value,
+                            "boxed float list passed as a 'values' "
+                            "payload; send the ndarray as a codec frame",
+                        )
+            elif isinstance(node, ast.Dict):
+                for key, value in zip(node.keys, node.values):
+                    if (
+                        isinstance(key, ast.Constant)
+                        and key.value == "values"
+                        and value is not None
+                        and _is_float_boxing(value)
+                    ):
+                        yield self.finding(
+                            unit,
+                            value,
+                            "boxed float list under a 'values' payload "
+                            "key; send the ndarray as a codec frame",
+                        )

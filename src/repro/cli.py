@@ -249,6 +249,21 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
     return 0 if run_selftest() else 1
 
 
+def _wire_stat_lines(wire: dict) -> list:
+    """Render a metrics ``wire`` section as aligned report lines."""
+    lines = []
+    for mode in sorted(wire):
+        w = wire[mode]
+        mib = w["payload_bytes"] / (1024.0 * 1024.0)
+        lines.append(
+            f"  wire[{mode}]: {int(w['frames'])} frame(s), "
+            f"{int(w['values'])} value(s), {mib:.2f} MiB payload "
+            f"({w['mean_values_per_frame']:.1f} values/frame, "
+            f"{w['payload_bytes_per_s'] / 1e6:.2f} MB/s)"
+        )
+    return lines
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import os
@@ -288,6 +303,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         try:
             await server.serve_forever()
         finally:
+            snapshot = service.metrics.snapshot()
+            if snapshot["wire"]:
+                print("ingest wire summary:")
+                for line in _wire_stat_lines(snapshot["wire"]):
+                    print(line)
             if args.state_path:
                 saved = await service.save_state(args.state_path)
                 print(f"saved {saved} stream(s) to {args.state_path}")
@@ -351,6 +371,15 @@ def _cmd_cluster_status(args: argparse.Namespace) -> int:
         coordinator = ClusterCoordinator(handles)
         try:
             health = await coordinator.ping_all()
+            wire_stats = {}
+            for handle in handles:
+                if not health[handle.node_id]:
+                    continue
+                try:
+                    resp = await handle.request("stats")
+                    wire_stats[handle.node_id] = resp["stats"].get("wire", {})
+                except Exception:
+                    wire_stats[handle.node_id] = {}
         finally:
             await coordinator.close()
         down = 0
@@ -358,6 +387,8 @@ def _cmd_cluster_status(args: argparse.Namespace) -> int:
             state = "up" if health[spec.node_id] else "DOWN"
             down += 0 if health[spec.node_id] else 1
             print(f"{spec.node_id:<10s} {spec.host}:{spec.port:<6d} {state}")
+            for line in _wire_stat_lines(wire_stats.get(spec.node_id, {})):
+                print(line)
         return 1 if down else 0
 
     return asyncio.run(run())

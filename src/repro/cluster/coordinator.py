@@ -42,7 +42,8 @@ from repro.core.digits import DEFAULT_RADIX, RadixConfig
 from repro.errors import NodeDownError, ServiceError
 from repro.kernels import get_kernel
 from repro.serve import InProcessClient, ReproServeClient, ServeConfig
-from repro.serve.protocol import decode_bytes_field
+from repro.serve.protocol import WIRE_BINARY, decode_bytes_field
+from repro.util.validation import ensure_float64_array
 from repro.cluster.node import ClusterNode, WalService
 from repro.cluster.placement import HashRing
 from repro.cluster.replication import ReplicationManager, StreamPlacement
@@ -71,6 +72,28 @@ class NodeHandle:
         :class:`NodeDownError` when the node cannot be reached."""
         raise NotImplementedError
 
+    async def add_batch(
+        self,
+        stream: str,
+        values: np.ndarray,
+        *,
+        seq: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Send one float64 batch; full add_array response dict.
+
+        The base implementation boxes through the JSON ``add_array``
+        op; transport-aware subclasses route the array as a single
+        codec frame when the connection negotiated the binary wire.
+        """
+        fields: Dict[str, Any] = {
+            "stream": stream,
+            # reprolint: disable-next-line=ARCH005 -- JSON-lines fallback wire: boxing is the format
+            "values": [float(v) for v in values],
+        }
+        if seq is not None:
+            fields["seq"] = seq
+        return await self.request("add_array", **fields)
+
     async def close(self) -> None:
         return None
 
@@ -93,12 +116,23 @@ class LocalNodeHandle(NodeHandle):
     def __init__(self, node_id: str, service: WalService) -> None:
         super().__init__(node_id)
         self.service = service
-        self._client = InProcessClient(service)
+        self._client = InProcessClient(service, wire=WIRE_BINARY)
 
     async def request(self, op: str, **fields: Any) -> Dict[str, Any]:
         if not self.alive:
             raise self.down("killed")
         return await self._client.request(op, **fields)
+
+    async def add_batch(
+        self,
+        stream: str,
+        values: np.ndarray,
+        *,
+        seq: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        if not self.alive:
+            raise self.down("killed")
+        return await self._client.request_batch(stream, values, seq=seq)
 
     def kill(self) -> None:
         self.alive = False
@@ -114,24 +148,53 @@ class RemoteNodeHandle(NodeHandle):
         port: int,
         *,
         timeout: float = 10.0,
+        wire: str = WIRE_BINARY,
     ) -> None:
         super().__init__(node_id)
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        self.wire = wire
         self._client: Optional[ReproServeClient] = None
+
+    async def _ensure_client(self) -> ReproServeClient:
+        if self._client is None:
+            # Binary wire preferred by default; connect() downgrades to
+            # JSON-lines automatically against pre-v2 nodes, so mixed
+            # fleets work. ``wire="json"`` pins the fallback wire
+            # (benchmark baselines, protocol debugging).
+            self._client = await asyncio.wait_for(
+                ReproServeClient.connect(self.host, self.port, wire=self.wire),
+                timeout=self.timeout,
+            )
+        return self._client
 
     async def request(self, op: str, **fields: Any) -> Dict[str, Any]:
         if not self.alive:
             raise self.down("marked down")
         try:
-            if self._client is None:
-                self._client = await asyncio.wait_for(
-                    ReproServeClient.connect(self.host, self.port),
-                    timeout=self.timeout,
-                )
+            client = await self._ensure_client()
             return await asyncio.wait_for(
-                self._client.request(op, **fields), timeout=self.timeout
+                client.request(op, **fields), timeout=self.timeout
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError, EOFError) as exc:
+            await self._drop_client()
+            raise self.down(f"{type(exc).__name__}: {exc}") from exc
+
+    async def add_batch(
+        self,
+        stream: str,
+        values: np.ndarray,
+        *,
+        seq: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        if not self.alive:
+            raise self.down("marked down")
+        try:
+            client = await self._ensure_client()
+            return await asyncio.wait_for(
+                client.request_batch(stream, values, seq=seq),
+                timeout=self.timeout,
             )
         except (ConnectionError, OSError, asyncio.TimeoutError, EOFError) as exc:
             await self._drop_client()
@@ -239,16 +302,18 @@ class ClusterCoordinator:
         failover and a retry against the recomputed placement — the
         ``seq`` dedups the members that already applied it.
         """
-        payload = [float(v) for v in np.asarray(list(values), dtype=np.float64)]
-        if not payload:
+        arr = (
+            ensure_float64_array(values)
+            if isinstance(values, np.ndarray)
+            else np.asarray(list(values), dtype=np.float64)
+        )
+        if arr.size == 0:
             return {"added": 0, "seq": None, "epoch": self.ring.version}
         seq = self.replication.next_seq(stream)
         for _ in range(len(self._handles) + 1):
             placement = self._placement(stream)
             sends = [
-                self._handle(m).request(
-                    "add_array", stream=stream, values=payload, seq=seq
-                )
+                self._handle(m).add_batch(stream, arr, seq=seq)
                 for m in placement.members
             ]
             results = await asyncio.gather(*sends, return_exceptions=True)
@@ -267,7 +332,7 @@ class ClusterCoordinator:
                 raise hard[0]
             if not dead:
                 return {
-                    "added": len(payload),
+                    "added": int(arr.size),
                     "seq": seq,
                     "epoch": placement.epoch,
                     "members": list(placement.members),
@@ -317,22 +382,24 @@ class ClusterCoordinator:
         exactly (:meth:`gather_value`). Durability against the loss of
         a node comes from that node's WAL, not from copies.
         """
-        arr = np.asarray(list(values), dtype=np.float64)
+        arr = (
+            ensure_float64_array(values)
+            if isinstance(values, np.ndarray)
+            else np.asarray(list(values), dtype=np.float64)
+        )
         if arr.size == 0:
             return 0
         handles = self.alive_handles()
         if not handles:
             raise NodeDownError("no live nodes to scatter onto")
+        # Contiguous array views, not boxed lists: each slice rides the
+        # wire as one codec frame on binary connections.
         pieces = [arr[i : i + chunk] for i in range(0, arr.size, chunk)]
         sends = []
         for piece in pieces:
             handle = handles[self._rr % len(handles)]
             self._rr += 1
-            sends.append(
-                handle.request(
-                    "add_array", stream=stream, values=[float(v) for v in piece]
-                )
-            )
+            sends.append(handle.add_batch(stream, piece))
         responses = await asyncio.gather(*sends)
         return sum(int(r["added"]) for r in responses)
 
@@ -445,17 +512,23 @@ class ClusterCoordinator:
             if not rec.sequenced and not include_unsequenced:
                 skipped += 1
                 continue
-            payload = [float(v) for v in rec.values]
             placement = self._placement(rec.stream)
             members = (
                 placement.members if rec.sequenced else
                 [h.node_id for h in self.alive_handles()[:1]]
             )
-            fields: Dict[str, Any] = {"stream": rec.stream, "values": payload}
-            if rec.sequenced:
-                fields["seq"] = rec.seq
+            # The decoded record's float64 array re-enters the wire as a
+            # codec frame whose body bytes match the WAL payload — the
+            # replayed bits are the ingested bits.
             responses = await asyncio.gather(
-                *(self._handle(m).request("add_array", **fields) for m in members)
+                *(
+                    self._handle(m).add_batch(
+                        rec.stream,
+                        rec.values,
+                        seq=rec.seq if rec.sequenced else None,
+                    )
+                    for m in members
+                )
             )
             if any(r.get("duplicate") for r in responses):
                 duplicates += 1

@@ -28,8 +28,10 @@ import numpy as np
 from repro.core.digits import DEFAULT_RADIX, RadixConfig
 from repro import codec
 from repro.errors import ServiceError
+from repro.serve.protocol import WIRE_BINARY
 from repro.serve.service import ReproService, ServeConfig, _require_stream
 from repro.cluster.wal import WalWriter, read_wal
+from repro.util.validation import ensure_float64_array
 
 __all__ = ["WalService", "ClusterNode"]
 
@@ -103,7 +105,11 @@ class WalService(ReproService):
     # ------------------------------------------------------------------
 
     async def _ingest(
-        self, stream: str, seq: Optional[int], arr: np.ndarray
+        self,
+        stream: str,
+        seq: Optional[int],
+        arr: np.ndarray,
+        payload: Optional[bytes] = None,
     ) -> Dict[str, Any]:
         if arr.size == 0:
             return {"added": 0}
@@ -118,8 +124,15 @@ class WalService(ReproService):
             # coordinator's failover path owns the cleanup.
             self._applied[stream] = seq
         if self._wal is not None:
+            # Binary-wire ingest hands the frame's float64 body bytes
+            # through untouched (WAL passthrough: the durable record's
+            # value bytes ARE the wire bytes); JSON ingest logs the
+            # parsed array, which the codec serializes to the identical
+            # little-endian layout.
             await self._wal.append(
-                seq if seq is not None else codec.WAL_UNSEQUENCED, stream, arr
+                seq if seq is not None else codec.WAL_UNSEQUENCED,
+                stream,
+                payload if payload is not None else arr,
             )
         added = await self._scatter(stream, arr)
         response: Dict[str, Any] = {"added": added}
@@ -139,8 +152,18 @@ class WalService(ReproService):
         stream = _require_stream(request)
         if "values" not in request:
             raise ServiceError("add_array needs a 'values' field")
-        arr = self._validated_array(request["values"])
-        return await self._ingest(stream, _seq_of(request), arr)
+        values = request.get("values")
+        payload: Optional[bytes] = None
+        if request.get("wire") == WIRE_BINARY and isinstance(values, np.ndarray):
+            # Validated by the protocol layer's BBAT parser; keep the
+            # zero-copy view and the raw frame body for WAL passthrough.
+            arr = ensure_float64_array(values)
+            raw = request.get("payload_f64")
+            if isinstance(raw, (bytes, bytearray, memoryview)):
+                payload = bytes(raw)
+        else:
+            arr = self._validated_array(values)
+        return await self._ingest(stream, _seq_of(request), arr, payload=payload)
 
     async def _op_add_block(self, request: Dict[str, Any]) -> Dict[str, Any]:
         # A zero-copy block fold would bypass the WAL: the descriptor's

@@ -116,8 +116,15 @@ class WriteAheadLog:
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
 
-    def append(self, seq: int, stream: str, values: np.ndarray) -> int:
-        """Encode, append, fsync one record; returns bytes written."""
+    def append(
+        self, seq: int, stream: str, values: Union[np.ndarray, bytes]
+    ) -> int:
+        """Encode, append, fsync one record; returns bytes written.
+
+        ``values`` may be raw little-endian float64 bytes (a binary-wire
+        frame body): the codec logs them verbatim, so the durability
+        path never re-encodes what the network delivered.
+        """
         blob = codec.encode_wal_record(seq, stream, values)
         self.append_blob(blob)
         return len(blob)
@@ -177,8 +184,14 @@ class WalWriter:
         self._task = None
         self._queue = None
 
-    async def append(self, seq: int, stream: str, values: np.ndarray) -> None:
-        """Durably log one record; resolves after fsync."""
+    async def append(
+        self, seq: int, stream: str, values: Union[np.ndarray, bytes]
+    ) -> None:
+        """Durably log one record; resolves after fsync.
+
+        Raw float64 bytes are accepted and logged verbatim (the
+        binary-wire passthrough) — see :meth:`WriteAheadLog.append`.
+        """
         if self._queue is None:
             raise RuntimeError("WalWriter is not started")
         blob = codec.encode_wal_record(seq, stream, values)

@@ -28,11 +28,14 @@ magic     payload                                            producer
 ``ACRT``  adaptive certificate: (value, remainder, bound)    adaptive
 ``ACMP``  adaptive composite: (bound, certs, fulls) +        adaptive
           embedded ``SSUP``
-``RAWB``  raw float64 block (no-combiner ablation)           mapreduce
+``RAWB``  raw float64 block (no-combiner ablation,           mapreduce /
+          binary-wire value payload)                         serve wire
 ``NF64``  one naive float (inexact control job)              mapreduce
 ``F64D``  dataset file header: item count                    data/io
 ``WALR``  write-ahead-log ingest record: seq, CRC-32,        cluster
           length-prefixed stream name + float64 payload      WAL
+``BBAT``  binary batch ingest op: request id, seq,           serve wire
+          length-prefixed stream name + embedded ``RAWB``    (binary)
 ========  =================================================  =========
 
 Decoders reject truncated payloads, wrong magics, and corrupt headers
@@ -49,7 +52,7 @@ from __future__ import annotations
 
 import struct
 import zlib
-from typing import TYPE_CHECKING, Any, Callable, Dict, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Tuple, Union
 
 import numpy as np
 
@@ -73,6 +76,7 @@ __all__ = [
     "MAGIC_FLOAT",
     "MAGIC_DATASET",
     "MAGIC_WAL",
+    "MAGIC_BATCH",
     "LENGTH_PREFIX",
     "DATASET_HEADER_SIZE",
     "WAL_HEADER_SIZE",
@@ -105,6 +109,9 @@ __all__ = [
     "encode_wal_record",
     "decode_wal_record",
     "wal_record_size",
+    "encode_batch",
+    "decode_batch",
+    "batch_wire_body",
 ]
 
 MAGIC_SPARSE = b"SSUP"
@@ -119,6 +126,7 @@ MAGIC_RAW_BLOCK = b"RAWB"
 MAGIC_FLOAT = b"NF64"
 MAGIC_DATASET = b"F64D"
 MAGIC_WAL = b"WALR"
+MAGIC_BATCH = b"BBAT"
 
 _SPARSE_HEADER = struct.Struct("<4sBq")  # magic, w, ncomponents
 _DENSE_HEADER = struct.Struct("<4sBqqq")  # magic, w, base_index, nlimbs, count
@@ -129,6 +137,7 @@ _CERT_FRAME = struct.Struct("<4sddd")  # magic, value, remainder, bound
 _COMPOSITE_HEADER = struct.Struct("<4sdqq")  # magic, bound, certs, fulls
 _FLOAT_FRAME = struct.Struct("<4sd")  # magic, value
 _WAL_HEADER = struct.Struct("<4sqIqq")  # magic, seq, crc32, stream_len, payload_len
+_BATCH_HEADER = struct.Struct("<4sqqqq")  # magic, request id, seq, stream_len, nvalues
 
 #: Serve-transport frame length prefix (network byte order uint32).
 #: Message framing, not value encoding — but it is still a byte layout,
@@ -594,7 +603,9 @@ def decode_dataset_header(raw: bytes) -> int:
 # ----------------------------------------------------------------------
 
 
-def encode_wal_record(seq: int, stream: str, values: np.ndarray) -> bytes:
+def encode_wal_record(
+    seq: int, stream: str, values: Union[np.ndarray, bytes, bytearray, memoryview]
+) -> bytes:
     """``WALR`` frame: one durably logged ingest batch.
 
     Layout: header (magic, int64 ``seq``, uint32 CRC-32, int64 stream-name
@@ -605,15 +616,28 @@ def encode_wal_record(seq: int, stream: str, values: np.ndarray) -> bytes:
     :data:`WAL_UNSEQUENCED` marks scatter-mode records with no dedup
     identity.
 
+    ``values`` may be a float array or already-encoded little-endian
+    float64 bytes — the binary wire path logs the frame payload it
+    received verbatim, with no decode/re-encode on the durability path.
+
     Raises:
-        CodecError: empty stream name or ``seq < WAL_UNSEQUENCED``.
+        CodecError: empty stream name, ``seq < WAL_UNSEQUENCED``, or a
+            byte payload that is not a whole number of float64s.
     """
     if not stream:
         raise CodecError("WAL record requires a non-empty stream name")
     if seq < WAL_UNSEQUENCED:
         raise CodecError(f"corrupt WAL record: sequence {seq} < -1")
     name = stream.encode("utf-8")
-    body = np.ascontiguousarray(values, dtype="<f8").tobytes()
+    if isinstance(values, (bytes, bytearray, memoryview)):
+        body = bytes(values)
+        if len(body) % 8:
+            raise CodecError(
+                f"WAL payload of {len(body)} bytes is not a whole "
+                f"number of float64s"
+            )
+    else:
+        body = np.ascontiguousarray(values, dtype="<f8").tobytes()
     crc = zlib.crc32(name + body) & 0xFFFFFFFF
     header = _WAL_HEADER.pack(MAGIC_WAL, seq, crc, len(name), len(body))
     return header + name + body
@@ -674,6 +698,106 @@ def decode_wal_record(payload: bytes) -> Tuple[int, str, np.ndarray]:
 
 
 # ----------------------------------------------------------------------
+# BBAT — binary batch ingest op (serve wire)
+# ----------------------------------------------------------------------
+
+
+def encode_batch(
+    request_id: int, seq: int, stream: str, values: np.ndarray
+) -> bytes:
+    """``BBAT`` frame: one binary-wire ingest op.
+
+    Layout: header (magic, int64 request id, int64 ``seq``, int64
+    stream-name length, int64 value count) followed by the UTF-8 stream
+    name and an embedded ``RAWB`` frame carrying the raw little-endian
+    float64 values.  The explicit value count makes truncation at *any*
+    byte offset detectable (a bare ``RAWB`` frame cannot distinguish a
+    tail lost on an 8-byte boundary from a shorter batch).
+
+    ``seq`` is the cluster plane's per-stream dedup sequence;
+    :data:`WAL_UNSEQUENCED` marks single-node ops with no dedup identity.
+    The embedded ``RAWB`` body bytes are exactly what
+    :func:`encode_wal_record` accepts verbatim, so the durability path
+    never re-encodes values.
+
+    Raises:
+        CodecError: negative request id, ``seq < WAL_UNSEQUENCED``, or an
+            empty stream name.
+    """
+    if request_id < 0:
+        raise CodecError(f"batch frame requires request id >= 0, got {request_id}")
+    if seq < WAL_UNSEQUENCED:
+        raise CodecError(f"corrupt batch frame: sequence {seq} < -1")
+    if not stream:
+        raise CodecError("batch frame requires a non-empty stream name")
+    name = stream.encode("utf-8")
+    block = encode_raw_block(values)
+    nvalues = (len(block) - 4) // 8
+    header = _BATCH_HEADER.pack(MAGIC_BATCH, request_id, seq, len(name), nvalues)
+    return header + name + block
+
+
+def decode_batch(payload: bytes) -> Tuple[int, int, str, np.ndarray]:
+    """Inverse of :func:`encode_batch`: ``(request_id, seq, stream, values)``.
+
+    The returned ``values`` is a read-only zero-copy view over the frame
+    bytes (:func:`decode_raw_block` semantics) — callers that outlive the
+    frame buffer must copy.
+
+    Raises:
+        CodecError: truncation or trailing garbage at any offset, wrong
+            magic (outer or embedded), corrupt lengths, or a value count
+            that disagrees with the payload size.
+    """
+    _check_header(payload, _BATCH_HEADER, "batch frame")
+    magic, request_id, seq, stream_len, nvalues = _BATCH_HEADER.unpack_from(
+        payload, 0
+    )
+    if magic != MAGIC_BATCH:
+        raise CodecError("not a batch frame payload")
+    if request_id < 0:
+        raise CodecError(f"corrupt batch frame: request id {request_id} < 0")
+    if seq < WAL_UNSEQUENCED:
+        raise CodecError(f"corrupt batch frame: sequence {seq} < -1")
+    if stream_len <= 0 or nvalues < 0:
+        raise CodecError(
+            f"corrupt batch frame: lengths ({stream_len}, {nvalues})"
+        )
+    total = _BATCH_HEADER.size + stream_len + 4 + 8 * nvalues
+    if len(payload) != total:
+        raise CodecError(
+            f"batch frame length mismatch: expected {total} bytes for "
+            f"{nvalues} values, got {len(payload)}"
+        )
+    name = payload[_BATCH_HEADER.size : _BATCH_HEADER.size + stream_len]
+    try:
+        stream = name.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CodecError(f"corrupt batch frame: bad stream name: {exc}") from exc
+    values = decode_raw_block(payload[_BATCH_HEADER.size + stream_len :])
+    if values.size != nvalues:
+        raise CodecError(
+            f"corrupt batch frame: header promises {nvalues} values, "
+            f"embedded block holds {values.size}"
+        )
+    return int(request_id), int(seq), stream, values
+
+
+def batch_wire_body(payload: bytes) -> bytes:
+    """The embedded ``RAWB`` float64 body bytes of a ``BBAT`` frame.
+
+    This is the exact byte slice :func:`encode_wal_record` logs verbatim
+    on the binary durability path; extracting it here keeps the offset
+    arithmetic inside the codec.
+    """
+    _check_header(payload, _BATCH_HEADER, "batch frame")
+    magic, _rid, _seq, stream_len, _n = _BATCH_HEADER.unpack_from(payload, 0)
+    if magic != MAGIC_BATCH:
+        raise CodecError("not a batch frame payload")
+    return payload[_BATCH_HEADER.size + stream_len + 4 :]
+
+
+# ----------------------------------------------------------------------
 # the registry
 # ----------------------------------------------------------------------
 
@@ -690,6 +814,7 @@ _DECODERS: Dict[bytes, Tuple[str, Callable[[bytes], Any]]] = {
     MAGIC_FLOAT: ("naive-float", decode_float),
     MAGIC_DATASET: ("dataset-header", decode_dataset_header),
     MAGIC_WAL: ("wal-record", decode_wal_record),
+    MAGIC_BATCH: ("binary-batch", decode_batch),
 }
 
 

@@ -11,6 +11,7 @@ __all__ = [
     "CodecError",
     "EmptyStreamError",
     "ProtocolError",
+    "ProtocolVersionError",
     "BackpressureError",
     "ServiceError",
     "NodeDownError",
@@ -95,6 +96,18 @@ class ProtocolError(ServiceError, ValueError):
     """
 
     code = "protocol"
+
+
+class ProtocolVersionError(ProtocolError):
+    """The server rejected a ``hello`` negotiation.
+
+    Raised client-side when the requested protocol version or wire mode
+    is not supported by the peer. Clients treat it as a downgrade
+    signal — fall back to the JSON-lines wire — not a data error; the
+    connection stays usable.
+    """
+
+    code = "protocol-version"
 
 
 class NodeDownError(ServiceError, ConnectionError):

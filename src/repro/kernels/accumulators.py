@@ -23,6 +23,12 @@ from repro.util.validation import check_finite_array, ensure_float64_array
 
 __all__ = ["SparseKernel", "DenseKernel", "SmallKernel", "RunningSumKernel"]
 
+#: Bulk folds at or above this many elements route through the
+#: vectorized exponent-binned deposit instead of the scalar-ish sparse
+#: ``from_floats`` build. Below it, bin allocation + resolution
+#: overhead (~32 KiB of bins) outweighs the vectorization win.
+BINNED_FOLD_THRESHOLD = 2048
+
 
 @register_kernel
 class SparseKernel(SumKernel):
@@ -182,3 +188,35 @@ class RunningSumKernel(SumKernel):
 
     def stream_from_bytes(self, payload: bytes) -> Any:
         return self.from_wire(payload)
+
+    def fold_into(self, stream: Any, values: Any) -> int:
+        """Exact bulk fold; large batches take the binned fast path.
+
+        Serve shards coalesce pending ingest into one contiguous array
+        and land it here. At or above :data:`BINNED_FOLD_THRESHOLD`
+        elements (and when the radix supports the vectorized integer
+        paths) the array is deposited through
+        :class:`~repro.kernels.binned.BinnedPartial`'s chunked
+        exponent-bin scatter-add and absorbed as an already-exact
+        sparse partial — the same kernel the native benchmarks measure
+        at 4.5-7.8x the sparse bulk fold. Both routes are exact, so the
+        stream's readable state is bit-identical either way.
+        """
+        from repro.streaming import ExactRunningSum
+
+        arr = ensure_float64_array(values)
+        if (
+            arr.size >= BINNED_FOLD_THRESHOLD
+            and isinstance(stream, ExactRunningSum)
+            and self.radix.supports_vectorized
+        ):
+            check_finite_array(arr)
+            from repro.kernels.binned import BinnedPartial
+
+            part = BinnedPartial(self.radix)
+            part.deposit(arr)
+            stream.absorb_exact(part.to_sparse(), int(arr.size))
+            if self.counters is not None:
+                self.counters.record_bulk_fold()
+            return int(arr.size)
+        return super().fold_into(stream, arr)

@@ -8,11 +8,22 @@ identical surface but calls :meth:`ReproService.handle` directly,
 still round-tripping every message through the wire codec so tests
 exercise the real encoding without sockets.
 
+Both clients can negotiate the **binary wire** (``wire="binary"``):
+after a successful ``hello`` the :meth:`~_ClientBase.add_batch` bulk
+path ships numpy arrays as single codec ``BBAT`` frames — raw
+little-endian float64 bytes, no per-value boxing, no JSON text. If the
+server rejects the hello (old build, unknown wire) the client raises
+nothing and **falls back to JSON-lines automatically**; the typed
+:class:`ProtocolVersionError` is surfaced by :meth:`hello` for callers
+that negotiate explicitly. Either wire produces bit-identical sums —
+the negotiation is purely about speed.
+
 Error responses are raised as the exception they encode:
 ``busy`` -> :class:`BackpressureError` (with ``retry_after``),
 ``empty-stream`` -> :class:`EmptyStreamError`, ``protocol`` ->
-:class:`ProtocolError`, anything else -> :class:`ServiceError` with
-``.code`` set.
+:class:`ProtocolError`, ``protocol-version`` ->
+:class:`ProtocolVersionError`, anything else ->
+:class:`ServiceError` with ``.code`` set.
 """
 
 from __future__ import annotations
@@ -20,23 +31,32 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import itertools
-from typing import Any, Dict, Iterable, Optional, Tuple
+from typing import Any, Dict, Iterable, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.errors import (
     BackpressureError,
     EmptyStreamError,
     ProtocolError,
+    ProtocolVersionError,
     ServiceError,
 )
 from repro.serve.protocol import (
     DEFAULT_MAX_FRAME,
+    PROTOCOL_VERSION,
+    WIRE_BINARY,
+    WIRE_JSON,
     decode_bytes_field,
     decode_payload,
+    encode_batch_frame,
     encode_bytes_field,
     encode_frame,
+    parse_payload,
     read_frame,
     write_frame,
 )
+from repro.util.validation import ensure_float64_array
 
 __all__ = ["ReproServeClient", "InProcessClient", "raise_for_response"]
 
@@ -51,6 +71,8 @@ def raise_for_response(response: Dict[str, Any]) -> Dict[str, Any]:
         raise BackpressureError(message, retry_after=response.get("retry_after", 0.05))
     if code == "empty-stream":
         raise EmptyStreamError(message)
+    if code == "protocol-version":
+        raise ProtocolVersionError(message)
     if code == "protocol":
         raise ProtocolError(message)
     err = ServiceError(message)
@@ -60,6 +82,10 @@ def raise_for_response(response: Dict[str, Any]) -> Dict[str, Any]:
 
 class _ClientBase:
     """Shared endpoint helpers over an abstract request transport."""
+
+    #: Wire mode this client is currently using; transports that can
+    #: negotiate override it after a successful ``hello``.
+    wire: str = WIRE_JSON
 
     async def request(self, op: str, **fields: Any) -> Dict[str, Any]:
         raise NotImplementedError
@@ -75,12 +101,53 @@ class _ClientBase:
 
     async def add_array(self, stream: str, values: Iterable[float]) -> int:
         resp = await self.request(
-            "add_array", stream=stream, values=[float(v) for v in values]
+            "add_array",
+            stream=stream,
+            # reprolint: disable-next-line=ARCH005 -- the JSON add_array op wrapper; batch ingest goes through request_batch
+            values=[float(v) for v in values],
         )
         return int(resp["added"])
 
     async def add_block(self, stream: str, block: Dict[str, Any]) -> int:
         resp = await self.request("add_block", stream=stream, block=block)
+        return int(resp["added"])
+
+    async def request_batch(
+        self,
+        stream: str,
+        values: Union[np.ndarray, Iterable[float]],
+        *,
+        seq: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Bulk ingest of a float64 array; returns the full response.
+
+        On a binary-negotiated connection the array ships as one codec
+        ``BBAT`` frame (raw float64 bytes, zero boxing). On JSON-lines
+        transports this base implementation degrades to ``add_array`` —
+        same semantics, same bits, slower wire. ``seq`` is the cluster
+        plane's per-stream dedup sequence; single-node services ignore
+        it. Cluster callers read the ``duplicate`` flag off the
+        response; most callers want :meth:`add_batch` instead.
+        """
+        arr = ensure_float64_array(values)
+        fields: Dict[str, Any] = {
+            "stream": stream,
+            # reprolint: disable-next-line=ARCH005 -- JSON-lines fallback wire: boxing is the format
+            "values": [float(v) for v in arr],
+        }
+        if seq is not None:
+            fields["seq"] = int(seq)
+        return await self.request("add_array", **fields)
+
+    async def add_batch(
+        self,
+        stream: str,
+        values: Union[np.ndarray, Iterable[float]],
+        *,
+        seq: Optional[int] = None,
+    ) -> int:
+        """Bulk ingest of a float64 array; returns the count folded."""
+        resp = await self.request_batch(stream, values, seq=seq)
         return int(resp["added"])
 
     async def sum_values(
@@ -93,7 +160,10 @@ class _ClientBase:
         ``margin_bits``) for callers that want the decision trail.
         """
         return await self.request(
-            "sum", values=[float(v) for v in values], mode=mode
+            "sum",
+            # reprolint: disable-next-line=ARCH005 -- one-shot JSON sum op carries no stream; no binary frame exists for it
+            values=[float(v) for v in values],
+            mode=mode,
         )
 
     # -- snapshot reads --------------------------------------------------
@@ -160,6 +230,7 @@ class ReproServeClient(_ClientBase):
         self._ids = itertools.count(1)
         self._pending: Dict[int, "asyncio.Future[Dict[str, Any]]"] = {}
         self._write_lock = asyncio.Lock()
+        self.wire = WIRE_JSON
         self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
 
     @classmethod
@@ -169,9 +240,41 @@ class ReproServeClient(_ClientBase):
         port: int = 8765,
         *,
         max_frame: int = DEFAULT_MAX_FRAME,
+        wire: str = WIRE_JSON,
     ) -> "ReproServeClient":
+        """Open a connection, negotiating ``wire`` if it isn't JSON-lines.
+
+        A server that rejects the negotiation (pre-binary build) is not
+        an error: the client silently stays on JSON-lines — the caller
+        checks :attr:`wire` if it cares which mode won. Use
+        :meth:`hello` directly to get the typed
+        :class:`ProtocolVersionError` instead of the fallback.
+        """
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer, max_frame=max_frame)
+        client = cls(reader, writer, max_frame=max_frame)
+        if wire != WIRE_JSON:
+            try:
+                await client.hello(wire=wire)
+            except ProtocolVersionError:
+                client.wire = WIRE_JSON  # automatic JSON-lines fallback
+        return client
+
+    async def hello(
+        self, *, wire: str = WIRE_BINARY, version: int = PROTOCOL_VERSION
+    ) -> Dict[str, Any]:
+        """Negotiate the protocol version and wire mode explicitly.
+
+        Returns the server's hello response and records the negotiated
+        mode in :attr:`wire`.
+
+        Raises:
+            ProtocolVersionError: the server rejected the requested
+                version/wire combination. The connection stays usable
+                on its previous wire.
+        """
+        resp = await self.request("hello", version=version, wire=wire)
+        self.wire = str(resp.get("wire", WIRE_JSON))
+        return resp
 
     async def close(self) -> None:
         self._reader_task.cancel()
@@ -205,10 +308,43 @@ class ReproServeClient(_ClientBase):
             raise
         return raise_for_response(await fut)
 
+    async def request_batch(
+        self,
+        stream: str,
+        values: Union[np.ndarray, Iterable[float]],
+        *,
+        seq: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        if self.wire != WIRE_BINARY:
+            return await super().request_batch(stream, values, seq=seq)
+        arr = ensure_float64_array(values)
+        rid = next(self._ids)
+        fut: "asyncio.Future[Dict[str, Any]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[rid] = fut
+        frame = encode_batch_frame(
+            rid, stream, arr, seq=seq, max_frame=self._max_frame
+        )
+        try:
+            async with self._write_lock:
+                self._writer.write(frame)
+                await self._writer.drain()
+        except Exception:
+            self._pending.pop(rid, None)
+            raise
+        return raise_for_response(await fut)
+
     async def send_raw(self, message: Dict[str, Any]) -> None:
         """Fire one frame without registering for a response (tests)."""
         async with self._write_lock:
             await write_frame(self._writer, message, max_frame=self._max_frame)
+
+    async def send_raw_bytes(self, frame: bytes) -> None:
+        """Fire pre-encoded frame bytes without response matching (tests)."""
+        async with self._write_lock:
+            self._writer.write(frame)
+            await self._writer.drain()
 
     async def shutdown(self) -> Dict[str, Any]:
         """Ask the server to stop; returns its final response."""
@@ -245,22 +381,69 @@ class InProcessClient(_ClientBase):
     Every message still passes through ``encode_frame``/``decode`` so
     the JSON codec (including bit-exact float round-tripping) is on the
     path, making this a faithful stand-in for the TCP client in tests
-    and benchmarks.
+    and benchmarks. With ``wire="binary"``, :meth:`add_batch` likewise
+    round-trips through the real ``BBAT`` encode/parse pair, so the
+    zero-copy binary path is exercised without sockets too.
     """
 
-    def __init__(self, service: Any) -> None:
+    def __init__(self, service: Any, *, wire: str = WIRE_JSON) -> None:
+        if wire not in (WIRE_JSON, WIRE_BINARY):
+            raise ValueError(f"unknown wire mode {wire!r}")
         self.service = service
+        self.wire = wire
         self._ids = itertools.count(1)
 
     async def request(self, op: str, **fields: Any) -> Dict[str, Any]:
         message = {"op": op, "id": next(self._ids), **fields}
         frame = encode_frame(message, max_frame=self.service.config.max_frame)
         request = decode_payload(frame[4:])
+        self._record_wire(request, len(frame) - 4)
         response = await self.service.handle(request)
         back = decode_payload(
             encode_frame(response, max_frame=self.service.config.max_frame)[4:]
         )
         return raise_for_response(back)
+
+    async def request_batch(
+        self,
+        stream: str,
+        values: Union[np.ndarray, Iterable[float]],
+        *,
+        seq: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        if self.wire != WIRE_BINARY:
+            return await super().request_batch(stream, values, seq=seq)
+        arr = ensure_float64_array(values)
+        max_frame = self.service.config.max_frame
+        frame = encode_batch_frame(
+            next(self._ids), stream, arr, seq=seq, max_frame=max_frame
+        )
+        request = parse_payload(frame[4:], binary=True)
+        self._record_wire(request, len(frame) - 4)
+        response = await self.service.handle(request)
+        back = decode_payload(encode_frame(response, max_frame=max_frame)[4:])
+        return raise_for_response(back)
+
+    def _record_wire(self, request: Dict[str, Any], payload_bytes: int) -> None:
+        """Mirror the TCP server's per-wire ingest accounting.
+
+        The socketless transport would otherwise leave LocalCluster
+        nodes' ``stats.wire`` empty even though real frame bytes were
+        encoded and parsed on the way in.
+        """
+        op = request.get("op")
+        if op == "add":
+            nvalues = 1
+        elif op == "add_array":
+            values = request.get("values")
+            if isinstance(values, np.ndarray):
+                nvalues = int(values.size)
+            else:
+                nvalues = len(values) if isinstance(values, (list, tuple)) else 0
+        else:
+            return
+        mode = WIRE_BINARY if request.get("wire") == WIRE_BINARY else WIRE_JSON
+        self.service.metrics.record_wire_frame(mode, payload_bytes, nvalues)
 
     async def close(self) -> None:  # symmetry with the TCP client
         return None

@@ -63,6 +63,11 @@ class ServiceMetrics:
         self.max_batch = 0
         self.queue_rejections = 0
         self.queue_depth_peak = 0
+        #: Ingest wire observability: per-mode frame / byte / value
+        #: tallies for the value-bearing ops that arrived on each wire.
+        self.wire_frames: Counter = Counter()
+        self.wire_bytes: Counter = Counter()
+        self.wire_values: Counter = Counter()
         self.latency = LatencyReservoir(reservoir_size)
         #: Adaptive-engine tier decisions (tier0 hits, escalations,
         #: certificate margins). The service's AdaptiveFolder and every
@@ -85,6 +90,18 @@ class ServiceMetrics:
         self.values_ingested += batch_values
         self.max_batch = max(self.max_batch, coalesced_ops)
 
+    def record_wire_frame(self, mode: str, payload_bytes: int, values: int) -> None:
+        """One value-bearing ingest frame arrived on wire ``mode``.
+
+        ``payload_bytes`` is the frame payload size as read off the
+        socket (JSON text or binary batch alike), ``values`` the float64
+        count it carried — together they yield bytes/sec, frames/sec and
+        mean values-per-frame per wire in :meth:`snapshot`.
+        """
+        self.wire_frames[mode] += 1
+        self.wire_bytes[mode] += payload_bytes
+        self.wire_values[mode] += values
+
     def record_queue_depth(self, depth: int) -> None:
         if depth > self.queue_depth_peak:
             self.queue_depth_peak = depth
@@ -97,8 +114,24 @@ class ServiceMetrics:
     def snapshot(self) -> Dict[str, Any]:
         """JSON-safe view for the ``stats`` endpoint."""
         folds = self.batches_folded
+        uptime = time.monotonic() - self.started
+        wire: Dict[str, Dict[str, float]] = {}
+        for mode in sorted(self.wire_frames):
+            frames = self.wire_frames[mode]
+            wire[mode] = {
+                "frames": frames,
+                "payload_bytes": self.wire_bytes[mode],
+                "values": self.wire_values[mode],
+                "frames_per_s": frames / uptime if uptime > 0 else 0.0,
+                "payload_bytes_per_s": (
+                    self.wire_bytes[mode] / uptime if uptime > 0 else 0.0
+                ),
+                "mean_values_per_frame": (
+                    self.wire_values[mode] / frames if frames else 0.0
+                ),
+            }
         return {
-            "uptime_s": time.monotonic() - self.started,
+            "uptime_s": uptime,
             "requests_total": self.requests_total,
             "errors_total": self.errors_total,
             "requests_by_op": dict(self.requests_by_op),
@@ -108,6 +141,7 @@ class ServiceMetrics:
             "max_coalesced_ops": self.max_batch,
             "queue_rejections": self.queue_rejections,
             "queue_depth_peak": self.queue_depth_peak,
+            "wire": wire,
             "latency_p50_ms": self.latency.percentile(50) * 1e3,
             "latency_p99_ms": self.latency.percentile(99) * 1e3,
             "tiering": self.tiering.as_dict(),

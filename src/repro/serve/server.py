@@ -8,11 +8,20 @@ harmless for ingest — superaccumulator updates commute — and any
 client that awaits its adds before reading still gets read-your-writes
 through the service's FIFO shard queues.
 
-Error containment per the protocol module's contract: invalid JSON in
-a well-delimited frame gets an error *response* and the connection
-lives on; an unrecoverable framing violation (oversized or truncated
-length) gets a best-effort error frame and the connection is closed.
-A connection dying never takes the server down.
+Every connection starts on the JSON-lines wire. A ``hello`` op
+(handled inline, like ``shutdown``, because it mutates per-connection
+state) negotiates the protocol version and may upgrade the connection
+to the binary wire, after which ingest payloads may be codec ``BBAT``
+frames decoded as zero-copy float64 views. Responses stay JSON either
+way, and a binary connection may still interleave JSON requests — the
+payload's first byte discriminates per frame.
+
+Error containment per the protocol module's contract: invalid JSON or
+a corrupt batch frame in a well-delimited frame gets an error
+*response* and the connection lives on; an unrecoverable framing
+violation (oversized or truncated length) gets a best-effort error
+frame and the connection is closed. A connection dying never takes
+the server down.
 """
 
 from __future__ import annotations
@@ -21,11 +30,36 @@ import asyncio
 import contextlib
 from typing import Any, Dict, Optional, Set
 
+import numpy as np
+
 from repro.errors import ProtocolError
-from repro.serve.protocol import read_frame, write_frame
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    SUPPORTED_WIRES,
+    WIRE_BINARY,
+    WIRE_JSON,
+    parse_payload,
+    read_frame_bytes,
+    write_frame,
+)
 from repro.serve.service import ReproService
 
 __all__ = ["ReproServer"]
+
+#: Ops whose request frames carry stream values (ingest observability).
+_VALUE_BEARING_OPS = frozenset({"add", "add_array"})
+
+
+def _frame_value_count(request: Dict[str, Any]) -> int:
+    """Float64 count a value-bearing request frame carried (best effort)."""
+    if request.get("op") == "add":
+        return 1
+    values = request.get("values")
+    if isinstance(values, np.ndarray):
+        return int(values.size)
+    if isinstance(values, (list, tuple)):
+        return len(values)
+    return 0
 
 
 class ReproServer:
@@ -108,28 +142,48 @@ class ReproServer:
         inflight = asyncio.Semaphore(self.max_inflight)
         pending: Set["asyncio.Task[None]"] = set()
         max_frame = self.service.config.max_frame
+        wire = WIRE_JSON  # per-connection mode; `hello` may upgrade it
         try:
             while True:
                 try:
-                    request = await read_frame(reader, max_frame=max_frame)
+                    payload = await read_frame_bytes(reader, max_frame=max_frame)
+                    if payload is None:  # clean EOF
+                        break
+                    request = parse_payload(payload, binary=wire == WIRE_BINARY)
                 except ProtocolError as exc:
                     err = {
                         "ok": False,
-                        "code": "protocol",
+                        "code": exc.code,
                         "error": str(exc),
                         "fatal": getattr(exc, "fatal", True),
                     }
+                    # Payload errors found after the frame decoded far
+                    # enough to yield a request id (e.g. non-finite
+                    # values in a valid BBAT frame) are matchable.
+                    rid = getattr(exc, "request_id", None)
+                    if rid is not None:
+                        err["id"] = rid
                     with contextlib.suppress(ConnectionError, ProtocolError):
                         async with write_lock:
                             await write_frame(writer, err, max_frame=max_frame)
                     if getattr(exc, "fatal", True):
                         break
                     continue
-                if request is None:  # clean EOF
-                    break
-                if request.get("op") == "shutdown":
+                op = request.get("op")
+                if op == "hello":
+                    wire = await self._handle_hello(
+                        request, writer, write_lock, max_frame, wire
+                    )
+                    continue
+                if op == "shutdown":
                     await self._handle_shutdown(request, writer, write_lock, max_frame)
                     break
+                if op in _VALUE_BEARING_OPS:
+                    self.service.metrics.record_wire_frame(
+                        WIRE_BINARY if request.get("wire") == WIRE_BINARY else WIRE_JSON,
+                        len(payload),
+                        _frame_value_count(request),
+                    )
                 await inflight.acquire()
                 sub = asyncio.get_running_loop().create_task(
                     self._dispatch(request, writer, write_lock, inflight, max_frame)
@@ -141,7 +195,7 @@ class ReproServer:
         finally:
             if pending:
                 await asyncio.gather(*pending, return_exceptions=True)
-            with contextlib.suppress(ConnectionError):
+            with contextlib.suppress(ConnectionError, asyncio.CancelledError):
                 writer.close()
                 await writer.wait_closed()
 
@@ -162,6 +216,56 @@ class ReproServer:
                 pass  # client gone or response unencodable; nothing to do
         finally:
             inflight.release()
+
+    async def _handle_hello(
+        self,
+        request: Dict[str, Any],
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        max_frame: int,
+        wire: str,
+    ) -> str:
+        """Negotiate protocol version / wire mode; returns the new mode.
+
+        Handled inline (not dispatched) because the wire mode is
+        per-connection read-loop state. A rejected hello answers with
+        the ``protocol-version`` error code and leaves the connection
+        in its current mode — the client downgrades, nothing breaks.
+        """
+        version = request.get("version", 1)
+        want = request.get("wire", WIRE_JSON)
+        ok = (
+            isinstance(version, int)
+            and not isinstance(version, bool)
+            and 1 <= version <= PROTOCOL_VERSION
+            and want in SUPPORTED_WIRES
+            and not (want == WIRE_BINARY and version < 2)
+        )
+        if ok:
+            wire = str(want)
+            response: Dict[str, Any] = {
+                "ok": True,
+                "version": PROTOCOL_VERSION,
+                "wire": wire,
+            }
+        else:
+            response = {
+                "ok": False,
+                "code": "protocol-version",
+                "error": (
+                    f"unsupported hello: version={version!r} wire={want!r} "
+                    f"(this server speaks versions 1-{PROTOCOL_VERSION}, "
+                    f"wires {list(SUPPORTED_WIRES)}; binary needs version >= 2)"
+                ),
+                "version": PROTOCOL_VERSION,
+                "wires": list(SUPPORTED_WIRES),
+            }
+        if "id" in request:
+            response["id"] = request["id"]
+        with contextlib.suppress(ConnectionError):
+            async with write_lock:
+                await write_frame(writer, response, max_frame=max_frame)
+        return wire
 
     async def _handle_shutdown(
         self,

@@ -57,6 +57,7 @@ from repro.mapreduce.dataplane import BlockRef, resolve_block
 from repro.serve.metrics import ServiceMetrics
 from repro.serve.protocol import (
     DEFAULT_MAX_FRAME,
+    WIRE_BINARY,
     decode_bytes_field,
     encode_bytes_field,
 )
@@ -325,10 +326,24 @@ class ReproService:
         return {"added": added}
 
     async def _op_add_array(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Bulk ingest; the one op the binary wire accelerates.
+
+        JSON requests carry ``values`` as a list and pay per-value
+        boxing in :meth:`_validated_array`. Binary-wire requests
+        (``wire == "binary"``, set only by the protocol layer's ``BBAT``
+        parser, which already enforced dtype and finiteness) arrive as a
+        read-only zero-copy float64 view and skip the re-scan — the
+        array flows from socket bytes to the shard fold without ever
+        becoming Python objects.
+        """
         stream = _require_stream(request)
         if "values" not in request:
             raise ServiceError("add_array needs a 'values' field")
-        arr = self._validated_array(request["values"])
+        values = request.get("values")
+        if request.get("wire") == WIRE_BINARY and isinstance(values, np.ndarray):
+            arr = ensure_float64_array(values)
+        else:
+            arr = self._validated_array(values)
         if arr.size == 0:
             return {"added": 0}
         added = await self._scatter(stream, arr)

@@ -147,6 +147,26 @@ class ExactRunningSum:
         self._acc = self._acc.add(other._acc)
         self.count += other.count
 
+    def absorb_exact(self, acc: SparseSuperaccumulator, count: int) -> None:
+        """Fold an already-exact accumulator (plus its observation count).
+
+        The bulk-ingest seam: a caller that built an exact partial by a
+        faster route (the vectorized binned deposit on the serve-shard
+        path) lands it here without a second fold. Exactness makes this
+        safe — superaccumulator addition is associative and exact, so
+        the stream's readable state is bit-identical to having folded
+        the original values directly.
+        """
+        if count < 0:
+            raise ValueError(f"absorbed count must be >= 0, got {count}")
+        if acc.radix != self._acc.radix:
+            raise ValueError(
+                f"radix mismatch: partial w={acc.radix.w}, "
+                f"stream w={self._acc.radix.w}"
+            )
+        self._acc = self._acc.add(acc)
+        self.count += int(count)
+
     def value(self, mode: str = "nearest") -> float:
         """Correctly rounded current total (0.0 for an empty stream)."""
         if (

@@ -51,7 +51,7 @@ def test_catalogue_has_all_rule_families():
     ids = {cls.id for cls in rule_catalogue()}
     expected = {
         "FP001", "FP002", "FP003", "FP004",
-        "ARCH001", "ARCH002", "ARCH003", "ARCH004",
+        "ARCH001", "ARCH002", "ARCH003", "ARCH004", "ARCH005",
         "CC001", "CC002", "CC003",
     }
     assert expected <= ids
@@ -280,6 +280,54 @@ def test_arch004_allows_shared_layers_and_own_plane():
 def test_arch004_does_not_apply_outside_planes():
     src = "from repro.mapreduce import parallel_sum\n"
     assert rules_of(lint(src, filename="repro/cli.py", select=["ARCH004"])) == []
+
+
+def test_arch005_flags_boxed_values_kwarg():
+    src = (
+        "async def send(self, stream, arr):\n"
+        "    return await self.request(\n"
+        "        'add_array', stream=stream, values=[float(v) for v in arr]\n"
+        "    )\n"
+    )
+    result = lint(src, filename="repro/cluster/coordinator.py", select=["ARCH005"])
+    assert rules_of(result) == ["ARCH005"]
+    assert "values" in result.findings[0].message
+
+
+def test_arch005_flags_boxed_values_dict_key_and_json_dumps():
+    src = (
+        "import json\n"
+        "def build(arr):\n"
+        "    fields = {'stream': 's', 'values': [float(v) for v in arr]}\n"
+        "    return json.dumps([float(v) for v in arr])\n"
+    )
+    result = lint(src, filename="repro/serve/client.py", select=["ARCH005"])
+    assert rules_of(result) == ["ARCH005", "ARCH005"]
+
+
+def test_arch005_ignores_non_wire_packages_and_non_float_payloads():
+    boxed = "def f(self, arr):\n    return self.request(values=[float(v) for v in arr])\n"
+    # same code outside serve/cluster: out of scope
+    assert rules_of(lint(boxed, filename="repro/mapreduce/runtime.py", select=["ARCH005"])) == []
+    # names/ints under a values key are not float batches
+    ok = (
+        "def f(self, names):\n"
+        "    return self.request(values=[str(n) for n in names])\n"
+    )
+    assert rules_of(lint(ok, filename="repro/serve/client.py", select=["ARCH005"])) == []
+
+
+def test_arch005_suppression_with_justification():
+    src = (
+        "async def fallback(self, stream, arr):\n"
+        "    return await self.request(\n"
+        "        'add_array',\n"
+        "        stream=stream,\n"
+        "        # reprolint: disable-next-line=ARCH005 -- JSON-lines fallback wire\n"
+        "        values=[float(v) for v in arr],\n"
+        "    )\n"
+    )
+    assert rules_of(lint(src, filename="repro/serve/client.py", select=["ARCH005"])) == []
 
 
 # ----------------------------------------------------------------------

@@ -405,6 +405,59 @@ class TestCoordinator:
         assert got["count"] == ref_count
         assert same_float(got["value"], ref_value)
 
+    def test_binary_wal_passthrough_byte_equality(self, tmp_path):
+        """WAL record bytes ARE the wire bytes: every logged payload is
+        byte-identical to a contiguous slice of the ingested array."""
+        data = _panel(3000, seed=21)
+        batches = _batches(data, size=500)
+
+        async def run():
+            async with LocalCluster(
+                nodes=3, replication=2, base_dir=tmp_path
+            ) as lc:
+                co = lc.coordinator
+                # every in-process handle negotiated the binary wire
+                for handle in co._handles.values():
+                    assert handle._client.wire == "binary"
+                for batch in batches:
+                    await co.append("orders", batch)
+                wals = {
+                    n: read_wal(lc.wal_path(n))[0]
+                    for n in lc.nodes
+                    if lc.wal_path(n).exists()
+                }
+                return wals
+
+        wals = asyncio.run(run())
+        source = data.tobytes()
+        logged = 0
+        for records in wals.values():
+            for rec in records:
+                assert rec.values.tobytes() in source
+                logged += 1
+        assert logged > 0
+
+    def test_json_and_binary_ingest_write_identical_wal(self, tmp_path):
+        """The durability contract behind 'bit-identity is provable':
+        the same batches produce byte-identical WAL files whether they
+        arrived boxed in JSON text or as raw BBAT frame bodies."""
+        data = _panel(2000, seed=5)
+        batches = _batches(data, size=250)
+
+        async def run():
+            for wire, path in (("json", tmp_path / "j.wal"), ("binary", tmp_path / "b.wal")):
+                service = WalService(ServeConfig(shards=2), wal_path=path)
+                await service.start()
+                client = InProcessClient(service, wire=wire)
+                for seq, batch in enumerate(batches):
+                    await client.request_batch("orders", batch, seq=seq)
+                await service.close()
+
+        asyncio.run(run())
+        assert (tmp_path / "j.wal").read_bytes() == (tmp_path / "b.wal").read_bytes()
+        records, truncated = read_wal(tmp_path / "b.wal")
+        assert not truncated and len(records) == len(batches)
+
     def test_read_fails_over_to_replica(self):
         data = _panel(1000, seed=9)
 

@@ -59,6 +59,9 @@ def _valid_frames():
         codec.MAGIC_WAL: codec.encode_wal_record(
             7, "orders", np.array([1.5, -2.25, 1e308])
         ),
+        codec.MAGIC_BATCH: codec.encode_batch(
+            5, 11, "orders", np.array([0.5, -3e7, 2e-300])
+        ),
     }
 
 
@@ -110,6 +113,7 @@ def test_wrong_magic_raises_codec_error(magic):
         codec.MAGIC_FLOAT: codec.decode_float,
         codec.MAGIC_DATASET: codec.decode_dataset_header,
         codec.MAGIC_WAL: codec.decode_wal_record,
+        codec.MAGIC_BATCH: codec.decode_batch,
     }[magic]
     with pytest.raises(CodecError):
         decoder(swapped)
@@ -232,3 +236,68 @@ def test_wal_record_rejects_trailing_garbage():
     blob = codec.encode_wal_record(1, "s", np.array([1.0]))
     with pytest.raises(CodecError, match="length mismatch"):
         codec.decode_wal_record(blob + b"\x00")
+
+
+def test_wal_record_bytes_payload_passthrough():
+    """Raw f8 bytes encode byte-identically to the ndarray they came from."""
+    values = np.array([1.5, -0.0, 5e-324, -1e308])
+    via_array = codec.encode_wal_record(8, "s", values)
+    via_bytes = codec.encode_wal_record(8, "s", values.astype("<f8").tobytes())
+    assert via_array == via_bytes
+
+
+def test_wal_record_rejects_misaligned_bytes_payload():
+    with pytest.raises(CodecError, match="whole number of float64"):
+        codec.encode_wal_record(0, "s", b"\x00" * 13)
+
+
+# ----------------------------------------------------------------------
+# BBAT — the binary-wire ingest batch frame (PR 8 tentpole)
+# ----------------------------------------------------------------------
+
+
+def test_batch_roundtrip_bit_exact():
+    values = np.array([1.5, -0.0, 5e-324, -1e308, 2.0**-1074])
+    rid, seq, stream, out = codec.decode_batch(
+        codec.encode_batch(17, 4, "payments", values)
+    )
+    assert (rid, seq, stream) == (17, 4, "payments")
+    assert out.dtype == np.float64
+    assert out.tobytes() == values.astype("<f8").tobytes()
+
+
+def test_batch_unsequenced_and_empty():
+    blob = codec.encode_batch(1, codec.WAL_UNSEQUENCED, "s", np.array([]))
+    rid, seq, stream, out = codec.decode_batch(blob)
+    assert seq == codec.WAL_UNSEQUENCED
+    assert out.size == 0
+
+
+def test_batch_wire_body_is_the_wal_payload():
+    """The frame's raw f8 body reproduces the WAL record byte-for-byte."""
+    values = np.array([3.25, -1e200, 7e-290])
+    frame = codec.encode_batch(2, 9, "orders", values)
+    body = codec.batch_wire_body(frame)
+    assert codec.encode_wal_record(9, "orders", body) == codec.encode_wal_record(
+        9, "orders", values
+    )
+
+
+def test_batch_rejects_bad_fields():
+    with pytest.raises(CodecError, match="request id"):
+        codec.encode_batch(-1, 0, "s", np.array([1.0]))
+    with pytest.raises(CodecError, match="non-empty stream"):
+        codec.encode_batch(0, 0, "", np.array([1.0]))
+    with pytest.raises(CodecError, match="sequence"):
+        codec.encode_batch(0, -5, "s", np.array([1.0]))
+
+
+def test_batch_rejects_trailing_garbage_and_nvalue_mismatch():
+    frame = codec.encode_batch(1, -1, "s", np.array([1.0, 2.0]))
+    with pytest.raises(CodecError, match="length mismatch"):
+        codec.decode_batch(frame + b"\x00")
+    # forge nvalues in the header: length check must refuse
+    forged = bytearray(frame)
+    forged[28:36] = (3).to_bytes(8, "little", signed=True)
+    with pytest.raises(CodecError):
+        codec.decode_batch(bytes(forged))

@@ -15,6 +15,7 @@ import struct
 import numpy as np
 import pytest
 
+from repro import codec
 from repro.errors import ProtocolError
 from repro.serve.protocol import (
     DEFAULT_MAX_FRAME,
@@ -23,7 +24,9 @@ from repro.serve.protocol import (
     decode_bytes_field,
     decode_payload,
     encode_bytes_field,
+    encode_batch_frame,
     encode_frame,
+    parse_payload,
     read_frame,
 )
 from tests.conftest import random_hard_array
@@ -161,6 +164,127 @@ class TestFuzz:
                 continue
             for m in msgs:
                 assert isinstance(m, dict)
+
+
+class TestBinaryWire:
+    """BBAT batch frames: parse shape, error taxonomy, fuzz safety.
+
+    The taxonomy under test: *framing* violations (bad length prefix)
+    stay fatal exactly as in JSON mode; every *payload*-level problem
+    of a binary frame — wrong magic, truncation inside the payload,
+    forged lengths, non-finite values — is recoverable, because the
+    frame boundary itself was intact. A shard task must never die to a
+    corrupt batch; the connection answers an error and lives on.
+    """
+
+    def batch_frame(self, values, *, rid=7, stream="s", seq=None):
+        return encode_batch_frame(rid, stream, np.asarray(values, dtype=np.float64), seq=seq)
+
+    def test_parse_yields_add_array_request_shape(self):
+        frame = self.batch_frame([1.5, -2.5, 5e-324], rid=9, stream="temp")
+        req = parse_payload(frame[4:], binary=True)
+        assert req["op"] == "add_array"
+        assert req["id"] == 9
+        assert req["stream"] == "temp"
+        assert req["wire"] == "binary"
+        assert "seq" not in req
+        assert isinstance(req["values"], np.ndarray)
+        assert not req["values"].flags.writeable  # zero-copy read-only view
+        assert req["values"].tobytes() == np.array([1.5, -2.5, 5e-324]).tobytes()
+        assert req["payload_f64"] == req["values"].tobytes()
+
+    def test_sequenced_frame_carries_seq(self):
+        frame = self.batch_frame([1.0], seq=42)
+        assert parse_payload(frame[4:], binary=True)["seq"] == 42
+
+    def test_json_payload_still_parses_on_binary_connection(self):
+        frame = encode_frame({"op": "ping", "id": 1})
+        assert parse_payload(frame[4:], binary=True) == {"op": "ping", "id": 1}
+
+    def test_binary_payload_on_json_connection_is_recoverable(self):
+        frame = self.batch_frame([1.0, 2.0])
+        with pytest.raises(ProtocolError) as exc:
+            parse_payload(frame[4:], binary=False)
+        assert not exc.value.fatal
+
+    def test_wrong_magic_recoverable(self):
+        payload = b"ZZZZ" + self.batch_frame([1.0])[8:]
+        with pytest.raises(ProtocolError, match="magic") as exc:
+            parse_payload(payload, binary=True)
+        assert not exc.value.fatal
+
+    def test_truncated_payload_at_every_cut_recoverable(self):
+        payload = self.batch_frame([1.0, -0.0, 3e300])[4:]
+        for cut in range(1, len(payload)):
+            with pytest.raises(ProtocolError) as exc:
+                parse_payload(payload[:cut], binary=True)
+            assert not exc.value.fatal, f"cut={cut} raised fatal"
+
+    def test_oversized_vs_forged_nvalues_recoverable(self):
+        payload = bytearray(self.batch_frame([1.0, 2.0])[4:])
+        # forge nvalues up and down: explicit count vs byte length must disagree
+        for forged in (0, 1, 3, 1 << 40):
+            mutated = bytearray(payload)
+            mutated[28:36] = forged.to_bytes(8, "little", signed=True)
+            with pytest.raises(ProtocolError) as exc:
+                parse_payload(bytes(mutated), binary=True)
+            assert not exc.value.fatal
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_non_finite_values_recoverable(self, bad):
+        arr = np.array([1.0, bad, 2.0])
+        frame = codec.encode_batch(1, codec.WAL_UNSEQUENCED, "s", arr)
+        with pytest.raises(ProtocolError, match="non-finite") as exc:
+            parse_payload(frame, binary=True)
+        assert not exc.value.fatal
+
+    def test_decoder_survives_corrupt_batch_between_good_frames(self):
+        dec = FrameDecoder(binary=True)
+        good = self.batch_frame([4.0, 5.0])
+        bad_payload = b"ZZZZ" + good[8:]
+        bad = LENGTH_PREFIX.pack(len(bad_payload)) + bad_payload
+        assert dec.feed(good)[0]["values"].size == 2
+        with pytest.raises(ProtocolError) as exc:
+            dec.feed(bad)
+        assert not exc.value.fatal
+        assert dec.feed(good)[0]["values"].size == 2  # connection lives on
+
+    def test_oversized_binary_frame_still_fatal(self):
+        dec = FrameDecoder(max_frame=64, binary=True)
+        with pytest.raises(ProtocolError) as exc:
+            dec.feed(LENGTH_PREFIX.pack(1 << 20))
+        assert exc.value.fatal
+
+    def test_bitflip_fuzz_binary_mode(self, rng):
+        frame = bytearray(self.batch_frame(list(range(16)), seq=3))
+        for trial in range(400):
+            mutated = bytearray(frame)
+            for _ in range(int(rng.integers(1, 4))):
+                pos = int(rng.integers(0, len(mutated)))
+                mutated[pos] ^= 1 << int(rng.integers(0, 8))
+            dec = FrameDecoder(max_frame=1 << 20, binary=True)
+            try:
+                for m in dec.feed(bytes(mutated)):
+                    assert isinstance(m, dict)
+            except ProtocolError:
+                pass  # the only permitted failure mode, fatal or not
+
+    def test_random_bytes_fuzz_binary_mode(self, rng):
+        for trial in range(200):
+            blob = rng.integers(0, 256, size=int(rng.integers(1, 400))).astype(
+                np.uint8
+            ).tobytes()
+            dec = FrameDecoder(max_frame=1 << 16, binary=True)
+            try:
+                for m in dec.feed(blob):
+                    assert isinstance(m, dict)
+            except ProtocolError:
+                pass
+
+    def test_encode_batch_frame_respects_max_frame(self):
+        with pytest.raises(ProtocolError) as exc:
+            encode_batch_frame(1, "s", np.ones(1000), max_frame=64)
+        assert exc.value.fatal
 
 
 class TestAsyncReadFrame:

@@ -286,3 +286,159 @@ class TestShutdown:
             await stop_stack(service, server)
 
         run(main())
+
+
+class TestBinaryNegotiation:
+    """hello upgrade, version rejection, fallback, mixed fleets."""
+
+    def test_hello_upgrades_wire(self):
+        async def main():
+            service, server = await start_stack(shards=2)
+            client = await ReproServeClient.connect(port=server.port, wire="binary")
+            assert client.wire == "binary"
+            await client.close()
+            await stop_stack(service, server)
+
+        run(main())
+
+    def test_bad_version_raises_typed_and_connection_survives(self):
+        from repro.errors import ProtocolVersionError
+
+        async def main():
+            service, server = await start_stack(shards=1)
+            client = await ReproServeClient.connect(port=server.port)
+            with pytest.raises(ProtocolVersionError):
+                await client.hello(version=99)
+            assert client.wire == "json"
+            with pytest.raises(ProtocolVersionError):
+                await client.hello(wire="carrier-pigeon")
+            # the connection stays usable on its previous wire
+            assert (await client.ping())["pong"] is True
+            await client.close()
+            await stop_stack(service, server)
+
+        run(main())
+
+    def test_binary_batch_bit_identical_to_json(self, rng):
+        async def main():
+            service, server = await start_stack(shards=4)
+            x = random_hard_array(rng, 5000)
+            jc = await ReproServeClient.connect(port=server.port)
+            bc = await ReproServeClient.connect(port=server.port, wire="binary")
+            await jc.add_array("via-json", x)
+            await bc.add_batch("via-binary", x)
+            assert await jc.value("via-json") == await bc.value("via-binary") == ref_sum(x)
+            await jc.close()
+            await bc.close()
+            await stop_stack(service, server)
+
+        run(main())
+
+    def test_mixed_fleet_same_stream_same_total(self, rng):
+        """One JSON + one binary client interleave into ONE stream."""
+
+        async def main():
+            service, server = await start_stack(shards=4)
+            x = random_hard_array(rng, 8192)
+            jc = await ReproServeClient.connect(port=server.port)
+            bc = await ReproServeClient.connect(port=server.port, wire="binary")
+            chunks = np.array_split(x, 32)
+            sends = []
+            for i, chunk in enumerate(chunks):
+                client = bc if i % 2 else jc
+                sends.append(client.add_batch("fleet", chunk))
+            await asyncio.gather(*sends)
+            assert await jc.value("fleet") == ref_sum(x)
+            assert await bc.value("fleet") == ref_sum(x)
+            # wire metrics saw both modes
+            wire = (await jc.stats())["wire"]
+            assert wire["json"]["frames"] == 16
+            assert wire["binary"]["frames"] == 16
+            assert wire["json"]["values"] == wire["binary"]["values"]
+            # binary payloads are materially denser than JSON text
+            assert wire["binary"]["payload_bytes"] < wire["json"]["payload_bytes"]
+            assert wire["binary"]["mean_values_per_frame"] == pytest.approx(256.0)
+            await jc.close()
+            await bc.close()
+            await stop_stack(service, server)
+
+        run(main())
+
+    def test_corrupt_binary_frame_recoverable_on_live_connection(self, rng):
+        """Raw socket: hello, good frame, corrupt frame, good frame.
+
+        The corrupt frame's error response carries no ``id`` (the
+        request id is inside the unparseable payload), so this drives
+        the wire by hand instead of through the pipelined client.
+        """
+
+        async def main():
+            service, server = await start_stack(shards=2)
+            from repro.serve.protocol import (
+                encode_batch_frame,
+                read_frame,
+                write_frame,
+            )
+
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            await write_frame(writer, {"op": "hello", "id": 1, "version": 2, "wire": "binary"})
+            hello = await read_frame(reader)
+            assert hello["ok"] and hello["wire"] == "binary"
+            x = random_hard_array(rng, 64)
+
+            writer.write(encode_batch_frame(2, "s", x))
+            await writer.drain()
+            assert (await read_frame(reader))["added"] == 64
+
+            corrupt = bytearray(encode_batch_frame(3, "s", x[:16]))
+            corrupt[4:8] = b"ZZZZ"  # ruin the magic, keep the framing
+            writer.write(bytes(corrupt))
+            await writer.drain()
+            err = await read_frame(reader)
+            assert err["ok"] is False and err["code"] == "protocol"
+
+            # connection survived; shard state unharmed; binary still works
+            writer.write(encode_batch_frame(4, "s", x))
+            await writer.drain()
+            assert (await read_frame(reader))["added"] == 64
+            await write_frame(writer, {"op": "value", "id": 5, "stream": "s"})
+            resp = await read_frame(reader)
+            assert resp["value"] == ref_sum(np.concatenate([x, x]))
+            assert resp["count"] == 128
+            writer.close()
+            await stop_stack(service, server)
+
+        run(main())
+
+    def test_nonfinite_binary_frame_rejected_stream_unharmed(self, rng):
+        async def main():
+            service, server = await start_stack(shards=2)
+            client = await ReproServeClient.connect(port=server.port, wire="binary")
+            x = random_hard_array(rng, 500)
+            await client.add_batch("s", x)
+            with pytest.raises(ProtocolError, match="non-finite"):
+                await client.add_batch("s", np.array([1.0, np.inf]))
+            assert await client.value("s") == ref_sum(x)
+            assert await client.count("s") == 500
+            await client.close()
+            await stop_stack(service, server)
+
+        run(main())
+
+    def test_in_process_client_binary_matches_tcp(self, rng):
+        from repro.serve import InProcessClient
+
+        async def main():
+            service = ReproService(ServeConfig(shards=3))
+            await service.start()
+            client = InProcessClient(service, wire="binary")
+            x = random_hard_array(rng, 4096)
+            added = await client.add_batch("s", x)
+            assert added == 4096
+            assert await client.value("s") == ref_sum(x)
+            wire = (await client.stats())["wire"]
+            assert wire["binary"]["frames"] == 1
+            assert wire["binary"]["values"] == 4096
+            await service.close()
+
+        run(main())
