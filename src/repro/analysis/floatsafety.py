@@ -6,8 +6,9 @@ bit-identity checks made on purpose, and exact rationals are narrowed
 through the rounding helpers. These rules catch the idioms that
 silently break that contract — builtin ``sum`` / ``+=`` accumulation
 over floats (FP001), float ``==`` (FP002), ``math.fsum`` / ``np.sum``
-bypassing the kernel layer (FP003), and unguarded ``float(Fraction)``
-narrowing (FP004).
+bypassing the kernel layer (FP003), unguarded ``float(Fraction)``
+narrowing (FP004), and ``np.dot`` / ``np.vdot`` / ``np.linalg.norm``
+bypassing the reduction layer (FP005).
 
 Detection is evidence-based: an expression counts as *float-ish* only
 when the AST shows a float literal, a ``float()`` / ``.to_float()`` /
@@ -27,6 +28,7 @@ __all__ = [
     "BuiltinFloatAccumulation",
     "FloatEqualityComparison",
     "KernelBypassSum",
+    "KernelBypassInnerProduct",
     "UnguardedFractionNarrowing",
 ]
 
@@ -282,6 +284,67 @@ class KernelBypassSum(_ScopedRule):
                 unit,
                 node,
                 f"np.{node.func.attr} is inexact and bypasses the kernel layer",
+            )
+
+
+@register_rule
+class KernelBypassInnerProduct(_ScopedRule):
+    """FP005: ``np.dot`` / ``np.vdot`` / ``np.linalg.norm`` on floats.
+
+    Inner products and norms are sums in disguise, and numpy's carry
+    the same non-reproducible, condition-growing error as ``np.sum`` —
+    plus a squaring that can silently under/overflow. The reduction
+    layer makes them exact: ``repro.reduce.dot`` / ``repro.reduce.norm2``
+    expand through TwoProduct/TwoSquare and fold through the kernels.
+    Outside ``baselines/``, inner products ride the reduction ops.
+    """
+
+    id = "FP005"
+    title = "np.dot / np.vdot / np.linalg.norm bypassing the reduction layer"
+    rationale = (
+        "numpy inner products are unreproducible sums of rounded "
+        "products; the reduction ops compute the same quantities "
+        "correctly rounded"
+    )
+    fixit = (
+        "route through repro.reduce (dot / norm2), or the serial "
+        "references repro.stats.exact_dot_fraction / exact_norm2"
+    )
+
+    _NP_NAMES = {"np", "numpy"}
+    _DOT_ATTRS = {"dot", "vdot", "inner"}
+
+    def applies_to(self, unit: ModuleUnit) -> bool:
+        return "baselines" not in unit.parts
+
+    def check_node(
+        self, unit: ModuleUnit, node: ast.AST, evidence: _Evidence
+    ) -> Iterable[Finding]:
+        if not isinstance(node, ast.Call) or not isinstance(
+            node.func, ast.Attribute
+        ):
+            return
+        value = node.func.value
+        if isinstance(value, ast.Name):
+            if value.id in self._NP_NAMES and node.func.attr in self._DOT_ATTRS:
+                yield self.finding(
+                    unit,
+                    node,
+                    f"np.{node.func.attr} is an unreproducible inner "
+                    f"product; use repro.reduce.dot",
+                )
+        elif (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id in self._NP_NAMES
+            and value.attr == "linalg"
+            and node.func.attr == "norm"
+        ):
+            yield self.finding(
+                unit,
+                node,
+                "np.linalg.norm is an unreproducible reduction; use "
+                "repro.reduce.norm2",
             )
 
 

@@ -42,12 +42,16 @@ class AllreduceResult:
             butterfly, +1 for the final barrier bookkeeping).
         messages: total point-to-point messages.
         bytes_sent: total wire volume (P log P accumulators).
+        partial: wire frame of rank 0's final (global) accumulator, so
+            exact-fraction reductions (:mod:`repro.reduce`) can read
+            the exact term sum back instead of only the rounded float.
     """
 
     values: List[float]
     supersteps: int
     messages: int
     bytes_sent: int
+    partial: Optional[bytes] = None
 
 
 def exact_allreduce_sum(
@@ -117,6 +121,7 @@ def _allreduce_butterfly(
     """Power-of-two recursive-doubling schedule."""
     rounds = max(1, math.ceil(math.log2(p))) if p > 1 else 0
     machine = BSPMachine(p)
+    root_wire: List[Optional[bytes]] = [None]
 
     def program(rank: Rank):
         acc = kernel.fold(np.asarray(blocks[rank.rank], dtype=np.float64))
@@ -127,6 +132,8 @@ def _allreduce_butterfly(
             yield  # superstep barrier
             for _src, payload in rank.recv_all():
                 acc = kernel.combine(acc, kernel.from_wire(payload))
+        if rank.rank == 0:
+            root_wire[0] = kernel.to_wire(acc)
         return kernel.round(acc, mode)
 
     values = machine.run(program)
@@ -135,6 +142,7 @@ def _allreduce_butterfly(
         supersteps=machine.stats.supersteps,
         messages=machine.stats.messages,
         bytes_sent=machine.stats.bytes_sent,
+        partial=root_wire[0],
     )
 
 
@@ -148,6 +156,7 @@ def _allreduce_folded(
     """Non-power-of-two schedule: fold extras in, butterfly, fan out."""
     rounds = max(1, math.ceil(math.log2(fold)))
     machine = BSPMachine(p)
+    root_wire: List[Optional[bytes]] = [None]
 
     def program(rank: Rank):
         acc = kernel.fold(np.asarray(blocks[rank.rank], dtype=np.float64))
@@ -169,6 +178,8 @@ def _allreduce_folded(
             if r + fold < rank.size:
                 rank.send(r + fold, kernel.to_wire(acc))
             yield
+            if r == 0:
+                root_wire[0] = kernel.to_wire(acc)
             return kernel.round(acc, mode)
         # folded-away ranks idle through the butterfly, then receive
         for _ in range(rounds):
@@ -184,4 +195,5 @@ def _allreduce_folded(
         supersteps=machine.stats.supersteps,
         messages=machine.stats.messages,
         bytes_sent=machine.stats.bytes_sent,
+        partial=root_wire[0],
     )

@@ -39,10 +39,12 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.digits import DEFAULT_RADIX, RadixConfig
-from repro.errors import NodeDownError, ServiceError
+from repro.errors import EmptyStreamError, NodeDownError, ServiceError
 from repro.kernels import get_kernel
 from repro.serve import InProcessClient, ReproServeClient, ServeConfig
 from repro.serve.protocol import WIRE_BINARY, decode_bytes_field
+from repro.serve.service import square_shadow
+from repro.stats import round_fraction, sqrt_round_fraction
 from repro.util.validation import ensure_float64_array
 from repro.cluster.node import ClusterNode, WalService
 from repro.cluster.placement import HashRing
@@ -94,6 +96,40 @@ class NodeHandle:
             fields["seq"] = seq
         return await self.request("add_array", **fields)
 
+    async def add_reduce_batch(
+        self,
+        stream: str,
+        op: str,
+        x: np.ndarray,
+        y: Optional[np.ndarray] = None,
+        *,
+        seq: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Send one reduction ingest batch; full op response dict.
+
+        ``op`` is the codec reduction kind (``"pairs"``/``"squares"``/
+        ``"observations"``). The base implementation boxes through the
+        JSON reduction ops; transport-aware subclasses ship a single
+        codec ``RBAT`` frame on binary connections.
+        """
+        request_op = {
+            "pairs": "add_pairs",
+            "squares": "add_squares",
+            "observations": "add_observations",
+        }.get(op)
+        if request_op is None:
+            raise ValueError(f"unknown reduction op kind {op!r}")
+        fields: Dict[str, Any] = {
+            "stream": stream,
+            # reprolint: disable-next-line=ARCH005 -- JSON-lines fallback wire: boxing is the format
+            "values": [float(v) for v in x],
+        }
+        if y is not None:
+            fields["values2"] = [float(v) for v in y]
+        if seq is not None:
+            fields["seq"] = seq
+        return await self.request(request_op, **fields)
+
     async def close(self) -> None:
         return None
 
@@ -133,6 +169,19 @@ class LocalNodeHandle(NodeHandle):
         if not self.alive:
             raise self.down("killed")
         return await self._client.request_batch(stream, values, seq=seq)
+
+    async def add_reduce_batch(
+        self,
+        stream: str,
+        op: str,
+        x: np.ndarray,
+        y: Optional[np.ndarray] = None,
+        *,
+        seq: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        if not self.alive:
+            raise self.down("killed")
+        return await self._client.request_reduce(stream, op, x, y, seq=seq)
 
     def kill(self) -> None:
         self.alive = False
@@ -194,6 +243,27 @@ class RemoteNodeHandle(NodeHandle):
             client = await self._ensure_client()
             return await asyncio.wait_for(
                 client.request_batch(stream, values, seq=seq),
+                timeout=self.timeout,
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError, EOFError) as exc:
+            await self._drop_client()
+            raise self.down(f"{type(exc).__name__}: {exc}") from exc
+
+    async def add_reduce_batch(
+        self,
+        stream: str,
+        op: str,
+        x: np.ndarray,
+        y: Optional[np.ndarray] = None,
+        *,
+        seq: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        if not self.alive:
+            raise self.down("marked down")
+        try:
+            client = await self._ensure_client()
+            return await asyncio.wait_for(
+                client.request_reduce(stream, op, x, y, seq=seq),
                 timeout=self.timeout,
             )
         except (ConnectionError, OSError, asyncio.TimeoutError, EOFError) as exc:
@@ -403,6 +473,82 @@ class ClusterCoordinator:
         responses = await asyncio.gather(*sends)
         return sum(int(r["added"]) for r in responses)
 
+    async def scatter_reduce(
+        self,
+        stream: str,
+        op: str,
+        x: Iterable[float],
+        y: Optional[Iterable[float]] = None,
+        *,
+        chunk: int = 8192,
+    ) -> int:
+        """Stripe one reduction ingest batch across all live nodes.
+
+        ``op`` is the codec reduction kind (``"pairs"`` needs ``y``;
+        ``"squares"``/``"observations"`` reject it). Raw pre-expansion
+        inputs ride the wire; each node expands its stripe with the
+        same deterministic EFTs, so the union of per-node term
+        multisets equals a serial whole-array expansion — which is what
+        keeps :meth:`gather_value`/:meth:`gather_norm2`/
+        :meth:`gather_moments` reads bit-identical to the serial
+        references.
+        """
+        xa = (
+            ensure_float64_array(x)
+            if isinstance(x, np.ndarray)
+            else np.asarray(list(x), dtype=np.float64)
+        )
+        ya: Optional[np.ndarray] = None
+        if op == "pairs":
+            if y is None:
+                raise ValueError("scatter_reduce('pairs', ...) needs two arrays")
+            ya = (
+                ensure_float64_array(y)
+                if isinstance(y, np.ndarray)
+                else np.asarray(list(y), dtype=np.float64)
+            )
+            if xa.shape != ya.shape:
+                raise ValueError("length mismatch")
+        elif y is not None:
+            raise ValueError(f"scatter_reduce({op!r}, ...) takes a single array")
+        if xa.size == 0:
+            return 0
+        handles = self.alive_handles()
+        if not handles:
+            raise NodeDownError("no live nodes to scatter onto")
+        sends = []
+        for i in range(0, xa.size, chunk):
+            handle = handles[self._rr % len(handles)]
+            self._rr += 1
+            sends.append(
+                handle.add_reduce_batch(
+                    stream,
+                    op,
+                    xa[i : i + chunk],
+                    None if ya is None else ya[i : i + chunk],
+                )
+            )
+        responses = await asyncio.gather(*sends)
+        return sum(int(r["added"]) for r in responses)
+
+    async def _merged_snapshot(
+        self, stream: str, handles: Sequence[NodeHandle]
+    ) -> Any:
+        """Merge every given node's kernel snapshot of ``stream``."""
+        snaps = await asyncio.gather(
+            *(h.request("snapshot", stream=stream) for h in handles)
+        )
+        merged = self._kernel.new_stream()
+        for snap in snaps:
+            try:
+                partial = self._kernel.stream_from_bytes(
+                    decode_bytes_field(snap["snapshot"])
+                )
+            except ValueError as exc:
+                raise ServiceError(f"corrupt node snapshot: {exc}") from exc
+            merged.merge(partial)
+        return merged
+
     async def gather_value(
         self, stream: str, mode: str = "nearest"
     ) -> Dict[str, Any]:
@@ -416,23 +562,75 @@ class ClusterCoordinator:
         handles = self.alive_handles()
         if not handles:
             raise NodeDownError("no live nodes to gather from")
-        snaps = await asyncio.gather(
-            *(h.request("snapshot", stream=stream) for h in handles)
-        )
-        merged = self._kernel.new_stream()
-        for snap in snaps:
-            try:
-                partial = self._kernel.stream_from_bytes(
-                    decode_bytes_field(snap["snapshot"])
-                )
-            except ValueError as exc:
-                raise ServiceError(f"corrupt node snapshot: {exc}") from exc
-            merged.merge(partial)
+        merged = await self._merged_snapshot(stream, handles)
         result = merged.value(mode)
         return {
             "value": result,
             "hex": result.hex(),
             "count": merged.count,
+            "nodes": len(handles),
+        }
+
+    async def gather_norm2(self, stream: str) -> Dict[str, Any]:
+        """Exact Euclidean norm of a ``scatter_reduce("squares")`` stream.
+
+        Merges the per-node TwoSquare-term partials, reads the exact
+        sum-of-squares fraction, and rounds its square root once
+        (nearest only). The norm of nothing is 0.0, never an error.
+        """
+        handles = self.alive_handles()
+        if not handles:
+            raise NodeDownError("no live nodes to gather from")
+        merged = await self._merged_snapshot(stream, handles)
+        if merged.count == 0:
+            value = 0.0
+        else:
+            value = sqrt_round_fraction(merged.exact_fraction())
+        return {
+            "value": value,
+            "hex": value.hex(),
+            "count": merged.count,
+            "nodes": len(handles),
+        }
+
+    async def gather_moments(
+        self, stream: str, *, ddof: int = 0, mode: str = "nearest"
+    ) -> Dict[str, Any]:
+        """Exact mean/variance of a ``scatter_reduce("observations")`` stream.
+
+        Merges the raw-value partials and the NUL-suffixed square-shadow
+        partials, then finishes entirely in exact rational arithmetic —
+        bit-identical to the serial ``mean``/``var`` ops.
+        """
+        if mode not in ("nearest", "down", "up", "zero"):
+            raise ValueError(f"unknown rounding mode {mode!r}")
+        if isinstance(ddof, bool) or not isinstance(ddof, int) or ddof < 0:
+            raise ValueError("'ddof' must be a non-negative integer")
+        handles = self.alive_handles()
+        if not handles:
+            raise NodeDownError("no live nodes to gather from")
+        merged = await self._merged_snapshot(stream, handles)
+        n = merged.count
+        if n == 0:
+            raise EmptyStreamError(f"moments of empty stream {stream!r}")
+        if n - ddof <= 0:
+            raise EmptyStreamError("need more observations than ddof")
+        shadow = await self._merged_snapshot(square_shadow(stream), handles)
+        if shadow.count != 2 * n:
+            raise ServiceError(
+                f"stream {stream!r} was not fed through observations scatter: "
+                f"square shadow holds {shadow.count} terms, expected {2 * n}"
+            )
+        s = merged.exact_fraction()
+        ss = shadow.exact_fraction()
+        mean = round_fraction(s / n, mode)
+        variance = round_fraction((ss - s * s / n) / (n - ddof), mode)
+        return {
+            "mean": mean,
+            "variance": variance,
+            "count": n,
+            "ddof": ddof,
+            "hex": mean.hex(),
             "nodes": len(handles),
         }
 
@@ -519,17 +717,30 @@ class ClusterCoordinator:
             )
             # The decoded record's float64 array re-enters the wire as a
             # codec frame whose body bytes match the WAL payload — the
-            # replayed bits are the ingested bits.
-            responses = await asyncio.gather(
-                *(
+            # replayed bits are the ingested bits. Op-tagged reduction
+            # records re-enter through the matching reduce op, so the
+            # receiving node re-runs the identical EFT expansion.
+            if rec.op == "sum":
+                sends = [
                     self._handle(m).add_batch(
                         rec.stream,
                         rec.values,
                         seq=rec.seq if rec.sequenced else None,
                     )
                     for m in members
-                )
-            )
+                ]
+            else:
+                sends = [
+                    self._handle(m).add_reduce_batch(
+                        rec.stream,
+                        rec.op,
+                        rec.values,
+                        rec.values2,
+                        seq=rec.seq if rec.sequenced else None,
+                    )
+                    for m in members
+                ]
+            responses = await asyncio.gather(*sends)
             if any(r.get("duplicate") for r in responses):
                 duplicates += 1
             else:

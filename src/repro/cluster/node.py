@@ -96,7 +96,18 @@ class WalService(ReproService):
                 if rec.seq <= self._applied.get(rec.stream, -1):
                     continue
                 self._applied[rec.stream] = rec.seq
-            await self._scatter(rec.stream, np.array(rec.values))
+            if rec.op == "sum":
+                await self._scatter(rec.stream, np.array(rec.values))
+            else:
+                # Op-tagged WALO record: the log holds the raw
+                # pre-expansion inputs; re-run the deterministic EFT
+                # expansion to recover the identical term multiset.
+                await self._apply_reduce(
+                    rec.stream,
+                    rec.op,
+                    np.array(rec.values),
+                    None if rec.values2 is None else np.array(rec.values2),
+                )
             applied += 1
         return {"records": applied, "truncated": truncated}
 
@@ -164,6 +175,52 @@ class WalService(ReproService):
         else:
             arr = self._validated_array(values)
         return await self._ingest(stream, _seq_of(request), arr, payload=payload)
+
+    async def _ingest_reduce(
+        self,
+        stream: str,
+        op_kind: str,
+        x: np.ndarray,
+        y: Optional[np.ndarray],
+        request: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        """WAL-fronted reduction ingest: dedup, log raw inputs, expand.
+
+        The durable record carries the *pre-expansion* inputs (binary
+        ``RBAT`` frame bodies pass through verbatim); replay re-expands
+        deterministically, so recovery reconstructs the identical term
+        multiset at half the log volume.
+        """
+        if x.size == 0:
+            return {"added": 0}
+        # Police the expansion domain before anything durable happens:
+        # a rejected batch must never enter the WAL, or replay would
+        # refuse the whole log.
+        self._reduce_op_for(op_kind).check_domain(x, y)
+        seq = _seq_of(request)
+        if seq is not None:
+            if seq <= self._applied.get(stream, -1):
+                return {"added": 0, "duplicate": True, "seq": seq}
+            # Claim before the first await, exactly like _ingest.
+            self._applied[stream] = seq
+        if self._wal is not None:
+            payload_x = request.get("payload_f64")
+            payload_y = request.get("payload_f64_y")
+            use_raw = isinstance(payload_x, (bytes, bytearray, memoryview)) and (
+                y is None or isinstance(payload_y, (bytes, bytearray, memoryview))
+            )
+            await self._wal.append_reduce(
+                seq if seq is not None else codec.WAL_UNSEQUENCED,
+                stream,
+                op_kind,
+                bytes(payload_x) if use_raw else x,
+                (bytes(payload_y) if use_raw else y) if y is not None else None,
+            )
+        added = await self._apply_reduce(stream, op_kind, x, y)
+        response: Dict[str, Any] = {"added": added}
+        if seq is not None:
+            response["seq"] = seq
+        return response
 
     async def _op_add_block(self, request: Dict[str, Any]) -> Dict[str, Any]:
         # A zero-copy block fold would bypass the WAL: the descriptor's

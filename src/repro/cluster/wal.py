@@ -50,12 +50,22 @@ class WalRecord:
             :data:`repro.codec.WAL_UNSEQUENCED` for scatter-mode
             records that carry no dedup identity.
         stream: target stream name.
-        values: the float64 batch, exactly as ingested.
+        values: the float64 batch, exactly as ingested. For reduction
+            records these are the *pre-expansion* inputs — replay
+            re-runs the deterministic EFT expansion, so the recovered
+            term multiset is bit-identical to the original ingest.
+        op: ``"sum"`` for plain ``WALR`` ingest records, or a reduction
+            kind (``"pairs"``/``"squares"``/``"observations"``) for
+            op-tagged ``WALO`` records.
+        values2: the second input array of a ``"pairs"`` record, else
+            ``None``.
     """
 
     seq: int
     stream: str
     values: np.ndarray
+    op: str = "sum"
+    values2: Optional[np.ndarray] = None
 
     @property
     def sequenced(self) -> bool:
@@ -86,8 +96,10 @@ def iter_wal(path: Union[str, Path]) -> Iterator[Union[WalRecord, bool]]:
             if len(body) < total - codec.WAL_HEADER_SIZE:
                 yield True
                 return
-            seq, stream, values = codec.decode_wal_record(header + body)
-            yield WalRecord(seq=seq, stream=stream, values=values)
+            seq, stream, op, values, values2 = codec.decode_wal_any(header + body)
+            yield WalRecord(
+                seq=seq, stream=stream, values=values, op=op, values2=values2
+            )
 
 
 def read_wal(path: Union[str, Path]) -> Tuple[List[WalRecord], bool]:
@@ -126,6 +138,25 @@ class WriteAheadLog:
         path never re-encodes what the network delivered.
         """
         blob = codec.encode_wal_record(seq, stream, values)
+        self.append_blob(blob)
+        return len(blob)
+
+    def append_reduce(
+        self,
+        seq: int,
+        stream: str,
+        op: str,
+        x: Union[np.ndarray, bytes],
+        y: Optional[Union[np.ndarray, bytes]] = None,
+    ) -> int:
+        """Append one op-tagged ``WALO`` reduction record; returns bytes.
+
+        The record carries the *raw pre-expansion* inputs (half the
+        volume of logging expanded terms); replay re-expands
+        deterministically. ``y`` is required for ``"pairs"`` and
+        rejected otherwise — see :func:`repro.codec.encode_wal_reduce`.
+        """
+        blob = codec.encode_wal_reduce(seq, stream, op, x, y)
         self.append_blob(blob)
         return len(blob)
 
@@ -192,9 +223,27 @@ class WalWriter:
         Raw float64 bytes are accepted and logged verbatim (the
         binary-wire passthrough) — see :meth:`WriteAheadLog.append`.
         """
+        await self._enqueue(codec.encode_wal_record(seq, stream, values))
+
+    async def append_reduce(
+        self,
+        seq: int,
+        stream: str,
+        op: str,
+        x: Union[np.ndarray, bytes],
+        y: Optional[Union[np.ndarray, bytes]] = None,
+    ) -> None:
+        """Durably log one op-tagged reduction record; resolves after fsync.
+
+        Logs the raw pre-expansion inputs verbatim (binary-wire frame
+        bodies pass through untouched) — see
+        :meth:`WriteAheadLog.append_reduce`.
+        """
+        await self._enqueue(codec.encode_wal_reduce(seq, stream, op, x, y))
+
+    async def _enqueue(self, blob: bytes) -> None:
         if self._queue is None:
             raise RuntimeError("WalWriter is not started")
-        blob = codec.encode_wal_record(seq, stream, values)
         done: "asyncio.Future[None]" = asyncio.get_running_loop().create_future()
         await self._queue.put((blob, done))
         await done

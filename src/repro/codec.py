@@ -36,6 +36,12 @@ magic     payload                                            producer
           length-prefixed stream name + float64 payload      WAL
 ``BBAT``  binary batch ingest op: request id, seq,           serve wire
           length-prefixed stream name + embedded ``RAWB``    (binary)
+``RBAT``  binary reduce-batch ingest op: request id, seq,    serve wire
+          op tag (pairs/squares/observations), name +        (binary)
+          one or two embedded ``RAWB`` input blocks
+``WALO``  op-tagged WAL reduce record: seq, CRC-32, op tag,  cluster
+          name + raw pre-expansion float64 input(s) —        WAL
+          replay re-expands deterministically
 ========  =================================================  =========
 
 Decoders reject truncated payloads, wrong magics, and corrupt headers
@@ -77,6 +83,10 @@ __all__ = [
     "MAGIC_DATASET",
     "MAGIC_WAL",
     "MAGIC_BATCH",
+    "MAGIC_REDUCE_BATCH",
+    "MAGIC_WAL_REDUCE",
+    "REDUCE_OP_CODES",
+    "REDUCE_OP_NAMES",
     "LENGTH_PREFIX",
     "DATASET_HEADER_SIZE",
     "WAL_HEADER_SIZE",
@@ -108,10 +118,16 @@ __all__ = [
     "decode_dataset_header",
     "encode_wal_record",
     "decode_wal_record",
+    "encode_wal_reduce",
+    "decode_wal_reduce",
+    "decode_wal_any",
     "wal_record_size",
     "encode_batch",
     "decode_batch",
     "batch_wire_body",
+    "encode_reduce_batch",
+    "decode_reduce_batch",
+    "reduce_batch_wire_bodies",
 ]
 
 MAGIC_SPARSE = b"SSUP"
@@ -127,6 +143,8 @@ MAGIC_FLOAT = b"NF64"
 MAGIC_DATASET = b"F64D"
 MAGIC_WAL = b"WALR"
 MAGIC_BATCH = b"BBAT"
+MAGIC_REDUCE_BATCH = b"RBAT"
+MAGIC_WAL_REDUCE = b"WALO"
 
 _SPARSE_HEADER = struct.Struct("<4sBq")  # magic, w, ncomponents
 _DENSE_HEADER = struct.Struct("<4sBqqq")  # magic, w, base_index, nlimbs, count
@@ -138,6 +156,17 @@ _COMPOSITE_HEADER = struct.Struct("<4sdqq")  # magic, bound, certs, fulls
 _FLOAT_FRAME = struct.Struct("<4sd")  # magic, value
 _WAL_HEADER = struct.Struct("<4sqIqq")  # magic, seq, crc32, stream_len, payload_len
 _BATCH_HEADER = struct.Struct("<4sqqqq")  # magic, request id, seq, stream_len, nvalues
+# magic, seq, crc32, op code, stream_len, n inputs, pad — 32 bytes, the
+# same fixed prefix as _WAL_HEADER so one reader loop serves both.
+_WAL_REDUCE_HEADER = struct.Struct("<4sqIHHq4x")
+# magic, request id, seq, op code, stream_len, nx, ny
+_REDUCE_BATCH_HEADER = struct.Struct("<4sqqqqqq")
+
+#: Reduction ingest kinds carried by ``RBAT``/``WALO`` frames: the op
+#: tag names the *expansion* the receiver applies before folding, so
+#: WAL replay and shard scatter see identical deterministic terms.
+REDUCE_OP_CODES: Dict[str, int] = {"pairs": 1, "squares": 2, "observations": 3}
+REDUCE_OP_NAMES: Dict[int, str] = {v: k for k, v in REDUCE_OP_CODES.items()}
 
 #: Serve-transport frame length prefix (network byte order uint32).
 #: Message framing, not value encoding — but it is still a byte layout,
@@ -644,19 +673,36 @@ def encode_wal_record(
 
 
 def wal_record_size(header: bytes) -> int:
-    """Total record length (header + body) from a ``WALR`` header.
+    """Total record length (header + body) from a WAL record header.
 
     Lets a WAL reader consume a fixed :data:`WAL_HEADER_SIZE` prefix,
     learn how much body follows, and read exactly that — without the
-    length arithmetic leaking out of the codec.
+    length arithmetic leaking out of the codec. Dispatches on the magic:
+    both ``WALR`` (plain ingest) and ``WALO`` (op-tagged reduce ingest)
+    share the 32-byte fixed prefix, so one reader loop serves both.
 
     Raises:
         CodecError: truncated header, wrong magic, or negative lengths.
     """
     _check_header(header, _WAL_HEADER, "WAL record")
-    magic, seq, _crc, stream_len, payload_len = _WAL_HEADER.unpack_from(header, 0)
+    magic = bytes(header[:4])
+    if magic == MAGIC_WAL_REDUCE:
+        _, seq, _crc, op_code, stream_len, nx = _WAL_REDUCE_HEADER.unpack_from(
+            header, 0
+        )
+        if op_code not in REDUCE_OP_NAMES:
+            raise CodecError(f"corrupt WAL header: unknown reduce op {op_code}")
+        if stream_len <= 0 or nx < 0:
+            raise CodecError(
+                f"corrupt WAL header: lengths ({stream_len}, {nx})"
+            )
+        if seq < WAL_UNSEQUENCED:
+            raise CodecError(f"corrupt WAL header: sequence {seq} < -1")
+        ny = nx if op_code == REDUCE_OP_CODES["pairs"] else 0
+        return int(_WAL_REDUCE_HEADER.size + stream_len + 8 * (nx + ny))
     if magic != MAGIC_WAL:
         raise CodecError("not a WAL record payload")
+    _, seq, _crc, stream_len, payload_len = _WAL_HEADER.unpack_from(header, 0)
     if stream_len <= 0 or payload_len < 0:
         raise CodecError(
             f"corrupt WAL header: lengths ({stream_len}, {payload_len})"
@@ -674,6 +720,8 @@ def decode_wal_record(payload: bytes) -> Tuple[int, str, np.ndarray]:
             is not a whole number of float64s, or a CRC mismatch.
     """
     total = wal_record_size(payload)
+    if bytes(payload[:4]) != MAGIC_WAL:
+        raise CodecError("not a WAL record payload")
     _, seq, crc, stream_len, payload_len = _WAL_HEADER.unpack_from(payload, 0)
     if len(payload) != total:
         raise CodecError(
@@ -695,6 +743,137 @@ def decode_wal_record(payload: bytes) -> Tuple[int, str, np.ndarray]:
         raise CodecError(f"corrupt WAL record: bad stream name: {exc}") from exc
     values = np.frombuffer(body[stream_len:], dtype="<f8")
     return int(seq), stream, values
+
+
+# ----------------------------------------------------------------------
+# WALO — op-tagged WAL reduce record
+# ----------------------------------------------------------------------
+
+
+def _as_f64_bytes(values: Union[np.ndarray, bytes, bytearray, memoryview]) -> bytes:
+    if isinstance(values, (bytes, bytearray, memoryview)):
+        body = bytes(values)
+        if len(body) % 8:
+            raise CodecError(
+                f"payload of {len(body)} bytes is not a whole number of float64s"
+            )
+        return body
+    return np.ascontiguousarray(values, dtype="<f8").tobytes()
+
+
+def encode_wal_reduce(
+    seq: int,
+    stream: str,
+    op: str,
+    x: Union[np.ndarray, bytes, bytearray, memoryview],
+    y: Union[np.ndarray, bytes, bytearray, memoryview, None] = None,
+) -> bytes:
+    """``WALO`` frame: one durably logged *reduction* ingest batch.
+
+    Logs the raw **pre-expansion** inputs plus the op tag (one of
+    :data:`REDUCE_OP_CODES`), not the expanded terms: the EFT expansion
+    is deterministic, so replay re-expands and re-scatters bit-identical
+    terms while the log stays half the size. ``pairs`` records carry two
+    equal-length input blocks (``x`` then ``y``); the other ops carry
+    one. The 32-byte header matches :data:`WAL_HEADER_SIZE` so the WAL
+    reader's fixed-prefix loop is unchanged; the CRC covers the body
+    (name + inputs) like ``WALR``.
+
+    ``x``/``y`` may be float arrays or already-encoded little-endian
+    float64 bytes — the binary wire path logs the frame payloads it
+    received verbatim.
+
+    Raises:
+        CodecError: unknown op, empty or oversized stream name,
+            ``seq < WAL_UNSEQUENCED``, a missing/mismatched pair input,
+            or byte payloads that are not whole float64s.
+    """
+    code = REDUCE_OP_CODES.get(op)
+    if code is None:
+        raise CodecError(
+            f"unknown reduce op {op!r}; expected one of {sorted(REDUCE_OP_CODES)}"
+        )
+    if not stream:
+        raise CodecError("WAL record requires a non-empty stream name")
+    if seq < WAL_UNSEQUENCED:
+        raise CodecError(f"corrupt WAL record: sequence {seq} < -1")
+    name = stream.encode("utf-8")
+    if len(name) > 0xFFFF:
+        raise CodecError(f"stream name of {len(name)} bytes exceeds 65535")
+    xb = _as_f64_bytes(x)
+    if op == "pairs":
+        if y is None:
+            raise CodecError("reduce op 'pairs' requires a second input block")
+        yb = _as_f64_bytes(y)
+        if len(yb) != len(xb):
+            raise CodecError(
+                f"reduce op 'pairs' input length mismatch: "
+                f"{len(xb)} vs {len(yb)} bytes"
+            )
+    else:
+        if y is not None:
+            raise CodecError(f"reduce op {op!r} takes a single input block")
+        yb = b""
+    body = name + xb + yb
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    header = _WAL_REDUCE_HEADER.pack(
+        MAGIC_WAL_REDUCE, seq, crc, code, len(name), len(xb) // 8
+    )
+    return header + body
+
+
+def decode_wal_reduce(
+    payload: bytes,
+) -> Tuple[int, str, str, np.ndarray, "np.ndarray | None"]:
+    """Inverse of :func:`encode_wal_reduce`: ``(seq, stream, op, x, y)``.
+
+    ``y`` is ``None`` for single-input ops.
+
+    Raises:
+        CodecError: truncation, wrong magic, corrupt lengths, unknown
+            op code, or a CRC mismatch.
+    """
+    total = wal_record_size(payload)
+    if bytes(payload[:4]) != MAGIC_WAL_REDUCE:
+        raise CodecError("not a WAL reduce record payload")
+    _, seq, crc, op_code, stream_len, nx = _WAL_REDUCE_HEADER.unpack_from(
+        payload, 0
+    )
+    if len(payload) != total:
+        raise CodecError(
+            f"WAL reduce record length mismatch: expected {total} bytes, "
+            f"got {len(payload)}"
+        )
+    body = payload[_WAL_REDUCE_HEADER.size :]
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise CodecError("WAL record CRC mismatch: corrupt body")
+    try:
+        stream = body[:stream_len].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CodecError(f"corrupt WAL record: bad stream name: {exc}") from exc
+    op = REDUCE_OP_NAMES[op_code]
+    off = stream_len
+    x = np.frombuffer(payload, dtype="<f8", count=nx,
+                      offset=_WAL_REDUCE_HEADER.size + off)
+    y = None
+    if op == "pairs":
+        y = np.frombuffer(payload, dtype="<f8", count=nx,
+                          offset=_WAL_REDUCE_HEADER.size + off + 8 * nx)
+    return int(seq), stream, op, x, y
+
+
+def decode_wal_any(
+    payload: bytes,
+) -> Tuple[int, str, str, np.ndarray, "np.ndarray | None"]:
+    """Decode either WAL record kind: ``(seq, stream, op, x, y)``.
+
+    Plain ``WALR`` ingest records come back with ``op == "sum"`` and
+    ``y is None``, so one replay loop handles a mixed log.
+    """
+    if peek_magic(payload) == MAGIC_WAL_REDUCE:
+        return decode_wal_reduce(payload)
+    seq, stream, values = decode_wal_record(payload)
+    return seq, stream, "sum", values, None
 
 
 # ----------------------------------------------------------------------
@@ -798,6 +977,154 @@ def batch_wire_body(payload: bytes) -> bytes:
 
 
 # ----------------------------------------------------------------------
+# RBAT — binary reduce-batch ingest op (serve wire)
+# ----------------------------------------------------------------------
+
+
+def encode_reduce_batch(
+    request_id: int,
+    seq: int,
+    stream: str,
+    op: str,
+    x: np.ndarray,
+    y: "np.ndarray | None" = None,
+) -> bytes:
+    """``RBAT`` frame: one binary-wire reduction ingest op.
+
+    The reduce analogue of ``BBAT``: header (magic, int64 request id,
+    int64 ``seq``, int64 op code from :data:`REDUCE_OP_CODES`, int64
+    stream-name length, int64 x count, int64 y count) followed by the
+    UTF-8 stream name and one (``squares``/``observations``) or two
+    (``pairs``) embedded ``RAWB`` frames carrying the raw little-endian
+    float64 *inputs*. Shipping inputs rather than expanded terms halves
+    the wire volume of a dot and lets the durability path log the exact
+    bytes received; the receiver's EFT expansion is deterministic.
+
+    Raises:
+        CodecError: unknown op, negative request id,
+            ``seq < WAL_UNSEQUENCED``, empty stream name, or a
+            missing/mismatched/superfluous second block.
+    """
+    code = REDUCE_OP_CODES.get(op)
+    if code is None:
+        raise CodecError(
+            f"unknown reduce op {op!r}; expected one of {sorted(REDUCE_OP_CODES)}"
+        )
+    if request_id < 0:
+        raise CodecError(f"batch frame requires request id >= 0, got {request_id}")
+    if seq < WAL_UNSEQUENCED:
+        raise CodecError(f"corrupt batch frame: sequence {seq} < -1")
+    if not stream:
+        raise CodecError("batch frame requires a non-empty stream name")
+    name = stream.encode("utf-8")
+    x_block = encode_raw_block(x)
+    nx = (len(x_block) - 4) // 8
+    if op == "pairs":
+        if y is None:
+            raise CodecError("reduce op 'pairs' requires a second input block")
+        y_block = encode_raw_block(y)
+        ny = (len(y_block) - 4) // 8
+        if ny != nx:
+            raise CodecError(
+                f"reduce op 'pairs' input length mismatch: {nx} vs {ny}"
+            )
+    else:
+        if y is not None:
+            raise CodecError(f"reduce op {op!r} takes a single input block")
+        y_block = b""
+        ny = 0
+    header = _REDUCE_BATCH_HEADER.pack(
+        MAGIC_REDUCE_BATCH, request_id, seq, code, len(name), nx, ny
+    )
+    return header + name + x_block + y_block
+
+
+def decode_reduce_batch(
+    payload: bytes,
+) -> Tuple[int, int, str, str, np.ndarray, "np.ndarray | None"]:
+    """Inverse of :func:`encode_reduce_batch`.
+
+    Returns ``(request_id, seq, stream, op, x, y)``; ``y`` is ``None``
+    for single-input ops. The arrays are read-only zero-copy views over
+    the frame bytes — callers that outlive the buffer must copy.
+
+    Raises:
+        CodecError: truncation or trailing garbage, wrong magic (outer
+            or embedded), corrupt lengths, or an unknown op code.
+    """
+    _check_header(payload, _REDUCE_BATCH_HEADER, "reduce batch frame")
+    magic, request_id, seq, code, stream_len, nx, ny = (
+        _REDUCE_BATCH_HEADER.unpack_from(payload, 0)
+    )
+    if magic != MAGIC_REDUCE_BATCH:
+        raise CodecError("not a reduce batch frame payload")
+    op = REDUCE_OP_NAMES.get(code)
+    if op is None:
+        raise CodecError(f"corrupt reduce batch frame: unknown op code {code}")
+    if request_id < 0:
+        raise CodecError(f"corrupt batch frame: request id {request_id} < 0")
+    if seq < WAL_UNSEQUENCED:
+        raise CodecError(f"corrupt batch frame: sequence {seq} < -1")
+    if stream_len <= 0 or nx < 0 or ny < 0:
+        raise CodecError(
+            f"corrupt reduce batch frame: lengths ({stream_len}, {nx}, {ny})"
+        )
+    if op == "pairs":
+        if ny != nx:
+            raise CodecError(
+                f"corrupt reduce batch frame: pair counts differ ({nx}, {ny})"
+            )
+        nblocks = 2
+    else:
+        if ny != 0:
+            raise CodecError(
+                f"corrupt reduce batch frame: op {op!r} carries one block, "
+                f"header promises {ny} extra values"
+            )
+        nblocks = 1
+    total = _REDUCE_BATCH_HEADER.size + stream_len + nblocks * 4 + 8 * (nx + ny)
+    if len(payload) != total:
+        raise CodecError(
+            f"reduce batch frame length mismatch: expected {total} bytes "
+            f"for {nx}+{ny} values, got {len(payload)}"
+        )
+    off = _REDUCE_BATCH_HEADER.size
+    try:
+        stream = payload[off : off + stream_len].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CodecError(f"corrupt batch frame: bad stream name: {exc}") from exc
+    off += stream_len
+    x = decode_raw_block(payload[off : off + 4 + 8 * nx])
+    y = None
+    if op == "pairs":
+        y = decode_raw_block(payload[off + 4 + 8 * nx :])
+    return int(request_id), int(seq), stream, op, x, y
+
+
+def reduce_batch_wire_bodies(payload: bytes) -> Tuple[bytes, "bytes | None"]:
+    """The embedded ``RAWB`` float64 body bytes of an ``RBAT`` frame.
+
+    Returns ``(x_bytes, y_bytes)`` (``y_bytes`` is ``None`` for
+    single-input ops) — exactly the slices :func:`encode_wal_reduce`
+    logs verbatim on the binary durability path.
+    """
+    _check_header(payload, _REDUCE_BATCH_HEADER, "reduce batch frame")
+    magic, _rid, _seq, code, stream_len, nx, _ny = (
+        _REDUCE_BATCH_HEADER.unpack_from(payload, 0)
+    )
+    if magic != MAGIC_REDUCE_BATCH:
+        raise CodecError("not a reduce batch frame payload")
+    op = REDUCE_OP_NAMES.get(code)
+    if op is None:
+        raise CodecError(f"corrupt reduce batch frame: unknown op code {code}")
+    off = _REDUCE_BATCH_HEADER.size + stream_len
+    xb = payload[off + 4 : off + 4 + 8 * nx]
+    if op != "pairs":
+        return xb, None
+    return xb, payload[off + 4 + 8 * nx + 4 :]
+
+
+# ----------------------------------------------------------------------
 # the registry
 # ----------------------------------------------------------------------
 
@@ -815,6 +1142,8 @@ _DECODERS: Dict[bytes, Tuple[str, Callable[[bytes], Any]]] = {
     MAGIC_DATASET: ("dataset-header", decode_dataset_header),
     MAGIC_WAL: ("wal-record", decode_wal_record),
     MAGIC_BATCH: ("binary-batch", decode_batch),
+    MAGIC_REDUCE_BATCH: ("binary-reduce-batch", decode_reduce_batch),
+    MAGIC_WAL_REDUCE: ("wal-reduce-record", decode_wal_reduce),
 }
 
 

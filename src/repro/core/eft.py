@@ -31,7 +31,11 @@ __all__ = [
     "two_sum_vec",
     "fast_two_sum_vec",
     "split",
+    "split_vec",
     "two_product",
+    "two_square",
+    "two_product_vec",
+    "two_square_vec",
 ]
 
 # Dekker's splitting constant for binary64: 2**ceil(53/2) + 1.
@@ -102,4 +106,54 @@ def two_product(a: float, b: float) -> Tuple[float, float]:
     a_hi, a_lo = split(a)
     b_hi, b_lo = split(b)
     e = ((a_hi * b_hi - p) + a_hi * b_lo + a_lo * b_hi) + a_lo * b_lo
+    return p, e
+
+
+def two_square(a: float) -> Tuple[float, float]:
+    """TwoSquare: ``(p, e)`` with ``a*a = p + e`` exactly.
+
+    The squared specialization of :func:`two_product` needs one split
+    and saves two multiplies (the cross terms coincide).
+    """
+    p = a * a
+    hi, lo = split(a)
+    e = ((hi * hi - p) + 2.0 * (hi * lo)) + lo * lo
+    return p, e
+
+
+def split_vec(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Elementwise Dekker :func:`split` over arrays."""
+    c = _SPLITTER * a
+    hi = c - (c - a)
+    lo = a - hi
+    return hi, lo
+
+
+def two_product_vec(
+    a: np.ndarray, b: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Elementwise :func:`two_product` over arrays (broadcasting allowed).
+
+    FMA-free: uses the Dekker split exactly like the scalar routine, so
+    the returned ``(p, e)`` pairs are bit-identical to looping
+    :func:`two_product` over the elements. Exactness requires the
+    products to stay inside the overflow/underflow-safe domain policed
+    by :mod:`repro.reduce` (see ``ReduceOp.check_domain``).
+    """
+    p = a * b
+    a_hi, a_lo = split_vec(a)
+    b_hi, b_lo = split_vec(b)
+    e = ((a_hi * b_hi - p) + a_hi * b_lo + a_lo * b_hi) + a_lo * b_lo
+    return p, e
+
+
+def two_square_vec(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Elementwise :func:`two_square` over arrays.
+
+    Bit-identical to looping the scalar routine; one split per element
+    instead of the two :func:`two_product_vec` would spend.
+    """
+    p = a * a
+    hi, lo = split_vec(a)
+    e = ((hi * hi - p) + 2.0 * (hi * lo)) + lo * lo
     return p, e

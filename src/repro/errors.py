@@ -10,6 +10,7 @@ __all__ = [
     "CertificationError",
     "CodecError",
     "EmptyStreamError",
+    "ReductionRangeError",
     "ProtocolError",
     "ProtocolVersionError",
     "BackpressureError",
@@ -75,6 +76,18 @@ class EmptyStreamError(ReproError, ValueError):
 
     ``mean``/``variance`` of zero values have no defined result; sums
     of empty streams are 0.0 and do *not* raise this.
+    """
+
+
+class ReductionRangeError(ReproError, ValueError):
+    """An input left the error-free expansion domain of a reduction op.
+
+    The vectorized EFT expansions (:func:`repro.core.eft.two_product_vec`
+    and friends) are exact only while the products they form neither
+    overflow nor lose bits to underflow. :mod:`repro.reduce` checks that
+    domain up front and raises this instead of silently folding an
+    inexact term stream. The full-range (but slower) serial references in
+    :mod:`repro.stats` remain available for out-of-band magnitudes.
     """
 
 

@@ -80,4 +80,9 @@ def extmem_sum_scan(
         reads=device.stats.reads - start_reads,
         writes=device.stats.writes - start_writes,
     )
-    return ExtMemSumResult(value=value, io=io, components=attempt.width(acc))
+    return ExtMemSumResult(
+        value=value,
+        io=io,
+        components=attempt.width(acc),
+        partial=attempt.to_wire(acc),
+    )

@@ -47,11 +47,16 @@ class ExtMemSumResult:
         value: the correctly rounded float sum.
         io: snapshot of the device counters consumed by this run.
         components: number of non-zero output components (``sigma``).
+        partial: wire frame of the final kernel accumulator, when the
+            run went through a kernel schedule (the scan algorithm).
+            Lets exact-fraction reductions (:mod:`repro.reduce`) read
+            the exact term sum back instead of only the rounded float.
     """
 
     value: float
     io: IOStats
     components: int
+    partial: Optional[bytes] = None
 
 
 class _StreamAccumulator:

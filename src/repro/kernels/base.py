@@ -24,6 +24,20 @@ Two kinds of kernel exist:
 Partials may be combined **in place**: ``combine(a, b)`` may mutate and
 return ``a`` (it must never corrupt ``b``'s value). Callers that need
 ``a`` afterwards must not reuse it.
+
+Since PR 9 the values a kernel folds are interpreted as **terms of an
+error-free expansion**, not necessarily user data: the reduction layer
+(:mod:`repro.reduce`) expands ops like ``dot``/``norm2``/``var`` into
+TwoProduct/TwoSquare term streams whose exact sum *is* the true
+mathematical quantity, then folds those terms through any registered
+kernel. Kernels need no changes for this — folding terms is folding
+floats — but two consequences are part of the contract: (1) a kernel
+must not assume the stream resembles a user distribution (expansion
+error terms are systematically tiny and pair with large partners), and
+(2) exact-fraction finishes (``norm2``, ``mean``, ``var``) are only
+hosted by kernels with ``exact = True`` — a speculative kernel's
+correctly rounded float is not the exact fraction those finishes
+consume (:func:`repro.reduce.kernel_supports`).
 """
 
 from __future__ import annotations

@@ -91,6 +91,7 @@ def parallel_sum(
     report: bool = False,
     zero_copy: bool = True,
     reuse_pool: bool = True,
+    job: Optional[KernelSumJob] = None,
 ) -> Union[float, JobResult]:
     """Faithfully rounded sum via the single-round MapReduce algorithm.
 
@@ -123,8 +124,12 @@ def parallel_sum(
         reuse_pool: on the process executor, run on the persistent
             process-wide pool so repeated calls skip pool spin-up; see
             :func:`~repro.mapreduce.runtime.shutdown_shared_executors`.
+        job: a pre-built job instance to run instead of constructing
+            one from ``method`` — how the reduction engine schedules a
+            :class:`~repro.mapreduce.sum_job.KernelReduceJob` whose
+            driver-side state (the merged partial) it reads afterwards.
     """
-    if method not in _JOBS and method not in kernel_names():
+    if job is None and method not in _JOBS and method not in kernel_names():
         raise ValueError(
             f"method must be one of {sorted(set(_JOBS) | set(kernel_names()))}"
         )
@@ -134,8 +139,10 @@ def parallel_sum(
     if method != "naive":
         check_finite_array(arr)
 
-    if method == "naive":
-        job: KernelSumJob = NaiveSumJob()  # type: ignore[assignment]
+    if job is not None:
+        pass
+    elif method == "naive":
+        job = NaiveSumJob()  # type: ignore[assignment]
     elif method in _JOBS:
         job = _JOBS[method](radix=radix, mode=mode)
     else:

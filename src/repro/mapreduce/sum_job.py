@@ -38,6 +38,7 @@ from repro.mapreduce.runtime import MapReduceJob
 
 __all__ = [
     "KernelSumJob",
+    "KernelReduceJob",
     "AdaptiveSumJob",
     "SparseSuperaccumulatorJob",
     "SmallSuperaccumulatorJob",
@@ -126,6 +127,32 @@ class KernelSumJob(MapReduceJob):
     def postprocess(self, values: Sequence[bytes]) -> float:
         """Driver: merge the p reducer outputs, then round once."""
         total = self._fold_payloads(values)
+        round_detail = getattr(self.kernel, "round_detail", None)
+        if round_detail is not None:
+            y, self.tier_counts = round_detail(total, self.mode)
+            return y
+        return self.kernel.round(total, self.mode)
+
+
+class KernelReduceJob(KernelSumJob):
+    """Kernel sum job that also publishes the merged partial's wire frame.
+
+    The reduction engine (:mod:`repro.reduce`) folds EFT term streams
+    through this job and needs the *exact* term sum back — not just the
+    rounded float — for exact-fraction finishes (norm, moments).
+    ``postprocess`` runs driver-side (see
+    :func:`~repro.mapreduce.runtime.run_job`), so stashing the final
+    accumulator's wire bytes on the job instance survives any executor,
+    including process pools: workers only ever see the pickled job,
+    the driver keeps this one.
+    """
+
+    #: wire frame of the merged final accumulator (set by postprocess)
+    partial_wire: Optional[bytes] = None
+
+    def postprocess(self, values: Sequence[bytes]) -> float:
+        total = self._fold_payloads(values)
+        self.partial_wire = self.kernel.to_wire(total)
         round_detail = getattr(self.kernel, "round_detail", None)
         if round_detail is not None:
             y, self.tier_counts = round_detail(total, self.mode)

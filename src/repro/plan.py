@@ -112,9 +112,11 @@ class KernelCandidate:
 
 
 def kernel_candidates(
-    mode: str = "nearest", radix: RadixConfig = DEFAULT_RADIX
+    mode: str = "nearest",
+    radix: RadixConfig = DEFAULT_RADIX,
+    op: str = "sum",
 ) -> List[KernelCandidate]:
-    """Rank every kernel (registered or optional) for a summation task.
+    """Rank every kernel (registered or optional) for a reduction task.
 
     Returns candidates sorted fastest-first by :data:`KERNEL_RATES`;
     the first accepted row is what :func:`plan_sum` picks when the
@@ -122,7 +124,16 @@ def kernel_candidates(
     but rejected — the capability probe is
     :func:`repro.util.capabilities.has_numba`-cheap, so planning never
     imports an optional dependency.
+
+    ``op`` names a registered reduction (``sum``, ``dot``, ``norm2``,
+    ``mean``, ``var``). Ops that finish from the exact accumulated
+    fraction (``needs_exact``) reject speculative kernels: a certified
+    nearest-rounded *sum* proves nothing about the mean or the square
+    root downstream of it.
     """
+    from repro.reduce.ops import get_op, kernel_supports
+
+    reduction = get_op(op)
     available = set(kernel_names())
     names = sorted(
         available | set(OPTIONAL_KERNEL_REQUIREMENTS),
@@ -144,6 +155,18 @@ def kernel_candidates(
             )
             continue
         k = get_kernel(name, radix=radix)
+        if not kernel_supports(reduction, k):
+            out.append(
+                KernelCandidate(
+                    name,
+                    False,
+                    f"op {op!r} finishes from the exact fraction, which "
+                    f"a speculative kernel does not keep; use an exact "
+                    f"accumulator",
+                    rate,
+                )
+            )
+            continue
         if not k.exact and mode != "nearest":
             out.append(
                 KernelCandidate(
@@ -343,6 +366,9 @@ class DataDescriptor:
         values: the array when ``layout == "memory"`` and the caller
             provided one (optional — plans can also be made from sizes
             alone and fed data at execute time).
+        op: registered reduction the caller wants (``"sum"`` by
+            default). Non-sum ops constrain kernel choice — see
+            :func:`kernel_candidates`.
     """
 
     n: int
@@ -350,6 +376,9 @@ class DataDescriptor:
     workers: int = 1
     path: Optional[str] = None
     values: Optional[np.ndarray] = field(default=None, repr=False)
+    op: str = "sum"
+    #: second input array for arity-2 ops (``dot``).
+    values2: Optional[np.ndarray] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.layout not in ("memory", "file"):
@@ -360,11 +389,27 @@ class DataDescriptor:
             raise ValueError("workers must be >= 1")
         if self.layout == "file" and not self.path:
             raise ValueError("file layout needs a path")
+        from repro.reduce.ops import op_names
+
+        if self.op not in op_names():
+            raise ValueError(
+                f"unknown op {self.op!r}; expected one of {op_names()}"
+            )
 
     @classmethod
-    def describe_array(cls, values, workers: int = 1) -> "DataDescriptor":
+    def describe_array(
+        cls, values, workers: int = 1, *, op: str = "sum", values2=None
+    ) -> "DataDescriptor":
         arr = np.asarray(values, dtype=np.float64)
-        return cls(n=int(arr.size), layout="memory", workers=workers, values=arr)
+        arr2 = None if values2 is None else np.asarray(values2, dtype=np.float64)
+        return cls(
+            n=int(arr.size),
+            layout="memory",
+            workers=workers,
+            values=arr,
+            op=op,
+            values2=arr2,
+        )
 
     @classmethod
     def describe_file(
@@ -409,6 +454,7 @@ class SumPlan:
         return {
             "plane": self.plane,
             "kernel": self.kernel,
+            "op": self.descriptor.op,
             "tier": self.tier,
             "workers": self.workers,
             "block_items": self.block_items,
@@ -417,12 +463,15 @@ class SumPlan:
             "reason": self.reason,
         }
 
-    def execute(self, values=None, *, mode: Optional[str] = None) -> float:
-        """Run the plan; returns the correctly rounded sum.
+    def execute(
+        self, values=None, values2=None, *, mode: Optional[str] = None
+    ) -> float:
+        """Run the plan; returns the correctly rounded reduction.
 
         Args:
             values: in-memory data, when the descriptor was built from
                 sizes alone. File-layout plans read their dataset.
+            values2: second input for arity-2 ops (``dot``).
             mode: overrides the plan's rounding mode.
         """
         if values is None:
@@ -434,6 +483,22 @@ class SumPlan:
                 values = self.descriptor.values
             else:
                 raise ValueError("plan has no data; pass values=")
+        if values2 is None:
+            values2 = self.descriptor.values2
+        if self.descriptor.op != "sum":
+            from repro.reduce.engine import run_reduction
+
+            return run_reduction(
+                self.plane,
+                self.kernel,
+                self.descriptor.op,
+                values,
+                values2,
+                radix=self.radix,
+                mode=mode if mode is not None else self.mode,
+                workers=self.workers,
+                block_items=self.block_items,
+            )
         return run_plane(
             self.plane,
             self.kernel,
@@ -472,7 +537,11 @@ def plan_sum(
       selected only when their capability is installed, never by
       assumption.
     """
-    candidates = kernel_candidates(mode=mode, radix=radix)
+    from repro.reduce.ops import get_op, kernel_supports
+
+    op = descriptor.op
+    reduction = get_op(op)
+    candidates = kernel_candidates(mode=mode, radix=radix, op=op)
     if kernel is None:
         kernel = next(c.name for c in candidates if c.accepted)
     elif kernel not in kernel_names():
@@ -487,6 +556,12 @@ def plan_sum(
             f"unknown kernel {kernel!r}; expected one of {list(kernel_names())}"
         )
     k = get_kernel(kernel, radix=radix)
+    if not kernel_supports(reduction, k):
+        raise ValueError(
+            f"kernel {kernel!r} cannot host op {op!r}: the op finishes "
+            f"from the exact fraction, which a speculative kernel does "
+            f"not keep"
+        )
     tier = "speculative" if (not k.exact and mode == "nearest") else "exact"
     if not k.exact and mode != "nearest":
         # Directed rounding cannot ride a certificate; the plan runs

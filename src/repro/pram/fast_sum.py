@@ -51,11 +51,15 @@ class PRAMSumResult:
         stats: the machine cost (rounds / work / processor width).
         root_active: active component count of the root accumulator —
             the ``sigma(n)`` the external-memory section reasons about.
+        partial: wire frame of the root accumulator, so exact-fraction
+            reductions (:mod:`repro.reduce`) can read the exact term
+            sum back instead of only the rounded float.
     """
 
     value: float
     stats: PRAMStats
     root_active: int
+    partial: Optional[bytes] = None
 
 
 class _CarryCompose:
@@ -244,7 +248,7 @@ def pram_exact_sum(
             processors=sigma,
         )
         value = round_digits(nonoverlap, base, radix, mode)
-        return PRAMSumResult(value, m.stats, root_width)
+        return PRAMSumResult(value, m.stats, root_width, kernel.to_wire(root))
 
     # Kernels without dense regularized digits round directly; a failed
     # certificate reruns the whole tree with the exact kernel, charges
@@ -262,4 +266,4 @@ def pram_exact_sum(
             arr, radix=radix, machine=m, mode=mode, cascade=cascade,
             kernel=kernel.exact_variant(),
         )
-    return PRAMSumResult(value, m.stats, root_width)
+    return PRAMSumResult(value, m.stats, root_width, kernel.to_wire(root))

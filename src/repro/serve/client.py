@@ -40,6 +40,7 @@ from repro.errors import (
     EmptyStreamError,
     ProtocolError,
     ProtocolVersionError,
+    ReductionRangeError,
     ServiceError,
 )
 from repro.serve.protocol import (
@@ -52,6 +53,7 @@ from repro.serve.protocol import (
     encode_batch_frame,
     encode_bytes_field,
     encode_frame,
+    encode_reduce_batch_frame,
     parse_payload,
     read_frame,
     write_frame,
@@ -71,6 +73,8 @@ def raise_for_response(response: Dict[str, Any]) -> Dict[str, Any]:
         raise BackpressureError(message, retry_after=response.get("retry_after", 0.05))
     if code == "empty-stream":
         raise EmptyStreamError(message)
+    if code == "reduction-range":
+        raise ReductionRangeError(message)
     if code == "protocol-version":
         raise ProtocolVersionError(message)
     if code == "protocol":
@@ -150,6 +154,87 @@ class _ClientBase:
         resp = await self.request_batch(stream, values, seq=seq)
         return int(resp["added"])
 
+    # -- reduction ingest ------------------------------------------------
+
+    #: reduction op kind (codec naming) -> the service op it invokes
+    _REDUCE_OPS = {
+        "pairs": "add_pairs",
+        "squares": "add_squares",
+        "observations": "add_observations",
+    }
+
+    async def request_reduce(
+        self,
+        stream: str,
+        op: str,
+        x: Union[np.ndarray, Iterable[float]],
+        y: Optional[Union[np.ndarray, Iterable[float]]] = None,
+        *,
+        seq: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Bulk reduction ingest; returns the full response.
+
+        ``op`` is the codec op kind — ``"pairs"`` (dot products, needs
+        ``y``), ``"squares"`` (norms), or ``"observations"`` (moments).
+        On a binary-negotiated connection the raw pre-expansion inputs
+        ship as one codec ``RBAT`` frame and the server expands them;
+        JSON transports degrade to the boxed op — same deterministic
+        expansion server-side, same bits, slower wire. ``seq`` is the
+        cluster plane's per-stream dedup sequence.
+        """
+        request_op = self._REDUCE_OPS.get(op)
+        if request_op is None:
+            raise ValueError(
+                f"unknown reduction op kind {op!r}; "
+                f"expected one of {sorted(self._REDUCE_OPS)}"
+            )
+        xa = ensure_float64_array(x)
+        fields: Dict[str, Any] = {
+            "stream": stream,
+            # reprolint: disable-next-line=ARCH005 -- JSON-lines fallback wire: boxing is the format
+            "values": [float(v) for v in xa],
+        }
+        if y is not None:
+            ya = ensure_float64_array(y)
+            fields["values2"] = [float(v) for v in ya]
+        if seq is not None:
+            fields["seq"] = int(seq)
+        return await self.request(request_op, **fields)
+
+    async def add_pairs(
+        self,
+        stream: str,
+        xs: Union[np.ndarray, Iterable[float]],
+        ys: Union[np.ndarray, Iterable[float]],
+        *,
+        seq: Optional[int] = None,
+    ) -> int:
+        """Ingest (x, y) pairs for a dot-product stream; returns pairs added."""
+        resp = await self.request_reduce(stream, "pairs", xs, ys, seq=seq)
+        return int(resp["added"])
+
+    async def add_squares(
+        self,
+        stream: str,
+        values: Union[np.ndarray, Iterable[float]],
+        *,
+        seq: Optional[int] = None,
+    ) -> int:
+        """Ingest values for a norm stream; returns values added."""
+        resp = await self.request_reduce(stream, "squares", values, seq=seq)
+        return int(resp["added"])
+
+    async def add_observations(
+        self,
+        stream: str,
+        values: Union[np.ndarray, Iterable[float]],
+        *,
+        seq: Optional[int] = None,
+    ) -> int:
+        """Ingest observations for a moments stream; returns values added."""
+        resp = await self.request_reduce(stream, "observations", values, seq=seq)
+        return int(resp["added"])
+
     async def sum_values(
         self, values: Iterable[float], mode: str = "nearest"
     ) -> Dict[str, Any]:
@@ -179,6 +264,26 @@ class _ClientBase:
     async def mean(self, stream: str) -> float:
         resp = await self.request("mean", stream=stream)
         return float(resp["mean"])
+
+    async def dot(self, stream: str, mode: str = "nearest") -> float:
+        """Correctly rounded dot product of an :meth:`add_pairs` stream."""
+        resp = await self.request("dot", stream=stream, mode=mode)
+        return float(resp["value"])
+
+    async def norm2(self, stream: str) -> float:
+        """Correctly rounded Euclidean norm of an :meth:`add_squares` stream."""
+        resp = await self.request("norm2", stream=stream)
+        return float(resp["value"])
+
+    async def moments(
+        self, stream: str, *, ddof: int = 0, mode: str = "nearest"
+    ) -> Dict[str, Any]:
+        """Exact mean/variance of an :meth:`add_observations` stream.
+
+        Returns the full response dict — ``mean``, ``variance``,
+        ``count``, ``ddof``.
+        """
+        return await self.request("moments", stream=stream, ddof=ddof, mode=mode)
 
     async def stats(self) -> Dict[str, Any]:
         return (await self.request("stats"))["stats"]
@@ -335,6 +440,36 @@ class ReproServeClient(_ClientBase):
             raise
         return raise_for_response(await fut)
 
+    async def request_reduce(
+        self,
+        stream: str,
+        op: str,
+        x: Union[np.ndarray, Iterable[float]],
+        y: Optional[Union[np.ndarray, Iterable[float]]] = None,
+        *,
+        seq: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        if self.wire != WIRE_BINARY:
+            return await super().request_reduce(stream, op, x, y, seq=seq)
+        xa = ensure_float64_array(x)
+        ya = None if y is None else ensure_float64_array(y)
+        rid = next(self._ids)
+        fut: "asyncio.Future[Dict[str, Any]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[rid] = fut
+        frame = encode_reduce_batch_frame(
+            rid, stream, op, xa, ya, seq=seq, max_frame=self._max_frame
+        )
+        try:
+            async with self._write_lock:
+                self._writer.write(frame)
+                await self._writer.drain()
+        except Exception:
+            self._pending.pop(rid, None)
+            raise
+        return raise_for_response(await fut)
+
     async def send_raw(self, message: Dict[str, Any]) -> None:
         """Fire one frame without registering for a response (tests)."""
         async with self._write_lock:
@@ -424,6 +559,29 @@ class InProcessClient(_ClientBase):
         back = decode_payload(encode_frame(response, max_frame=max_frame)[4:])
         return raise_for_response(back)
 
+    async def request_reduce(
+        self,
+        stream: str,
+        op: str,
+        x: Union[np.ndarray, Iterable[float]],
+        y: Optional[Union[np.ndarray, Iterable[float]]] = None,
+        *,
+        seq: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        if self.wire != WIRE_BINARY:
+            return await super().request_reduce(stream, op, x, y, seq=seq)
+        xa = ensure_float64_array(x)
+        ya = None if y is None else ensure_float64_array(y)
+        max_frame = self.service.config.max_frame
+        frame = encode_reduce_batch_frame(
+            next(self._ids), stream, op, xa, ya, seq=seq, max_frame=max_frame
+        )
+        request = parse_payload(frame[4:], binary=True)
+        self._record_wire(request, len(frame) - 4)
+        response = await self.service.handle(request)
+        back = decode_payload(encode_frame(response, max_frame=max_frame)[4:])
+        return raise_for_response(back)
+
     def _record_wire(self, request: Dict[str, Any], payload_bytes: int) -> None:
         """Mirror the TCP server's per-wire ingest accounting.
 
@@ -431,15 +589,20 @@ class InProcessClient(_ClientBase):
         nodes' ``stats.wire`` empty even though real frame bytes were
         encoded and parsed on the way in.
         """
+
+        def size(field: str) -> int:
+            values = request.get(field)
+            if isinstance(values, np.ndarray):
+                return int(values.size)
+            return len(values) if isinstance(values, (list, tuple)) else 0
+
         op = request.get("op")
         if op == "add":
             nvalues = 1
         elif op == "add_array":
-            values = request.get("values")
-            if isinstance(values, np.ndarray):
-                nvalues = int(values.size)
-            else:
-                nvalues = len(values) if isinstance(values, (list, tuple)) else 0
+            nvalues = size("values")
+        elif op in ("add_pairs", "add_squares", "add_observations"):
+            nvalues = size("values") + size("values2")
         else:
             return
         mode = WIRE_BINARY if request.get("wire") == WIRE_BINARY else WIRE_JSON

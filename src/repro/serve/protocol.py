@@ -54,6 +54,7 @@ __all__ = [
     "SUPPORTED_WIRES",
     "encode_frame",
     "encode_batch_frame",
+    "encode_reduce_batch_frame",
     "decode_payload",
     "parse_payload",
     "read_frame",
@@ -153,6 +154,14 @@ def encode_batch_frame(
     return LENGTH_PREFIX.pack(len(payload)) + payload
 
 
+#: codec reduce-op kind -> the service op name its request dict carries
+_REDUCE_REQUEST_OPS = {
+    "pairs": "add_pairs",
+    "squares": "add_squares",
+    "observations": "add_observations",
+}
+
+
 def _parse_binary_payload(payload: bytes) -> Dict[str, Any]:
     """Decode a binary op payload into the request-dict shape.
 
@@ -160,8 +169,11 @@ def _parse_binary_payload(payload: bytes) -> Dict[str, Any]:
     ``add_array`` op produces — ``values`` is a read-only zero-copy
     float64 view instead of a list, ``seq`` appears only when the frame
     carries a cluster sequence, and ``payload_f64`` carries the raw
-    float64 body bytes so the WAL can log them verbatim. Downstream
-    service code is wire-agnostic.
+    float64 body bytes so the WAL can log them verbatim. An ``RBAT``
+    frame likewise becomes the reduction-op request dict
+    (``add_pairs``/``add_squares``/``add_observations``), with
+    ``values2``/``payload_f64_y`` present for two-input ops. Downstream
+    service code is wire-agnostic either way.
 
     Raises:
         ProtocolError: (recoverable) on unknown magic, any codec-level
@@ -169,10 +181,12 @@ def _parse_binary_payload(payload: bytes) -> Dict[str, Any]:
             intact, so the connection survives.
     """
     magic = bytes(payload[:4])
+    if magic == codec.MAGIC_REDUCE_BATCH:
+        return _parse_reduce_batch_payload(payload)
     if magic != codec.MAGIC_BATCH:
         raise _recoverable(
             f"unknown binary frame magic {magic!r} "
-            f"(expected {codec.MAGIC_BATCH!r})"
+            f"(expected {codec.MAGIC_BATCH!r} or {codec.MAGIC_REDUCE_BATCH!r})"
         )
     try:
         request_id, seq, stream, values = codec.decode_batch(payload)
@@ -199,6 +213,71 @@ def _parse_binary_payload(payload: bytes) -> Dict[str, Any]:
     if seq != codec.WAL_UNSEQUENCED:
         request["seq"] = seq
     return request
+
+
+def _parse_reduce_batch_payload(payload: bytes) -> Dict[str, Any]:
+    """Decode an ``RBAT`` reduce-op frame into its request dict."""
+    try:
+        request_id, seq, stream, op_kind, x, y = codec.decode_reduce_batch(payload)
+        x_body, y_body = codec.reduce_batch_wire_bodies(payload)
+    except CodecError as exc:
+        raise _recoverable(f"corrupt reduce batch frame: {exc}") from exc
+    for arr in (x,) if y is None else (x, y):
+        if arr.size and not np.isfinite(arr).all():
+            err = _recoverable(
+                "reduce batch frame carries non-finite values: exact "
+                "reduction is defined only for finite float64"
+            )
+            err.request_id = request_id
+            raise err
+    request: Dict[str, Any] = {
+        "op": _REDUCE_REQUEST_OPS[op_kind],
+        "id": request_id,
+        "stream": stream,
+        "values": x,
+        "wire": WIRE_BINARY,
+        "payload_f64": x_body,
+    }
+    if y is not None:
+        request["values2"] = y
+        request["payload_f64_y"] = y_body
+    if seq != codec.WAL_UNSEQUENCED:
+        request["seq"] = seq
+    return request
+
+
+def encode_reduce_batch_frame(
+    request_id: int,
+    stream: str,
+    op: str,
+    x: np.ndarray,
+    y: Optional[np.ndarray] = None,
+    *,
+    seq: Optional[int] = None,
+    max_frame: int = DEFAULT_MAX_FRAME,
+) -> bytes:
+    """Serialize one binary reduction ingest op to a wire frame.
+
+    The payload is a codec ``RBAT`` frame carrying the *pre-expansion*
+    inputs of a reduction op (``"pairs"``, ``"squares"``, or
+    ``"observations"``) as raw little-endian float64 bytes — half the
+    wire volume of shipping expanded EFT terms, with the server
+    re-expanding deterministically. Only valid on a connection that has
+    negotiated ``wire="binary"``.
+
+    Raises:
+        ProtocolError: if the encoded payload exceeds ``max_frame``.
+        CodecError: unknown op kind, negative request id, empty stream
+            name, or mismatched pair lengths.
+    """
+    wal_seq = codec.WAL_UNSEQUENCED if seq is None else seq
+    payload = codec.encode_reduce_batch(request_id, wal_seq, stream, op, x, y)
+    if len(payload) > max_frame:
+        raise _fatal(
+            f"outgoing reduce batch frame of {len(payload)} bytes exceeds "
+            f"max_frame={max_frame}"
+        )
+    return LENGTH_PREFIX.pack(len(payload)) + payload
 
 
 def parse_payload(payload: bytes, *, binary: bool = False) -> Dict[str, Any]:

@@ -47,6 +47,7 @@ from repro.errors import (
     EmptyStreamError,
     NonFiniteInputError,
     ProtocolError,
+    ReductionRangeError,
     ReproError,
     ServiceError,
 )
@@ -62,7 +63,7 @@ from repro.serve.protocol import (
     encode_bytes_field,
 )
 from repro.serve.shards import AccumulatorShard
-from repro.stats import round_fraction
+from repro.stats import round_fraction, sqrt_round_fraction
 from repro.util.validation import check_finite_array, ensure_float64_array
 
 __all__ = ["ServeConfig", "ReproService"]
@@ -123,6 +124,17 @@ def _require_stream(request: Dict[str, Any]) -> str:
     return stream
 
 
+#: Suffix of the shadow stream holding a reduction stream's TwoSquare
+#: terms; the NUL keeps it out of any client-reachable stream namespace
+#: while letting snapshots/merges treat it as an ordinary stream.
+SQUARE_SHADOW_SUFFIX = "\x00sq"
+
+
+def square_shadow(stream: str) -> str:
+    """Name of the squared-terms shadow stream of ``stream``."""
+    return stream + SQUARE_SHADOW_SUFFIX
+
+
 class ReproService:
     """Sharded exact-aggregation service (transport-agnostic core)."""
 
@@ -166,7 +178,13 @@ class ReproService:
             "add": self._op_add,
             "add_array": self._op_add_array,
             "add_block": self._op_add_block,
+            "add_pairs": self._op_add_pairs,
+            "add_squares": self._op_add_squares,
+            "add_observations": self._op_add_observations,
             "value": self._op_value,
+            "dot": self._op_dot,
+            "norm2": self._op_norm2,
+            "moments": self._op_moments,
             "mean": self._op_mean,
             "stats": self._op_stats,
             "streams": self._op_streams,
@@ -378,6 +396,168 @@ class ReproService:
         added = await self._scatter(stream, arr)
         return {"added": added, "block": ref.describe()}
 
+    # -- reduction ingest: EFT expansion happens server-side -----------
+
+    def _reduce_array(self, request: Dict[str, Any], key: str, op: str) -> np.ndarray:
+        """Pull one float64 array field of a reduction ingest request.
+
+        Binary-wire requests (``RBAT`` frames) arrive as read-only
+        zero-copy views the protocol layer already validated; JSON
+        requests pay the per-value boxing scan, like ``add_array``.
+        """
+        if key not in request:
+            raise ServiceError(f"{op} needs a '{key}' field")
+        values = request.get(key)
+        if request.get("wire") == WIRE_BINARY and isinstance(values, np.ndarray):
+            return ensure_float64_array(values)
+        return self._validated_array(values)
+
+    @staticmethod
+    def _reduce_op_for(op_kind: str):
+        """The :class:`~repro.reduce.ops.ReduceOp` behind one ingest kind."""
+        from repro.reduce.ops import get_op
+
+        name = {"pairs": "dot", "squares": "norm2", "observations": "var"}.get(
+            op_kind
+        )
+        if name is None:
+            raise ServiceError(f"unknown reduction kind {op_kind!r}")
+        return get_op(name)
+
+    async def _apply_reduce(
+        self,
+        stream: str,
+        op_kind: str,
+        x: np.ndarray,
+        y: Optional[np.ndarray] = None,
+    ) -> int:
+        """Domain-check, EFT-expand, and scatter one reduction batch.
+
+        The expansion is elementwise and deterministic, so chunked
+        ingest produces exactly the term multiset a serial expansion of
+        the whole array would — which is what makes reduction reads
+        bit-identical to the serial references, and what lets the
+        cluster WAL log pre-expansion inputs and re-expand on replay.
+        """
+        op = self._reduce_op_for(op_kind)
+        op.check_domain(x, y)
+        if op_kind == "observations":
+            raw, sq_terms = op.expand(x)
+            await self._scatter(stream, raw)
+            await self._scatter(square_shadow(stream), sq_terms)
+        else:
+            await self._scatter(stream, op.expand(x, y)[0])
+        return int(x.size)
+
+    async def _ingest_reduce(
+        self,
+        stream: str,
+        op_kind: str,
+        x: np.ndarray,
+        y: Optional[np.ndarray],
+        request: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        """Apply one validated reduction batch.
+
+        Overridable seam: the WAL-backed cluster node intercepts here
+        to add seq dedup and durable logging of the raw inputs before
+        the expansion is applied.
+        """
+        if x.size == 0:
+            return {"added": 0}
+        added = await self._apply_reduce(stream, op_kind, x, y)
+        return {"added": added}
+
+    async def _op_add_pairs(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Dot-product ingest: TwoProduct-expand (x, y), scatter the terms."""
+        stream = _require_stream(request)
+        x = self._reduce_array(request, "values", "add_pairs")
+        y = self._reduce_array(request, "values2", "add_pairs")
+        if x.shape != y.shape:
+            raise ServiceError(
+                "add_pairs needs equal-length 'values' and 'values2'"
+            )
+        return await self._ingest_reduce(stream, "pairs", x, y, request)
+
+    async def _op_add_squares(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Norm ingest: TwoSquare-expand the values, scatter the terms."""
+        stream = _require_stream(request)
+        x = self._reduce_array(request, "values", "add_squares")
+        return await self._ingest_reduce(stream, "squares", x, None, request)
+
+    async def _op_add_observations(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Moments ingest: raw values into the stream, TwoSquare terms
+        into its NUL-suffixed shadow stream (:func:`square_shadow`), so
+        ``moments`` can read both exact sums the variance finish needs.
+        """
+        stream = _require_stream(request)
+        x = self._reduce_array(request, "values", "add_observations")
+        return await self._ingest_reduce(stream, "observations", x, None, request)
+
+    # -- reduction reads ------------------------------------------------
+
+    async def _op_dot(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Correctly rounded dot product of an ``add_pairs`` stream.
+
+        The TwoProduct terms already sum to the exact inner product, so
+        this is precisely the ``value`` read — a named endpoint keeps
+        the op surface symmetric with ``norm2``/``moments``.
+        """
+        return await self._op_value(request)
+
+    async def _op_norm2(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Correctly rounded Euclidean norm of an ``add_squares`` stream.
+
+        Reads the *exact* sum-of-squares fraction off the merged state
+        and rounds its square root once (nearest only); the norm of an
+        empty stream is 0.0, never an error.
+        """
+        stream = _require_stream(request)
+        merged = await self._merged_state(stream)
+        if merged.count == 0:
+            value = 0.0
+        else:
+            value = sqrt_round_fraction(merged.exact_fraction())
+        return {"value": value, "count": merged.count, "hex": value.hex()}
+
+    async def _op_moments(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Exact mean and variance of an ``add_observations`` stream.
+
+        Both finishes run in exact rational arithmetic — ``sum(x)/n``
+        and ``(sum(x^2) - sum(x)^2/n) / (n - ddof)`` — then round once,
+        matching the serial ``var``/``mean`` ops bit for bit.
+        """
+        stream = _require_stream(request)
+        mode = request.get("mode", "nearest")
+        if mode not in ("nearest", "down", "up", "zero"):
+            raise ValueError(f"unknown rounding mode {mode!r}")
+        ddof = request.get("ddof", 0)
+        if isinstance(ddof, bool) or not isinstance(ddof, int) or ddof < 0:
+            raise ServiceError("'ddof' must be a non-negative integer")
+        merged = await self._merged_state(stream)
+        n = merged.count
+        if n == 0:
+            raise EmptyStreamError(f"moments of empty stream {stream!r}")
+        if n - ddof <= 0:
+            raise EmptyStreamError("need more observations than ddof")
+        shadow = await self._merged_state(square_shadow(stream))
+        if shadow.count != 2 * n:
+            raise ServiceError(
+                f"stream {stream!r} was not fed through add_observations: "
+                f"square shadow holds {shadow.count} terms, expected {2 * n}"
+            )
+        s = merged.exact_fraction()
+        ss = shadow.exact_fraction()
+        mean = round_fraction(s / n, mode)
+        variance = round_fraction((ss - s * s / n) / (n - ddof), mode)
+        return {
+            "mean": mean,
+            "variance": variance,
+            "count": n,
+            "ddof": ddof,
+            "hex": mean.hex(),
+        }
+
     async def _op_value(self, request: Dict[str, Any]) -> Dict[str, Any]:
         stream = _require_stream(request)
         mode = request.get("mode", "nearest")
@@ -528,4 +708,6 @@ def _error_code(exc: Exception) -> str:
         return "non-finite"
     if isinstance(exc, EmptyStreamError):
         return "empty-stream"
+    if isinstance(exc, ReductionRangeError):
+        return "reduction-range"
     return "bad-request"

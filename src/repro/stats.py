@@ -16,6 +16,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.core.eft import two_product_vec, two_square_vec
 from repro.core.exact import exact_sum_fraction
 from repro.core.fpinfo import decompose as _decompose
 from repro.core.rounding import round_scaled_int
@@ -27,6 +28,7 @@ __all__ = [
     "exact_norm2",
     "exact_dot_fraction",
     "round_fraction",
+    "sqrt_round_fraction",
 ]
 
 
@@ -83,12 +85,7 @@ def _exact_square_sum_fraction(arr: np.ndarray) -> Fraction:
     total = Fraction(0)
     s = arr[safe]
     if s.size:
-        p = s * s
-        splitter = 134217729.0
-        c = splitter * s
-        hi = c - (c - s)
-        lo = s - hi
-        e = ((hi * hi - p) + 2.0 * (hi * lo)) + lo * lo
+        p, e = two_square_vec(s)
         total += exact_sum_fraction(np.concatenate([p, e]))
     for v in arr[~safe]:
         m, ex = _decompose(float(v))
@@ -123,7 +120,15 @@ def exact_norm2(values: Iterable[float]) -> float:
     """
     arr = ensure_float64_array(values)
     check_finite_array(arr)
-    ss = _exact_square_sum_fraction(arr)
+    return sqrt_round_fraction(_exact_square_sum_fraction(arr))
+
+
+def sqrt_round_fraction(ss: Fraction) -> float:
+    """Correctly rounded (to nearest) ``sqrt`` of a nonnegative Fraction.
+
+    The finisher behind :func:`exact_norm2`, shared with the ``norm2``
+    reduction op so every plane rounds the root identically.
+    """
     if ss == 0:
         return 0.0
     # Float estimate via even-power-of-two scaling so neither ss nor
@@ -196,15 +201,8 @@ def exact_dot_fraction(x: Iterable[float], y: Iterable[float]) -> Fraction:
     ) | (xa == 0.0) | (ya == 0.0)  # reprolint: disable=FP002 -- exact-zero mask, not a tolerance
     total = Fraction(0)
     if safe.any():
-        xs, ys, ps = xa[safe], ya[safe], p[safe]
-        splitter = 134217729.0
-        cx = splitter * xs
-        x_hi = cx - (cx - xs)
-        x_lo = xs - x_hi
-        cy = splitter * ys
-        y_hi = cy - (cy - ys)
-        y_lo = ys - y_hi
-        e = ((x_hi * y_hi - ps) + x_hi * y_lo + x_lo * y_hi) + x_lo * y_lo
+        xs, ys = xa[safe], ya[safe]
+        ps, e = two_product_vec(xs, ys)
         total += exact_sum_fraction(np.concatenate([ps, e]))
     if not safe.all():
         for u, v in zip(xa[~safe], ya[~safe]):

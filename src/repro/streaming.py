@@ -288,10 +288,19 @@ class SlidingWindowSum:
 class RunningStats:
     """Exact streaming count/mean/variance (a reproducible Welford).
 
-    Keeps the exact sum and the exact sum of squares (via error-free
-    squaring) so ``mean()`` and ``variance()`` are correctly rounded at
-    any point in the stream; ``merge`` combines shards exactly, so
-    distributed statistics come out bit-identical to a serial pass.
+    Keeps the exact sum and the exact sum of squares so ``mean()`` and
+    ``variance()`` are correctly rounded at any point in the stream;
+    ``merge`` combines shards exactly, so distributed statistics come
+    out bit-identical to a serial pass.
+
+    The square path is the same expansion ingest every other plane
+    uses: in-band magnitudes go through the vectorized TwoSquare EFT
+    (:func:`repro.core.eft.two_square_vec` — the ``norm2``/``var``
+    reduction ops' expansion, folded directly as float terms), and only
+    magnitudes outside the error-free band
+    (:func:`repro.reduce.ops.square_domain_mask`) fall back to exact
+    integer squaring. Both routes land the identical exact rational in
+    the accumulator, so the rounded reads cannot tell them apart.
 
     The value sum is held as an :class:`ExactRunningSum`, so
     ``method="adaptive"`` gives ``sum()`` the same certified read fast
@@ -320,23 +329,43 @@ class RunningStats:
             return
         self._n += int(arr.size)
         self._sum.add_array(arr)
-        # error-free squares: x^2 = p + e exactly (normal-range split;
-        # out-of-range magnitudes handled by exact decomposition)
-        from repro.stats import _exact_square_sum_fraction
+        from repro.reduce.ops import square_domain_mask
 
-        sq = _exact_square_sum_fraction(arr)
-        # fold the exact rational (dyadic) square sum into the accumulator
-        num, den = sq.numerator, sq.denominator
-        shift = -(den.bit_length() - 1)
-        from repro.core.apfloat import APFloat, split_apfloat
+        safe = square_domain_mask(arr)
+        in_band = arr if safe.all() else arr[safe]
+        if in_band.size:
+            # Error-free squares: x^2 = p + e exactly. The terms are
+            # plain floats, so they fold through the ordinary bulk
+            # deposit — no rational arithmetic on the hot path.
+            from repro.core.eft import two_square_vec
 
-        pairs = split_apfloat(APFloat(num, shift), self._radix)
-        if pairs:
-            idx = np.array([j for j, _ in pairs], dtype=np.int64)
-            dig = np.array([d for _, d in pairs], dtype=np.int64)
+            p, e = two_square_vec(in_band)
             self._sum_sq = self._sum_sq.add(
-                SparseSuperaccumulator(self._radix, idx, dig, _validated=True)
+                SparseSuperaccumulator.from_floats(
+                    np.concatenate([p, e]), self._radix
+                )
             )
+        if not safe.all():
+            # Out-of-band magnitudes (square would under/overflow):
+            # exact integer squaring, folded as one dyadic rational.
+            from fractions import Fraction
+
+            from repro.core.apfloat import APFloat, split_apfloat
+            from repro.core.fpinfo import decompose
+
+            sq = Fraction(0)
+            for v in arr[~safe]:
+                m, ex = decompose(float(v))
+                sq += Fraction(m * m) * Fraction(2) ** (2 * ex)
+            num, den = sq.numerator, sq.denominator
+            shift = -(den.bit_length() - 1)
+            pairs = split_apfloat(APFloat(num, shift), self._radix)
+            if pairs:
+                idx = np.array([j for j, _ in pairs], dtype=np.int64)
+                dig = np.array([d for _, d in pairs], dtype=np.int64)
+                self._sum_sq = self._sum_sq.add(
+                    SparseSuperaccumulator(self._radix, idx, dig, _validated=True)
+                )
 
     def merge(self, other: "RunningStats") -> None:
         """Absorb another shard's exact state."""

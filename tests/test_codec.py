@@ -62,6 +62,13 @@ def _valid_frames():
         codec.MAGIC_BATCH: codec.encode_batch(
             5, 11, "orders", np.array([0.5, -3e7, 2e-300])
         ),
+        codec.MAGIC_REDUCE_BATCH: codec.encode_reduce_batch(
+            5, 11, "orders", "pairs",
+            np.array([0.5, -3e7]), np.array([2.0, -4.25]),
+        ),
+        codec.MAGIC_WAL_REDUCE: codec.encode_wal_reduce(
+            7, "orders", "squares", np.array([1.5, -2.25, 3e7])
+        ),
     }
 
 
@@ -114,6 +121,8 @@ def test_wrong_magic_raises_codec_error(magic):
         codec.MAGIC_DATASET: codec.decode_dataset_header,
         codec.MAGIC_WAL: codec.decode_wal_record,
         codec.MAGIC_BATCH: codec.decode_batch,
+        codec.MAGIC_REDUCE_BATCH: codec.decode_reduce_batch,
+        codec.MAGIC_WAL_REDUCE: codec.decode_wal_reduce,
     }[magic]
     with pytest.raises(CodecError):
         decoder(swapped)

@@ -7,12 +7,16 @@ from fractions import Fraction
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.eft import (
     fast_two_sum,
     fast_two_sum_vec,
     split,
     two_product,
+    two_product_vec,
+    two_square,
+    two_square_vec,
     two_sum,
     two_sum_vec,
 )
@@ -101,3 +105,60 @@ class TestSplitAndProduct:
     def test_two_product_of_exact_product(self):
         p, e = two_product(3.0, 0.5)
         assert (p, e) == (1.5, 0.0)
+
+
+#: Magnitudes whose products/squares stay strictly inside the
+#: error-free TwoProduct/TwoSquare band the reduction ops police
+#: (|x*y| in (2^-1000, 2^996), |x^2| in (2^-500, 2^500)).
+_safe_floats = st.floats(
+    min_value=2.0**-240,
+    max_value=2.0**240,
+    allow_nan=False,
+    allow_infinity=False,
+)
+_signed_safe = st.tuples(st.booleans(), _safe_floats).map(
+    lambda t: -t[1] if t[0] else t[1]
+)
+
+
+class TestVectorizedProductDifferential:
+    """Hypothesis differentials: the vectorized EFTs are bit-identical
+    to looping the scalar routines — the property the reduction layer's
+    deterministic server-side re-expansion rests on."""
+
+    @given(st.lists(st.tuples(_signed_safe, _signed_safe), max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_two_product_vec_matches_scalar(self, pairs):
+        a = np.array([p[0] for p in pairs], dtype=np.float64)
+        b = np.array([p[1] for p in pairs], dtype=np.float64)
+        p, e = two_product_vec(a, b)
+        assert p.shape == e.shape == a.shape
+        for i in range(a.size):
+            ps, es = two_product(float(a[i]), float(b[i]))
+            assert p[i] == ps and e[i] == es
+            assert Fraction(ps) + Fraction(es) == Fraction(
+                float(a[i])
+            ) * Fraction(float(b[i]))
+
+    @given(st.lists(_signed_safe, max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_two_square_vec_matches_scalar(self, values):
+        a = np.array(values, dtype=np.float64)
+        p, e = two_square_vec(a)
+        assert p.shape == e.shape == a.shape
+        for i in range(a.size):
+            ps, es = two_square(float(a[i]))
+            assert p[i] == ps and e[i] == es
+            assert Fraction(ps) + Fraction(es) == Fraction(float(a[i])) ** 2
+
+    def test_two_square_vec_agrees_with_two_product_vec(self, rng):
+        a = rng.standard_normal(512) * 10.0 ** rng.integers(-30, 30, 512)
+        psq, esq = two_square_vec(a)
+        ppr, epr = two_product_vec(a, a)
+        assert (psq == ppr).all() and (esq == epr).all()
+
+    def test_zero_and_negative_zero(self):
+        a = np.array([0.0, -0.0])
+        p, e = two_square_vec(a)
+        assert p[0] == 0.0 and p[1] == 0.0
+        assert e[0] == 0.0 and e[1] == 0.0

@@ -88,3 +88,56 @@ def test_planner_choices_are_in_the_matrix():
             plan = plan_sum(DataDescriptor(n=n, layout="memory", workers=workers))
             assert plan.plane in PLANES
             assert plan.kernel in kernel_names()
+
+
+# ---------------------------------------------------------------------------
+# reduction-op rows (PR 9 invariant): every op x every capable kernel x
+# every plane, bit-identical to the serial sparse reference — including
+# the serve/cluster round-trips through op-tagged wire frames.
+
+#: Expansion-domain-safe panel: magnitudes ~2^±60, so TwoSquare and
+#: TwoProduct terms stay far inside the error-free band the ops police.
+REDUCE_X = generate("cancel", 400, delta=120, seed=17)
+REDUCE_Y = generate("tie", 400, delta=120, seed=29)
+
+REDUCE_OPS = ("dot", "norm2", "mean", "var")
+
+
+def _reduce_reference(op):
+    from repro.reduce import run_reduction
+
+    x = REDUCE_X
+    y = REDUCE_Y if op == "dot" else None
+    return run_reduction("serial", "sparse", op, x, y)
+
+
+REDUCE_REFERENCE = {op: _reduce_reference(op) for op in REDUCE_OPS}
+
+
+@pytest.mark.parametrize("kernel", sorted(kernel_names()))
+@pytest.mark.parametrize("plane", sorted(PLANES))
+@pytest.mark.parametrize("op", REDUCE_OPS)
+def test_every_op_on_every_plane_matches_serial_sparse(plane, kernel, op):
+    from repro.kernels import get_kernel
+    from repro.reduce import get_op, kernel_supports, run_reduction
+
+    if not kernel_supports(get_op(op), get_kernel(kernel)):
+        # Exact-fraction finishes refuse speculative kernels up front,
+        # on every plane — exactly as the planner's candidate table
+        # rejects them.
+        with pytest.raises(ValueError):
+            run_reduction(
+                plane, kernel, op, REDUCE_X,
+                REDUCE_Y if op == "dot" else None,
+                workers=2, block_items=64,
+            )
+        return
+    value = run_reduction(
+        plane, kernel, op, REDUCE_X,
+        REDUCE_Y if op == "dot" else None,
+        workers=2, block_items=64,
+    )
+    ref = REDUCE_REFERENCE[op]
+    assert value == ref, (
+        f"op {op} via {kernel} on {plane}: {value!r} != {ref!r}"
+    )

@@ -110,7 +110,7 @@ class TestPlannerDecisions:
         info = plan_sum(DataDescriptor(n=10, layout="memory")).describe()
         assert set(info) == {
             "plane", "kernel", "tier", "workers", "block_items",
-            "n", "layout", "reason",
+            "n", "layout", "reason", "op",
         }
 
 

@@ -1,0 +1,270 @@
+"""Unit tests for the reduction layer: ops, engine, planner (PR 9).
+
+The tentpole contract: every reduction is an error-free expansion
+composed with a sum kernel, so its value is the correctly rounded true
+mathematical quantity — bit-identical to the serial rational references
+in :mod:`repro.stats`, on every plane, under every capable kernel.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro import reduce
+from repro.core.exact import exact_sum_fraction
+from repro.errors import EmptyStreamError, ReductionRangeError
+from repro.kernels import get_kernel, kernel_names
+from repro.reduce import (
+    DotOp,
+    VarOp,
+    get_op,
+    kernel_supports,
+    op_names,
+    register_op,
+    run_reduction,
+)
+from repro.stats import (
+    exact_dot_fraction,
+    exact_mean,
+    exact_norm2,
+    exact_variance,
+    round_fraction,
+)
+
+
+def _panel(n=800, seed=11, spread=40):
+    rng = np.random.default_rng(seed)
+    return np.ldexp(
+        rng.standard_normal(n), rng.integers(-spread, spread, n)
+    )
+
+
+class TestRegistry:
+    def test_all_five_ops_registered(self):
+        assert set(op_names()) >= {"sum", "dot", "norm2", "mean", "var"}
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ValueError, match="unknown"):
+            get_op("median")
+
+    def test_register_last_wins(self):
+        # Same policy as the kernel registry: re-registration replaces.
+        fresh = register_op(DotOp())
+        assert get_op("dot") is fresh
+
+    def test_kernel_supports_semantics(self):
+        exact = get_kernel("sparse")
+        for name in ("sum", "dot"):
+            for kernel in kernel_names():
+                assert kernel_supports(get_op(name), get_kernel(kernel))
+        for name in ("norm2", "mean", "var"):
+            assert kernel_supports(get_op(name), exact)
+            assert not kernel_supports(get_op(name), get_kernel("adaptive"))
+            assert not kernel_supports(get_op(name), get_kernel("truncated"))
+
+
+class TestExpansionExactness:
+    """expand()'s term streams sum exactly to the true quantity."""
+
+    def test_dot_terms_sum_to_exact_inner_product(self):
+        x, y = _panel(300, seed=1), _panel(300, seed=2)
+        (terms,) = get_op("dot").expand(x, y)
+        assert terms.size == 2 * x.size
+        assert exact_sum_fraction(terms) == exact_dot_fraction(x, y)
+
+    def test_norm2_terms_sum_to_exact_square_sum(self):
+        x = _panel(300, seed=3)
+        (terms,) = get_op("norm2").expand(x)
+        total = exact_sum_fraction(terms)
+        want = Fraction(0)
+        for v in x:
+            want += Fraction(float(v)) ** 2
+        assert total == want
+
+    def test_var_expands_two_streams(self):
+        x = _panel(64, seed=4)
+        values, squares = get_op("var").expand(x)
+        assert np.array_equal(values, x)
+        assert squares.size == 2 * x.size
+
+    def test_dot_zero_pair_with_huge_partner_is_exact_zero(self):
+        # A zero paired with a magnitude beyond the Dekker-split range
+        # must expand to an exact 0.0 term, not NaN/overflow garbage.
+        x = np.array([0.0, 2.0, -0.0])
+        y = np.array([1e308, 3.0, -1e308])
+        op = get_op("dot")
+        op.check_domain(x, y)  # in domain: zero pairs are always safe
+        (terms,) = op.expand(x, y)
+        assert np.isfinite(terms).all()
+        assert exact_sum_fraction(terms) == Fraction(6)
+
+
+class TestDomainPolicing:
+    def test_norm2_overflowing_square_rejected(self):
+        with pytest.raises(ReductionRangeError):
+            reduce.norm2([1.0, 1e200])
+
+    def test_norm2_underflowing_square_rejected(self):
+        with pytest.raises(ReductionRangeError):
+            reduce.norm2([2.0**-530, 1.0])
+
+    def test_dot_overflowing_product_rejected(self):
+        with pytest.raises(ReductionRangeError):
+            reduce.dot([1e200], [1e200])
+
+    def test_dot_underflowing_product_rejected(self):
+        with pytest.raises(ReductionRangeError):
+            reduce.dot([1e-200], [1e-200])
+
+    def test_var_out_of_band_square_rejected(self):
+        with pytest.raises(ReductionRangeError):
+            reduce.var([1e260, 1.0])
+
+    def test_sum_and_mean_have_no_domain_limit(self):
+        big = np.array([1e308, -1e308, 3.5])
+        assert reduce.sum(big) == 3.5
+        assert reduce.mean(big) == exact_mean(big)
+
+
+class TestEmptyEdges:
+    def test_empty_sum_dot_norm2_are_zero(self):
+        assert reduce.sum([]) == 0.0
+        assert reduce.dot([], []) == 0.0
+        assert reduce.norm2([]) == 0.0
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(EmptyStreamError):
+            reduce.mean([])
+
+    def test_var_needs_more_observations_than_ddof(self):
+        with pytest.raises(EmptyStreamError):
+            reduce.var([])
+        with pytest.raises(EmptyStreamError):
+            reduce.var([1.5], ddof=1)
+        assert reduce.var([1.5]) == 0.0
+
+
+class TestFinishSemantics:
+    def test_matches_serial_references(self):
+        x, y = _panel(), _panel(seed=12)
+        assert reduce.dot(x, y) == round_fraction(exact_dot_fraction(x, y))
+        assert reduce.norm2(x) == exact_norm2(x)
+        assert reduce.mean(x) == exact_mean(x)
+        assert reduce.var(x) == exact_variance(x)
+        assert reduce.var(x, ddof=3) == exact_variance(x, ddof=3)
+
+    def test_dot_honours_directed_modes(self):
+        x, y = _panel(200, seed=5), _panel(200, seed=6)
+        exact = exact_dot_fraction(x, y)
+        for mode in ("down", "up", "zero"):
+            got = reduce.dot(x, y, plane="serial", kernel="sparse", mode=mode)
+            assert got == round_fraction(exact, mode)
+
+    def test_norm2_rejects_directed_modes(self):
+        with pytest.raises(ValueError):
+            run_reduction("serial", "sparse", "norm2", [3.0, 4.0], mode="up")
+
+    def test_trivial_pythagoras(self):
+        assert reduce.norm2([3.0, 4.0]) == 5.0
+        assert reduce.dot([1.0, 2.0], [3.0, 4.0]) == 11.0
+
+    def test_var_ddof_carried_by_op_instance(self):
+        x = _panel(100, seed=7)
+        got = run_reduction("serial", "sparse", VarOp(ddof=2), x)
+        assert got == exact_variance(x, ddof=2)
+
+
+class TestEngineValidation:
+    def test_unknown_plane_kernel_op(self):
+        with pytest.raises(ValueError, match="plane"):
+            run_reduction("gpu", "sparse", "sum", [1.0])
+        with pytest.raises(ValueError, match="kernel"):
+            run_reduction("serial", "nope", "sum", [1.0])
+        with pytest.raises(ValueError, match="unknown"):
+            run_reduction("serial", "sparse", "median", [1.0])
+
+    def test_speculative_kernel_refused_for_exact_finish(self):
+        with pytest.raises(ValueError, match="cannot host"):
+            run_reduction("serial", "adaptive", "norm2", [1.0, 2.0])
+
+    def test_dot_shape_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            reduce.dot([1.0, 2.0], [3.0])
+
+    def test_dot_requires_second_array(self):
+        with pytest.raises(ValueError):
+            run_reduction("serial", "sparse", "dot", [1.0])
+
+    def test_single_array_op_rejects_second(self):
+        with pytest.raises(ValueError):
+            run_reduction("serial", "sparse", "norm2", [1.0], [2.0])
+
+
+class TestOpAwarePlanner:
+    def test_candidates_reject_speculative_for_exact_ops(self):
+        from repro.plan import kernel_candidates
+
+        rows = {c.name: c for c in kernel_candidates(op="var")}
+        assert not rows["adaptive"].accepted
+        assert not rows["truncated"].accepted
+        assert rows["sparse"].accepted
+        # rounded-sum ops keep the speculative cascade available
+        rows = {c.name: c for c in kernel_candidates(op="dot")}
+        assert rows["adaptive"].accepted
+
+    def test_descriptor_validates_op(self):
+        from repro.plan import DataDescriptor
+
+        with pytest.raises(ValueError, match="unknown op"):
+            DataDescriptor(n=4, op="median")
+
+    def test_plan_executes_reductions(self):
+        from repro.plan import DataDescriptor, plan_sum
+
+        x, y = _panel(500, seed=8), _panel(500, seed=9)
+        plan = plan_sum(DataDescriptor.describe_array(x, op="dot", values2=y))
+        assert plan.describe()["op"] == "dot"
+        assert plan.execute() == round_fraction(exact_dot_fraction(x, y))
+        plan = plan_sum(DataDescriptor.describe_array(x, op="norm2"))
+        assert plan.kernel not in ("adaptive", "truncated")
+        assert plan.tier == "exact"
+        assert plan.execute() == exact_norm2(x)
+
+    def test_forced_incapable_kernel_raises(self):
+        from repro.plan import DataDescriptor, plan_sum
+
+        with pytest.raises(ValueError, match="cannot host"):
+            plan_sum(
+                DataDescriptor.describe_array([1.0], op="mean"),
+                kernel="adaptive",
+            )
+
+
+class TestRunningStatsSharesExpansion:
+    """streaming.RunningStats rides the same TwoSquare ingest."""
+
+    def test_matches_exact_references_including_out_of_band(self):
+        from repro.streaming import RunningStats
+
+        x = np.concatenate(
+            [_panel(400, seed=10), np.array([1e200, -2e-300, 2.0**-530])]
+        )
+        rs = RunningStats()
+        rs.add_array(x[:100])
+        rs.add_array(x[100:])
+        assert rs.mean() == exact_mean(x)
+        assert rs.variance(ddof=1) == exact_variance(x, ddof=1)
+
+    def test_merge_matches_serial(self):
+        from repro.streaming import RunningStats
+
+        x = _panel(600, seed=13)
+        a, b = RunningStats(), RunningStats()
+        a.add_array(x[:251])
+        b.add_array(x[251:])
+        a.merge(b)
+        assert a.variance() == exact_variance(x)
+        assert a.count == x.size
