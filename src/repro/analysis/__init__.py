@@ -2,23 +2,33 @@
 
 A plugin-based AST static-analysis pass enforcing the invariants that
 keep this repository's exact-summation guarantee true. Three rule
-families:
+families, plus a project-wide dataflow engine (``repro.analysis
+.dataflow``) behind the three interprocedural rules:
 
 =========  ==========================================================
 FP001      builtin ``sum()`` / loop ``+=`` accumulation over floats
 FP002      float ``==`` / ``!=`` comparison
 FP003      ``math.fsum`` / ``np.sum`` bypassing the kernel layer
 FP004      unguarded ``float(Fraction)`` narrowing
+FP005      ``np.dot`` / ``np.linalg.norm`` bypassing the reductions
+FP100      ingested value rounded before reaching a fold (taint)
 ARCH001    ``struct`` framing outside ``repro.codec``
 ARCH002    registered kernel missing SumKernel protocol members
 ARCH003    ``to_wire`` frame not registered in the codec table
 ARCH004    cross-plane import bypassing ``plan.PLANES``
+ARCH005    boxed float payload on a codec-capable wire path
 CC001      blocking I/O inside ``serve/`` async functions
 CC002      shard accumulator state touched outside its writer
 CC003      shared-memory segment written after publish
+CC004      blocking file I/O on the cluster event loop
+CC100      task-owned attribute written from a second coroutine
+CC101      await between two writes of a multi-step mutation
 =========  ==========================================================
 
-Run it with ``python -m repro lint src/`` (or via pre-commit / CI).
+Run it with ``python -m repro lint src/`` (``--jobs N`` fans the
+per-file rules over a process pool; findings are identical for every
+N) via pre-commit or CI; ``--format sarif`` emits SARIF 2.1.0 for
+code-scanning upload.
 Suppress a finding with a justified trailing comment::
 
     total = naive()  # reprolint: disable=FP001 -- naive is the subject here
@@ -39,7 +49,7 @@ from repro.analysis.core import (
     register_rule,
     rule_catalogue,
 )
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_json, render_sarif, render_text
 
 __all__ = [
     "Finding",
@@ -54,5 +64,6 @@ __all__ = [
     "register_rule",
     "rule_catalogue",
     "render_json",
+    "render_sarif",
     "render_text",
 ]

@@ -100,6 +100,9 @@ class Rule:
     rationale: str = ""
     #: One-line generic remediation, shown as ``hint:`` in text output.
     fixit: str = ""
+    #: Project-scope rules need every unit parsed (the call-graph
+    #: index); they run in the parent process even under ``--jobs N``.
+    requires_project: bool = False
 
     def applies_to(self, unit: "ModuleUnit") -> bool:
         """Scope hook: return False to skip a file entirely."""
@@ -160,7 +163,12 @@ def get_rules(
 
 def _load_builtin_rules() -> None:
     # Imported lazily so `import repro.analysis.core` never cycles.
-    from repro.analysis import architecture, concurrency, floatsafety  # noqa: F401
+    from repro.analysis import (  # noqa: F401
+        architecture,
+        concurrency,
+        dataflow,
+        floatsafety,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -282,10 +290,35 @@ class ModuleUnit:
         self.tree = ast.parse(source, filename=display_path)
         self.parts = module_parts(display_path)
         self.suppressions, self.malformed_suppressions = parse_suppressions(source)
+        self._extend_decorator_suppressions()
         self._parents: Dict[ast.AST, ast.AST] = {}
         for parent in ast.walk(self.tree):
             for child in ast.iter_child_nodes(parent):
                 self._parents[child] = parent
+
+    def _extend_decorator_suppressions(self) -> None:
+        """Honor decorator-line suppressions on the definition itself.
+
+        Findings on a decorated ``def``/``class`` anchor at the
+        definition line, but a trailing suppression comment written on
+        a decorator (where the decorated statement *starts*) covers
+        only that decorator's line. Extend any suppression covering a
+        decorator line to the definition line too, sharing the
+        ``Suppression`` object so used/useless accounting stays single.
+        """
+        for node in ast.walk(self.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if not node.decorator_list:
+                continue
+            first = node.decorator_list[0].lineno
+            for line in range(first, node.lineno):
+                for supp in self.suppressions.get(line, []):
+                    bucket = self.suppressions.setdefault(node.lineno, [])
+                    if supp not in bucket:
+                        bucket.append(supp)
 
     # -- tree navigation -------------------------------------------------
 
@@ -384,6 +417,26 @@ class ProjectContext:
         self.root = root
         self._codec_encoders = codec_encoders
         self._codec_loaded = codec_encoders is not None
+        self.units: List["ModuleUnit"] = []
+        self._index: Optional[object] = None
+
+    def set_units(self, units: Sequence["ModuleUnit"]) -> None:
+        """Attach this run's parsed units (resets the dataflow index)."""
+        self.units = list(units)
+        self._index = None
+
+    @property
+    def index(self) -> Optional[object]:
+        """Lazily-built project :class:`ProjectIndex` over ``units``.
+
+        ``None`` when no units were attached (a rule run outside the
+        standard runners); project-scope rules then skip.
+        """
+        if self._index is None and self.units:
+            from repro.analysis.dataflow.callgraph import ProjectIndex
+
+            self._index = ProjectIndex(self.units)
+        return self._index
 
     @property
     def codec_encoders(self) -> Optional[Set[str]]:
@@ -540,8 +593,13 @@ def _apply_suppressions(
         )
     # Suppressions naming selected rules that silenced nothing are noise
     # drift (the violation moved or was fixed); keep the tree honest.
+    # One object may cover several lines (decorator extension): visit once.
+    seen_supps: Set[int] = set()
     for supps in unit.suppressions.values():
         for supp in supps:
+            if id(supp) in seen_supps:
+                continue
+            seen_supps.add(id(supp))
             if supp.used or not (supp.rules & selected_ids):
                 continue
             kept.append(
@@ -561,6 +619,35 @@ def _apply_suppressions(
     return kept, suppressed
 
 
+def _parse_unit(
+    source: str,
+    display_path: str,
+    context: ProjectContext,
+    result: LintResult,
+) -> Optional[ModuleUnit]:
+    try:
+        return ModuleUnit(source, display_path, context)
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(
+                rule="E999",
+                message=f"syntax error: {exc.msg}",
+                path=display_path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+            )
+        )
+        return None
+
+
+def _collect_raw(unit: ModuleUnit, rules: Sequence[Rule]) -> List[Finding]:
+    raw: List[Finding] = []
+    for rule in rules:
+        if rule.applies_to(unit):
+            raw.extend(rule.check(unit))
+    return raw
+
+
 def lint_source(
     source: str,
     filename: str = "<snippet>",
@@ -573,39 +660,15 @@ def lint_source(
     rules = get_rules(select, ignore)
     ctx = context if context is not None else ProjectContext()
     result = LintResult(files_checked=1)
-    _lint_unit(source, filename, ctx, rules, result)
-    return result
-
-
-def _lint_unit(
-    source: str,
-    display_path: str,
-    context: ProjectContext,
-    rules: Sequence[Rule],
-    result: LintResult,
-) -> None:
-    try:
-        unit = ModuleUnit(source, display_path, context)
-    except SyntaxError as exc:
-        result.findings.append(
-            Finding(
-                rule="E999",
-                message=f"syntax error: {exc.msg}",
-                path=display_path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-            )
-        )
-        return
-    raw: List[Finding] = []
-    for rule in rules:
-        if rule.applies_to(unit):
-            raw.extend(rule.check(unit))
-    kept, suppressed = _apply_suppressions(
-        unit, raw, {rule.id for rule in rules}
-    )
+    unit = _parse_unit(source, filename, ctx, result)
+    if unit is None:
+        return result
+    ctx.set_units([unit])
+    raw = _collect_raw(unit, rules)
+    kept, suppressed = _apply_suppressions(unit, raw, {r.id for r in rules})
     result.findings.extend(kept)
     result.suppressed += suppressed
+    return result
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
@@ -623,17 +686,80 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
                 yield cand
 
 
+#: Per-worker ProjectContext cache, keyed by project root. Saves the
+#: codec-table parse from repeating for every file in a chunk.
+_WORKER_CONTEXTS: Dict[Optional[str], ProjectContext] = {}
+
+
+def _file_rules_worker(
+    args: Tuple[str, str, Tuple[str, ...], Optional[str]],
+) -> Tuple[str, List[Finding]]:
+    """Run the per-file rules on one already-parseable source (child proc)."""
+    display_path, source, rule_ids, root = args
+    ctx = _WORKER_CONTEXTS.get(root)
+    if ctx is None:
+        ctx = ProjectContext(root=Path(root) if root else None)
+        _WORKER_CONTEXTS[root] = ctx
+    rules = [r for r in get_rules(list(rule_ids)) if not r.requires_project]
+    try:
+        unit = ModuleUnit(source, display_path, ctx)
+    except SyntaxError:  # parent already reported E999; unreachable
+        return display_path, []
+    return display_path, _collect_raw(unit, rules)
+
+
+def _parallel_file_findings(
+    units: Sequence[ModuleUnit],
+    rule_ids: Sequence[str],
+    ctx: ProjectContext,
+    jobs: int,
+) -> Optional[Dict[str, List[Finding]]]:
+    """Fan per-file rules out to a process pool; None -> fall back serial."""
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    root = str(ctx.root) if ctx.root is not None else None
+    payload = [
+        (u.display_path, u.source, tuple(rule_ids), root) for u in units
+    ]
+    out: Dict[str, List[Finding]] = {}
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            chunksize = max(1, len(payload) // (jobs * 4))
+            for display_path, findings in pool.map(
+                _file_rules_worker, payload, chunksize=chunksize
+            ):
+                out[display_path] = findings
+    except (BrokenProcessPool, OSError, PermissionError):
+        # Sandboxes without fork/spawn support: lint correctness beats
+        # parallelism, so degrade silently to in-process.
+        return None
+    return out
+
+
 def lint_paths(
     paths: Sequence[str],
     *,
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
     context: Optional[ProjectContext] = None,
+    jobs: int = 1,
 ) -> LintResult:
-    """Lint files and directories; the ``repro lint`` entry point."""
+    """Lint files and directories; the ``repro lint`` entry point.
+
+    ``jobs > 1`` fans the per-file rules out over a process pool.
+    Project-scope rules (``requires_project``) and suppression
+    accounting always run in the parent over the full unit list, so
+    the findings — and their order — are identical for every ``jobs``
+    value.
+    """
     rules = get_rules(select, ignore)
-    ctx = context
+    selected_ids = {r.id for r in rules}
+    file_rules = [r for r in rules if not r.requires_project]
+    project_rules = [r for r in rules if r.requires_project]
     result = LintResult()
+    ctx = context
+    sources: List[Tuple[Path, str]] = []
     for path in iter_python_files(paths):
         if ctx is None:
             ctx = ProjectContext(root=find_project_root(path))
@@ -651,5 +777,33 @@ def lint_paths(
             )
             continue
         result.files_checked += 1
-        _lint_unit(source, str(path), ctx, rules, result)
+        sources.append((path, source))
+    if ctx is None:
+        ctx = ProjectContext()
+    units: List[ModuleUnit] = []
+    for path, source in sources:
+        unit = _parse_unit(source, str(path), ctx, result)
+        if unit is not None:
+            units.append(unit)
+    ctx.set_units(units)
+    raw: Dict[str, List[Finding]] = {u.display_path: [] for u in units}
+    parallel: Optional[Dict[str, List[Finding]]] = None
+    if jobs > 1 and len(units) > 1 and file_rules:
+        parallel = _parallel_file_findings(
+            units, [r.id for r in file_rules], ctx, jobs
+        )
+    if parallel is not None:
+        for display_path, findings in parallel.items():
+            raw[display_path] = findings
+    else:
+        for unit in units:
+            raw[unit.display_path].extend(_collect_raw(unit, file_rules))
+    for unit in units:
+        raw[unit.display_path].extend(_collect_raw(unit, project_rules))
+    for unit in units:
+        kept, suppressed = _apply_suppressions(
+            unit, raw[unit.display_path], selected_ids
+        )
+        result.findings.extend(kept)
+        result.suppressed += suppressed
     return result

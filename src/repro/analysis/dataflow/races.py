@@ -1,0 +1,399 @@
+"""CC100/CC101: static asyncio race detection for serve/ and cluster/.
+
+Both rules machine-check the concurrency discipline the serving and
+cluster planes are built on (single-writer shard ownership from PR 2,
+WAL-before-fold atomicity from PR 7) instead of spot-checking names
+the way CC002 does.
+
+**CC100 — second writer for task-owned state.** A class that spawns a
+long-lived coroutine (``asyncio.create_task(self._run())``) hands that
+task ownership of the attributes it writes. The rule computes the
+spawned task's *region* — every method transitively reachable from the
+task root through ``self`` calls — collects the attributes the region
+assigns, and flags any assignment to those attributes from a method
+outside the region (``__init__`` excluded: construction happens before
+the task exists). Two disjoint task regions writing the same attribute
+are flagged the same way.
+
+**CC101 — torn multi-step state mutation.** Inside one async method,
+two writes to instance state separated by an ``await`` let every other
+task on the loop observe the intermediate state. The walk is
+happens-before-aware in statement order: an ``Assign`` whose value
+*contains* the await (``self.x = await f()``) orders the await before
+the write, so it never pairs with itself; loop bodies are traversed
+twice so a loop-carried write→await→write (the WAL-replay shape) is
+caught.
+
+Both rules are intra-class, evidence-based, and scoped to
+``repro.serve`` / ``repro.cluster`` — the only packages with task
+concurrency.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.core import Finding, ModuleUnit, Rule, register_rule
+from repro.analysis.dataflow.callgraph import TASK_SPAWNERS
+
+__all__ = ["SecondWriterRule", "TornMutationRule"]
+
+_SCOPED_PACKAGES = ("serve", "cluster")
+
+
+def _scoped(unit: ModuleUnit) -> bool:
+    return any(unit.in_package(pkg) for pkg in _SCOPED_PACKAGES)
+
+
+def _methods(cls: ast.ClassDef) -> Dict[str, ast.AST]:
+    out: Dict[str, ast.AST] = {}
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out[stmt.name] = stmt
+    return out
+
+
+def _self_attr_target(target: ast.expr) -> Optional[Tuple[str, ast.expr]]:
+    """``self.X`` or ``self.X[...]`` store target -> (attr, anchor node)."""
+    node = target
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr, target
+    return None
+
+
+def _self_writes(node: ast.stmt) -> List[Tuple[str, ast.expr]]:
+    """Instance-state stores performed directly by one statement."""
+    out: List[Tuple[str, ast.expr]] = []
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            targets = target.elts if isinstance(target, ast.Tuple) else [target]
+            for t in targets:
+                hit = _self_attr_target(t)
+                if hit:
+                    out.append(hit)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        hit = _self_attr_target(node.target)
+        if hit:
+            out.append(hit)
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            hit = _self_attr_target(target)
+            if hit:
+                out.append(hit)
+    return out
+
+
+# ----------------------------------------------------------------------
+# CC100
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _SpawnSite:
+    root: str  # method name handed to create_task
+    line: int
+
+
+def _spawn_sites(cls: ast.ClassDef) -> List[_SpawnSite]:
+    sites: List[_SpawnSite] = []
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name not in TASK_SPAWNERS or not node.args:
+            continue
+        arg = node.args[0]
+        if (
+            isinstance(arg, ast.Call)
+            and isinstance(arg.func, ast.Attribute)
+            and isinstance(arg.func.value, ast.Name)
+            and arg.func.value.id == "self"
+        ):
+            sites.append(_SpawnSite(root=arg.func.attr, line=node.lineno))
+    return sites
+
+
+def _self_call_region(methods: Dict[str, ast.AST], root: str) -> Set[str]:
+    """Methods transitively reachable from *root* via ``self.m(...)``."""
+    region: Set[str] = set()
+    stack = [root]
+    while stack:
+        name = stack.pop()
+        if name in region or name not in methods:
+            continue
+        region.add(name)
+        for node in ast.walk(methods[name]):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"
+            ):
+                stack.append(node.func.attr)
+    return region
+
+
+@register_rule
+class SecondWriterRule(Rule):
+    id = "CC100"
+    title = "task-owned attribute written from a second coroutine"
+    severity = "error"
+    rationale = (
+        "A spawned writer task owns the state it mutates; a second "
+        "writer interleaves at awaits and the exact fold order — hence "
+        "the bit-reproducibility guarantee — becomes schedule-dependent."
+    )
+    fixit = (
+        "route the mutation through the owning task's queue, or move "
+        "ownership of the attribute into the task region"
+    )
+
+    def applies_to(self, unit: ModuleUnit) -> bool:
+        return _scoped(unit)
+
+    def check(self, unit: ModuleUnit) -> Iterable[Finding]:
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(unit, node)
+
+    def _check_class(
+        self, unit: ModuleUnit, cls: ast.ClassDef
+    ) -> Iterable[Finding]:
+        spawns = _spawn_sites(cls)
+        if not spawns:
+            return
+        methods = _methods(cls)
+        regions: Dict[str, Set[str]] = {}
+        spawn_line: Dict[str, int] = {}
+        for spawn in spawns:
+            regions.setdefault(spawn.root, _self_call_region(methods, spawn.root))
+            spawn_line.setdefault(spawn.root, spawn.line)
+        # attr -> first owning root (deterministic: spawn order)
+        owners: Dict[str, str] = {}
+        writes: Dict[str, List[Tuple[str, ast.expr]]] = {}
+        for name, fn in methods.items():
+            for stmt in ast.walk(fn):
+                if isinstance(stmt, ast.stmt):
+                    for attr, anchor in _self_writes(stmt):
+                        writes.setdefault(attr, []).append((name, anchor))
+        for root in sorted(regions, key=lambda r: spawn_line[r]):
+            for attr, sites in writes.items():
+                if attr in owners:
+                    continue
+                if any(method in regions[root] for method, _ in sites):
+                    owners[attr] = root
+        for attr in sorted(owners):
+            root = owners[attr]
+            for method, anchor in writes[attr]:
+                if method in regions[root] or method == "__init__":
+                    continue
+                yield self.finding(
+                    unit,
+                    anchor,
+                    f"'self.{attr}' is owned by writer task "
+                    f"'{cls.name}.{root}' (spawned at line "
+                    f"{spawn_line[root]}) but is also written in "
+                    f"'{cls.name}.{method}'",
+                )
+
+
+# ----------------------------------------------------------------------
+# CC101
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _TornState:
+    """Abstract state of the statement-order event walk."""
+
+    last_write: Optional[Tuple[str, int]] = None  # (attr, line)
+    await_after_write: Optional[int] = None  # line of first await after it
+
+    def copy(self) -> "_TornState":
+        return _TornState(self.last_write, self.await_after_write)
+
+    @staticmethod
+    def merge(a: "_TornState", b: "_TornState") -> "_TornState":
+        # May-analysis: prefer the branch that is already one write away
+        # from a finding, then the one with a pending write.
+        if a.await_after_write is not None:
+            return a.copy()
+        if b.await_after_write is not None:
+            return b.copy()
+        return a.copy() if a.last_write is not None else b.copy()
+
+
+class _TornWalker:
+    """Linearizes one async method into write/await events."""
+
+    def __init__(self) -> None:
+        self.pairs: List[Tuple[ast.expr, Tuple[str, int], int, str]] = []
+        self._reported: Set[int] = set()
+
+    def run(self, fn: ast.AST) -> None:
+        self._walk_body(fn.body, _TornState())  # type: ignore[attr-defined]
+
+    # -- events ----------------------------------------------------------
+
+    def _on_await(self, state: _TornState, node: ast.expr) -> None:
+        if state.last_write is not None and state.await_after_write is None:
+            state.await_after_write = node.lineno
+
+    def _on_write(
+        self, state: _TornState, attr: str, anchor: ast.expr
+    ) -> None:
+        if (
+            state.last_write is not None
+            and state.await_after_write is not None
+            and id(anchor) not in self._reported
+        ):
+            self._reported.add(id(anchor))
+            self.pairs.append(
+                (anchor, state.last_write, state.await_after_write, attr)
+            )
+        state.last_write = (attr, anchor.lineno)
+        state.await_after_write = None
+
+    def _expr_awaits(self, state: _TornState, expr: Optional[ast.expr]) -> None:
+        if expr is None:
+            return
+
+        def visit(node: ast.AST) -> None:
+            if isinstance(node, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)):
+                return  # separate scope: its awaits don't run here
+            if isinstance(node, ast.Await):
+                self._on_await(state, node)
+            for child in ast.iter_child_nodes(node):
+                visit(child)
+
+        visit(expr)
+
+    # -- statements ------------------------------------------------------
+
+    def _walk_body(self, body: List[ast.stmt], state: _TornState) -> _TornState:
+        for stmt in body:
+            state = self._transfer(stmt, state)
+        return state
+
+    def _transfer(self, stmt: ast.stmt, state: _TornState) -> _TornState:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return state
+        if isinstance(stmt, ast.If):
+            self._expr_awaits(state, stmt.test)
+            then_state = self._walk_body(stmt.body, state.copy())
+            else_state = self._walk_body(stmt.orelse, state.copy())
+            return _TornState.merge(then_state, else_state)
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            return self._loop(stmt, state)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._expr_awaits(state, item.context_expr)
+                if isinstance(stmt, ast.AsyncWith):
+                    self._on_await(state, item.context_expr)
+            return self._walk_body(stmt.body, state)
+        if isinstance(stmt, ast.Try):
+            body_state = self._walk_body(stmt.body, state.copy())
+            outcomes = [body_state]
+            for handler in stmt.handlers:
+                outcomes.append(
+                    self._walk_body(
+                        handler.body, _TornState.merge(state, body_state)
+                    )
+                )
+            merged = outcomes[0]
+            for outcome in outcomes[1:]:
+                merged = _TornState.merge(merged, outcome)
+            if stmt.orelse:
+                merged = self._walk_body(stmt.orelse, merged)
+            if stmt.finalbody:
+                merged = self._walk_body(stmt.finalbody, merged)
+            return merged
+        if isinstance(stmt, ast.Return):
+            self._expr_awaits(state, stmt.value)
+            return _TornState()  # function exits; nothing is pending
+        if isinstance(stmt, ast.Raise):
+            self._expr_awaits(state, stmt.exc)
+            return _TornState()
+        # Plain statement: awaits embedded in the value happen before
+        # the statement's own store completes.
+        writes: List[Tuple[str, ast.expr]] = _self_writes(stmt)
+        for field, value in ast.iter_fields(stmt):
+            if field in ("targets", "target"):
+                continue
+            if isinstance(value, ast.expr):
+                self._expr_awaits(state, value)
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, ast.expr):
+                        self._expr_awaits(state, item)
+        for attr, anchor in writes:
+            self._on_write(state, attr, anchor)
+        return state
+
+    def _loop(self, stmt: ast.stmt, state: _TornState) -> _TornState:
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._expr_awaits(state, stmt.iter)
+        elif isinstance(stmt, ast.While):
+            self._expr_awaits(state, stmt.test)
+        # Two passes expose loop-carried write -> await -> write pairs.
+        for _ in range(2):
+            if isinstance(stmt, ast.AsyncFor):
+                self._on_await(state, stmt.iter)
+            body_state = self._walk_body(stmt.body, state.copy())
+            state = _TornState.merge(state, body_state)
+            if isinstance(stmt, ast.While):
+                self._expr_awaits(state, stmt.test)
+        if stmt.orelse:  # type: ignore[attr-defined]
+            state = self._walk_body(stmt.orelse, state)  # type: ignore[attr-defined]
+        return state
+
+
+@register_rule
+class TornMutationRule(Rule):
+    id = "CC101"
+    title = "await between two writes of a multi-step state mutation"
+    severity = "error"
+    rationale = (
+        "Every await is a scheduling point: state written in two steps "
+        "around one is observable torn by any other task (a duplicate "
+        "request can pass the dedup check, a reader can see a seq "
+        "without its fold)."
+    )
+    fixit = (
+        "stage the mutation in locals and publish with contiguous "
+        "writes after the last await (or before the first)"
+    )
+
+    def applies_to(self, unit: ModuleUnit) -> bool:
+        return _scoped(unit)
+
+    def check(self, unit: ModuleUnit) -> Iterable[Finding]:
+        for cls in ast.walk(unit.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            for fn in _methods(cls).values():
+                if not isinstance(fn, ast.AsyncFunctionDef):
+                    continue
+                walker = _TornWalker()
+                walker.run(fn)
+                for anchor, (prev_attr, prev_line), await_line, attr in walker.pairs:
+                    yield self.finding(
+                        unit,
+                        anchor,
+                        f"torn mutation in '{cls.name}.{fn.name}': "
+                        f"'self.{prev_attr}' written at line {prev_line}, "
+                        f"awaited at line {await_line}, then 'self.{attr}' "
+                        f"written here — other tasks can observe the "
+                        f"intermediate state",
+                    )

@@ -1,0 +1,185 @@
+"""Per-function reaching definitions (forward may-analysis).
+
+:class:`ReachingDefs` walks one function body in program order and
+records, at the entry of every statement, which definitions of each
+local name *may* reach it. Branches merge (union), loop bodies run to
+a two-pass fixpoint so loop-carried definitions are visible at the top
+of the body, and nested function/class bodies are opaque (they are
+separate scopes with their own analyses).
+
+The taint rules consume this instead of flat scope bindings so that a
+rebound name (``arr = decode(...)`` ... ``arr = np.zeros(n)``) carries
+only the definitions that can actually flow to each use site.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = ["Def", "ReachingDefs"]
+
+Env = Dict[str, Tuple["Def", ...]]
+
+
+@dataclass(frozen=True)
+class Def:
+    """One definition of one name.
+
+    ``kind`` is how the name was bound; ``value`` is the bound
+    expression where one exists (``for`` and ``with`` record the
+    iterable / context expression; ``param`` and ``import`` record
+    nothing).
+    """
+
+    name: str
+    kind: str  # param | assign | unpack | aug | for | with | except | import | def | opaque
+    value: Optional[ast.expr] = None
+    prior: Tuple["Def", ...] = ()
+
+
+class ReachingDefs:
+    """Reaching definitions for one ``FunctionDef``/``AsyncFunctionDef``."""
+
+    def __init__(self, fn: ast.AST) -> None:
+        self._at: Dict[int, Env] = {}
+        env: Env = {}
+        args = fn.args  # type: ignore[attr-defined]
+        for arg in [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        ]:
+            env[arg.arg] = (Def(arg.arg, "param"),)
+        self._walk_body(fn.body, env)  # type: ignore[attr-defined]
+
+    def at(self, stmt: ast.AST) -> Mapping[str, Tuple[Def, ...]]:
+        """Definitions that may reach the entry of *stmt*."""
+        return self._at.get(id(stmt), {})
+
+    def defs_of(self, stmt: ast.AST, name: str) -> Tuple[Def, ...]:
+        return self.at(stmt).get(name, ())
+
+    # -- the walk --------------------------------------------------------
+
+    def _walk_body(self, body: Iterable[ast.stmt], env: Env) -> Env:
+        cur = dict(env)
+        for stmt in body:
+            self._at[id(stmt)] = dict(cur)
+            cur = self._transfer(stmt, cur)
+        return cur
+
+    @staticmethod
+    def _merge(*envs: Env) -> Env:
+        out: Env = {}
+        for env in envs:
+            for name, defs in env.items():
+                if name in out:
+                    seen = {id(d) for d in out[name]}
+                    out[name] = out[name] + tuple(
+                        d for d in defs if id(d) not in seen
+                    )
+                else:
+                    out[name] = defs
+        return out
+
+    def _bind(self, env: Env, target: ast.expr, value: Optional[ast.expr], kind: str) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = (Def(target.id, kind, value),)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                inner = elt.value if isinstance(elt, ast.Starred) else elt
+                self._bind(env, inner, value, "unpack")
+        # Attribute / Subscript stores don't bind a local name.
+
+    def _transfer(self, stmt: ast.stmt, env: Env) -> Env:
+        env = dict(env)
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                self._bind(env, target, stmt.value, "assign")
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(env, stmt.target, stmt.value, "assign")
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                prior = env.get(stmt.target.id, ())
+                env[stmt.target.id] = (
+                    Def(stmt.target.id, "aug", stmt.value, prior),
+                )
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            env = self._loop(env, stmt.body, stmt.target, stmt.iter)
+            env = self._walk_body(stmt.orelse, env) if stmt.orelse else env
+        elif isinstance(stmt, ast.While):
+            env = self._loop(env, stmt.body, None, None)
+            env = self._walk_body(stmt.orelse, env) if stmt.orelse else env
+        elif isinstance(stmt, ast.If):
+            then_env = self._walk_body(stmt.body, env)
+            else_env = self._walk_body(stmt.orelse, env)
+            env = self._merge(then_env, else_env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    self._bind(env, item.optional_vars, item.context_expr, "with")
+            env = self._walk_body(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            after_body = self._walk_body(stmt.body, env)
+            outcomes = [after_body]
+            # A handler can run after any prefix of the body: start from
+            # the merge of entry and full-body states.
+            handler_in = self._merge(env, after_body)
+            for handler in stmt.handlers:
+                henv = dict(handler_in)
+                if handler.name:
+                    henv[handler.name] = (Def(handler.name, "except", handler.type),)
+                outcomes.append(self._walk_body(handler.body, henv))
+            env = self._merge(*outcomes)
+            if stmt.orelse:
+                env = self._merge(env, self._walk_body(stmt.orelse, after_body))
+            if stmt.finalbody:
+                env = self._walk_body(stmt.finalbody, env)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            env[stmt.name] = (Def(stmt.name, "def"),)
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                local = alias.asname or alias.name.split(".")[0]
+                env[local] = (Def(local, "import"),)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        elif isinstance(stmt, (ast.Global, ast.Nonlocal)):
+            for name in stmt.names:
+                env[name] = (Def(name, "opaque"),)
+        elif hasattr(ast, "Match") and isinstance(stmt, getattr(ast, "Match")):
+            outcomes = [env]
+            for case in stmt.cases:  # type: ignore[attr-defined]
+                cenv = dict(env)
+                for node in ast.walk(case.pattern):
+                    capture = getattr(node, "name", None)
+                    if isinstance(capture, str):
+                        cenv[capture] = (Def(capture, "opaque"),)
+                outcomes.append(self._walk_body(case.body, cenv))
+            env = self._merge(*outcomes)
+        return env
+
+    def _loop(
+        self,
+        env: Env,
+        body: List[ast.stmt],
+        target: Optional[ast.expr],
+        iterable: Optional[ast.expr],
+    ) -> Env:
+        """Two-pass fixpoint: loop-carried defs reach the body top."""
+        loop_env = dict(env)
+        for _ in range(2):
+            body_env = dict(loop_env)
+            if target is not None:
+                self._bind(body_env, target, iterable, "for")
+            after = self._walk_body(body, body_env)
+            loop_env = self._merge(loop_env, after)
+        # Zero-iteration path: the pre-loop env survives too (already
+        # merged into loop_env on the first pass).
+        return loop_env

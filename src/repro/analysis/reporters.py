@@ -1,18 +1,20 @@
-"""Finding reporters: human text and machine JSON.
+"""Finding reporters: human text, machine JSON, and SARIF 2.1.0.
 
-Both render a :class:`~repro.analysis.core.LintResult`; the JSON shape
+All render a :class:`~repro.analysis.core.LintResult`. The JSON shape
 is versioned (``{"version": 1, "findings": [...], "summary": {...}}``)
-because CI consumes it.
+because CI consumes it; the SARIF document follows the 2.1.0 schema so
+the CI lint job can upload it and findings annotate PR diffs.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Callable, Dict
+from pathlib import PurePath
+from typing import Callable, Dict, List
 
-from repro.analysis.core import LintResult
+from repro.analysis.core import Finding, LintResult, rule_catalogue
 
-__all__ = ["render_text", "render_json", "REPORTERS"]
+__all__ = ["render_text", "render_json", "render_sarif", "REPORTERS"]
 
 
 def render_text(result: LintResult) -> str:
@@ -35,7 +37,81 @@ def render_json(result: LintResult) -> str:
     return json.dumps(result.to_json(), indent=2, sort_keys=True)
 
 
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_SARIF_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _sarif_result(finding: Finding, rule_index: Dict[str, int]) -> Dict[str, object]:
+    return {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index[finding.rule],
+        "level": _SARIF_LEVELS.get(finding.severity, "note"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": PurePath(finding.path).as_posix(),
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 log (the ``--format sarif`` CI-upload contract)."""
+    catalogue = {cls.id: cls for cls in rule_catalogue()}
+    findings = result.sorted_findings()
+    rule_ids = sorted({f.rule for f in findings} | set(catalogue))
+    rules_meta: List[Dict[str, object]] = []
+    for rid in rule_ids:
+        cls = catalogue.get(rid)
+        entry: Dict[str, object] = {"id": rid}
+        if cls is not None:
+            entry["shortDescription"] = {"text": cls.title}
+            if cls.rationale:
+                entry["fullDescription"] = {"text": cls.rationale}
+            if cls.fixit:
+                entry["help"] = {"text": cls.fixit}
+            entry["defaultConfiguration"] = {
+                "level": _SARIF_LEVELS.get(cls.severity, "note")
+            }
+        else:  # runner-level findings: E998/E999/SUPP001
+            entry["shortDescription"] = {"text": rid}
+        rules_meta.append(entry)
+    rule_index = {rid: i for i, rid in enumerate(rule_ids)}
+    doc = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": "docs/ANALYSIS.md",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": [_sarif_result(f, rule_index) for f in findings],
+                "columnKind": "unicodeCodePoints",
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
 REPORTERS: Dict[str, Callable[[LintResult], str]] = {
     "text": render_text,
     "json": render_json,
+    "sarif": render_sarif,
 }

@@ -91,11 +91,21 @@ class WalService(ReproService):
             return {"records": 0, "truncated": False}
         records, truncated = await asyncio.to_thread(read_wal, self._wal.path)
         applied = 0
+        # Stage high-water marks locally and publish them after the
+        # replay loop: claiming `self._applied[stream]` before the fold
+        # awaits (the old shape, flagged by CC101) let concurrent
+        # sequenced ingest observe a claimed-but-unfolded seq — and a
+        # fold that raised mid-replay would have permanently poisoned
+        # the dedup table against retrying the same record.
+        marks: Dict[str, int] = {}
         for rec in records:
             if rec.sequenced:
-                if rec.seq <= self._applied.get(rec.stream, -1):
+                seen = max(
+                    marks.get(rec.stream, -1),
+                    self._applied.get(rec.stream, -1),
+                )
+                if rec.seq <= seen:
                     continue
-                self._applied[rec.stream] = rec.seq
             if rec.op == "sum":
                 await self._scatter(rec.stream, np.array(rec.values))
             else:
@@ -108,7 +118,13 @@ class WalService(ReproService):
                     np.array(rec.values),
                     None if rec.values2 is None else np.array(rec.values2),
                 )
+            if rec.sequenced:
+                marks[rec.stream] = rec.seq
             applied += 1
+        # Single publish step, no awaits in between: every seq becomes
+        # visible only with its fold already applied.
+        for stream, seq in marks.items():
+            self._applied[stream] = max(seq, self._applied.get(stream, -1))
         return {"records": applied, "truncated": truncated}
 
     # ------------------------------------------------------------------

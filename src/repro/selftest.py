@@ -247,10 +247,43 @@ def _check_analysis() -> None:
 
     from repro.analysis import lint_paths, lint_source, rule_catalogue
 
-    assert len(rule_catalogue()) >= 11, "builtin rule families failed to register"
+    assert len(rule_catalogue()) >= 17, "builtin rule families failed to register"
     # The linter must still catch a planted violation...
     planted = lint_source("def f(xs):\n    return sum(float(x) for x in xs)\n")
     assert any(f.rule == "FP001" for f in planted.findings), "FP001 went blind"
+    # ...the dataflow engine must catch its three planted shapes...
+    second_writer = lint_source(
+        "import asyncio\n"
+        "class W:\n"
+        "    async def start(self):\n"
+        "        self._t = asyncio.create_task(self._run())\n"
+        "    async def _run(self):\n"
+        "        self._state = 1\n"
+        "    def reset(self):\n"
+        "        self._state = 0\n",
+        "repro/serve/planted.py",
+        select=["CC100"],
+    )
+    assert any(f.rule == "CC100" for f in second_writer.findings), "CC100 went blind"
+    torn = lint_source(
+        "class N:\n"
+        "    async def apply(self, seq, arr):\n"
+        "        self._applied = seq\n"
+        "        await self._fold(arr)\n"
+        "        self._count = 1\n",
+        "repro/cluster/planted.py",
+        select=["CC101"],
+    )
+    assert any(f.rule == "CC101" for f in torn.findings), "CC101 went blind"
+    tainted = lint_source(
+        "import numpy as np\n"
+        "def handle(blob):\n"
+        "    arr = np.frombuffer(blob, dtype=np.float64)\n"
+        "    return arr * 0.5\n",
+        "repro/serve/planted.py",
+        select=["FP100"],
+    )
+    assert any(f.rule == "FP100" for f in tainted.findings), "FP100 went blind"
     # ...and the installed tree must be clean under every rule.
     import repro
 
